@@ -1,0 +1,70 @@
+/// \file bench_common.h
+/// \brief Shared setup for the per-figure benchmark binaries.
+///
+/// Every bench prints the rows/series of one table or figure from the
+/// paper's evaluation. Fleet sizes are scaled down from production (tens
+/// of thousands of servers per region) so a full `for b in bench/*` sweep
+/// finishes on a laptop; the *shapes* — who wins, by what factor, where
+/// the crossovers fall — are the reproduction target, not the absolute
+/// numbers (DESIGN.md, EXPERIMENTS.md).
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scheduling/model_eval.h"
+#include "telemetry/fleet.h"
+
+namespace seagull::bench {
+
+/// Five-week horizon so the §5.3 protocol has a full training week before
+/// each of the three evidence weeks (target week 4, evidence weeks 1-3).
+inline constexpr int kEvalWeeks = 5;
+inline constexpr int64_t kEvalTargetWeek = 4;
+
+/// A fleet of exclusively long-lived unstable-no-pattern servers — the
+/// cohort the paper applies ML models to (§5.3.3).
+inline Fleet UnstableFleet(const std::string& name, int num_servers,
+                           uint64_t seed) {
+  RegionConfig config;
+  config.name = name;
+  config.num_servers = num_servers;
+  config.weeks = kEvalWeeks;
+  config.seed = seed;
+  config.mix.short_lived = 0.0;
+  config.mix.stable = 0.0;
+  config.mix.daily = 0.0;
+  config.mix.weekly = 0.0;
+  config.mix.no_pattern = 1.0;
+  return Fleet::Generate(config);
+}
+
+/// A production-mix fleet (Figure 3 proportions).
+inline Fleet ProductionFleet(const std::string& name, int num_servers,
+                             uint64_t seed, int weeks = kEvalWeeks) {
+  RegionConfig config;
+  config.name = name;
+  config.num_servers = num_servers;
+  config.weeks = weeks;
+  config.seed = seed;
+  return Fleet::Generate(config);
+}
+
+/// Evaluation options matching the §5.3 protocol.
+inline ModelEvalOptions EvalOptions(ServerFilter filter = {},
+                                    int64_t max_servers = 0) {
+  ModelEvalOptions options;
+  options.target_week = kEvalTargetWeek;
+  options.filter = std::move(filter);
+  options.max_servers = max_servers;
+  return options;
+}
+
+/// Prints a horizontal rule + caption for a figure/table.
+inline void PrintHeader(const char* figure, const char* caption) {
+  std::printf("\n=== %s — %s ===\n", figure, caption);
+}
+
+}  // namespace seagull::bench

@@ -1,0 +1,59 @@
+/// \file fig11bcd_accuracy.cc
+/// \brief Figures 11(b)–(d): low-load prediction accuracy per model per
+/// region, on the unstable-no-pattern cohort.
+///
+/// Three metrics per (model, region): percentage of correctly chosen LL
+/// windows (11(b)), percentage of LL windows with accurately predicted
+/// load (11(c)), and percentage of predictable servers (11(d)).
+/// Paper shape: persistent forecast, NimbusML/SSA and GluonTS/feed-forward
+/// are comparable; Prophet/additive is similar or lower; variance across
+/// regions is modest.
+
+#include "bench_common.h"
+
+using namespace seagull;
+using namespace seagull::bench;
+
+int main() {
+  const char* regions[] = {"region-1", "region-2", "region-3", "region-4"};
+  const int sizes[] = {30, 45, 60, 80};
+  const char* models[] = {"persistent_prev_day", "ssa", "feedforward",
+                          "additive"};
+
+  // (model, region) -> result
+  std::vector<std::vector<ModelEvalResult>> results;
+  for (const char* model : models) {
+    std::vector<ModelEvalResult> row;
+    for (int r = 0; r < 4; ++r) {
+      Fleet fleet = UnstableFleet(regions[r], sizes[r],
+                                  1000 + static_cast<uint64_t>(r));
+      auto result = EvaluateModelOnFleet(fleet, model, EvalOptions());
+      result.status().Abort();
+      row.push_back(std::move(result).ValueUnsafe());
+    }
+    results.push_back(std::move(row));
+  }
+
+  auto print_table = [&](const char* figure, const char* caption,
+                         auto metric) {
+    PrintHeader(figure, caption);
+    std::printf("%-22s", "model");
+    for (const char* region : regions) std::printf(" %10s", region);
+    std::printf("\n");
+    for (size_t m = 0; m < 4; ++m) {
+      std::printf("%-22s", models[m]);
+      for (size_t r = 0; r < 4; ++r) {
+        std::printf(" %9.1f%%", metric(results[m][r]));
+      }
+      std::printf("\n");
+    }
+  };
+
+  print_table("Figure 11(b)", "correctly chosen LL windows",
+              [](const ModelEvalResult& r) { return r.PctWindowsCorrect(); });
+  print_table("Figure 11(c)", "accurately predicted load in LL windows",
+              [](const ModelEvalResult& r) { return r.PctLoadsAccurate(); });
+  print_table("Figure 11(d)", "predictable servers",
+              [](const ModelEvalResult& r) { return r.PctPredictable(); });
+  return 0;
+}

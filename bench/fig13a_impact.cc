@@ -1,0 +1,92 @@
+/// \file fig13a_impact.cc
+/// \brief Figure 13(a): backup-scheduling impact — where backups landed
+/// relative to the true lowest-load windows, per cohort.
+///
+/// Paper (all regions, one month): for servers with predictable daily
+/// patterns, 12.5% of backups moved from colliding defaults to correctly
+/// chosen LL windows, 85.3% of defaults already coincided with LL
+/// windows, and 2.1% of LL windows were chosen incorrectly; for stable
+/// servers 99.5% of defaults already matched; for busy servers (>60%
+/// load) 7.7% of collisions with peaks were avoided.
+
+#include "bench_common.h"
+#include "scheduling/simulation.h"
+
+using namespace seagull;
+using namespace seagull::bench;
+
+namespace {
+
+void PrintImpactRow(const char* cohort, const ImpactReport& impact) {
+  std::printf("%-18s %8lld %9.1f%% %12.1f%% %10.1f%% %10.1f\n", cohort,
+              static_cast<long long>(impact.backups),
+              100.0 * impact.FractionMoved(),
+              100.0 * impact.FractionDefaultLl(),
+              100.0 * impact.FractionIncorrect(),
+              impact.improved_minutes / 60.0);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 13(a)", "impact of optimized backup scheduling");
+
+  // A production-mix region plus a pattern-enriched region so the
+  // daily/weekly cohorts have enough members to report (the paper's
+  // pattern classes hold "hundreds of top-revenue customers" out of tens
+  // of thousands of servers; a scaled fleet needs enrichment).
+  RegionConfig mixed;
+  mixed.name = "impact-mixed";
+  mixed.num_servers = 600;
+  mixed.weeks = 5;
+  mixed.seed = 131;
+
+  RegionConfig patterned;
+  patterned.name = "impact-patterned";
+  patterned.num_servers = 400;
+  patterned.weeks = 5;
+  patterned.seed = 132;
+  patterned.mix.short_lived = 0.10;
+  patterned.mix.stable = 0.30;
+  patterned.mix.daily = 0.25;
+  patterned.mix.weekly = 0.15;
+  patterned.mix.no_pattern = 0.20;
+
+  SimulationOptions options;
+  options.regions = {mixed, patterned};
+  options.threads = 8;
+
+  auto result = RunSimulation(options);
+  result.status().Abort();
+
+  std::printf("%-18s %8s %10s %13s %11s %10s\n", "cohort", "backups",
+              "moved-LL", "default=LL", "incorrect", "impr.hours");
+  PrintImpactRow("all servers", result->impact);
+  PrintImpactRow("stable", result->impact_stable);
+  PrintImpactRow("daily pattern", result->impact_daily);
+  PrintImpactRow("weekly pattern", result->impact_weekly);
+  PrintImpactRow("no pattern", result->impact_no_pattern);
+
+  std::printf(
+      "\npaper reference: daily-pattern cohort 12.5%% moved / 85.3%% "
+      "default=LL / 2.1%% incorrect; stable cohort 99.5%% default=LL\n");
+
+  const ImpactReport& impact = result->impact;
+  std::printf(
+      "\nbusy cohort (>60%% load): %lld backups, %lld default collisions, "
+      "%lld executed collisions, %.1f%% avoided (paper: 7.7%%)\n",
+      static_cast<long long>(impact.busy_backups),
+      static_cast<long long>(impact.busy_default_collisions),
+      static_cast<long long>(impact.busy_executed_collisions),
+      100.0 * impact.BusyCollisionsAvoided());
+
+  const auto& engine = result->engine;
+  std::printf(
+      "\nbackup engine (contention model, %lld backups): mean stretch "
+      "default %.3fx -> scheduled %.3fx | contended minutes/backup "
+      "default %.1f -> scheduled %.1f\n",
+      static_cast<long long>(engine.backups), engine.stretch_default,
+      engine.stretch_executed, engine.contended_default,
+      engine.contended_executed);
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file fig17_autoscale_runtime.cc
+/// \brief Figure 17: SQL-database training, inference, and accuracy
+/// computation runtime per model.
+///
+/// Paper shape: persistent forecast has no training; the neural network
+/// trains in bounded time; ARIMA's training "is still not comparable with
+/// other models" even on the coarser 15-minute grid.
+
+#include "autoscale/eval.h"
+#include "bench_common.h"
+
+using namespace seagull;
+using namespace seagull::bench;
+
+int main() {
+  PrintHeader("Figure 17", "SQL auto-scale training/inference/accuracy time");
+
+  SqlFleetConfig config;
+  config.num_databases = 40;
+  config.weeks = 4;
+  config.seed = 2025;
+  SqlFleet fleet = SqlFleet::Generate(config);
+
+  AutoscaleEvalOptions options;
+  options.models = {"persistent_prev_day", "feedforward", "additive"};
+  auto results = EvaluateAutoscaleModels(fleet, options);
+  results.status().Abort();
+
+  // ARIMA separately on fewer databases so the bench stays bounded.
+  AutoscaleEvalOptions arima_options;
+  arima_options.models = {"arima"};
+  arima_options.max_databases = 8;
+  auto arima = EvaluateAutoscaleModels(fleet, arima_options);
+  arima.status().Abort();
+  results->push_back((*arima)[0]);
+
+  std::printf("%-22s %10s %12s %12s %12s %14s\n", "model", "databases",
+              "train ms", "infer ms", "accuracy ms", "train ms/db");
+  for (const auto& r : *results) {
+    double per_db = r.databases_evaluated > 0
+                        ? r.train_millis /
+                              static_cast<double>(r.databases_evaluated)
+                        : 0.0;
+    std::printf("%-22s %10lld %12.1f %12.1f %12.1f %14.2f\n",
+                r.model.c_str(),
+                static_cast<long long>(r.databases_evaluated),
+                r.train_millis, r.inference_millis, r.accuracy_millis,
+                per_db);
+  }
+  return 0;
+}

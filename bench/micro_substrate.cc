@@ -1,0 +1,102 @@
+/// \file micro_substrate.cc
+/// \brief Micro-benchmarks of the hot substrate kernels: the min-average
+/// window sweep (every LL-window query), the bucket-ratio comparison
+/// (every accuracy evaluation), telemetry CSV parsing (ingestion's
+/// dominant cost), and SSA fitting (the cheapest trainable model).
+///
+/// Not a paper figure — a regression guard for the paths every
+/// experiment runs through thousands of times.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "forecast/ssa.h"
+#include "metrics/bucket_ratio.h"
+#include "telemetry/emitter.h"
+#include "timeseries/window.h"
+
+using namespace seagull;
+
+namespace {
+
+LoadSeries RandomDay(uint64_t seed, int64_t days = 1) {
+  Rng rng(seed);
+  std::vector<double> values;
+  double level = 25.0;
+  for (int64_t i = 0; i < days * 288; ++i) {
+    level = std::clamp(level + rng.Gaussian(0.0, 1.0), 0.0, 100.0);
+    values.push_back(level);
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+void BM_MinAverageWindow(benchmark::State& state) {
+  LoadSeries day = RandomDay(1, state.range(0));
+  for (auto _ : state) {
+    WindowResult w = FindMinAverageWindow(day, 120);
+    benchmark::DoNotOptimize(w.start);
+  }
+  state.SetItemsProcessed(state.iterations() * day.size());
+}
+
+void BM_BucketRatio(benchmark::State& state) {
+  LoadSeries truth = RandomDay(2, state.range(0));
+  LoadSeries pred = RandomDay(3, state.range(0));
+  for (auto _ : state) {
+    BucketRatioResult r = BucketRatio(pred, truth);
+    benchmark::DoNotOptimize(r.ratio);
+  }
+  state.SetItemsProcessed(state.iterations() * truth.size());
+}
+
+void BM_TelemetryCsvParse(benchmark::State& state) {
+  RegionConfig config;
+  config.name = "micro";
+  config.num_servers = static_cast<int>(state.range(0));
+  config.weeks = 4;
+  Fleet fleet = Fleet::Generate(config);
+  std::string text = ExtractWeekCsvText(fleet, 3);
+  for (auto _ : state) {
+    auto records = ParseTelemetryCsv(text);
+    benchmark::DoNotOptimize(records->size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_SsaFit(benchmark::State& state) {
+  LoadSeries week = RandomDay(4, 7);
+  for (auto _ : state) {
+    SsaForecast model;
+    Status st = model.Fit(week);
+    st.Abort();
+    benchmark::DoNotOptimize(model.rank());
+  }
+}
+
+void BM_GenerateLoadWeek(benchmark::State& state) {
+  ServerProfile profile;
+  profile.server_id = "micro";
+  profile.archetype = ServerArchetype::kNoPattern;
+  profile.created_at = 0;
+  profile.deleted_at = 4 * kMinutesPerWeek;
+  profile.seed = 5;
+  for (auto _ : state) {
+    LoadSeries load = GenerateLoad(profile, 3 * kMinutesPerWeek,
+                                   4 * kMinutesPerWeek);
+    benchmark::DoNotOptimize(load.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MinAverageWindow)->Arg(1)->Arg(7);
+BENCHMARK(BM_BucketRatio)->Arg(1)->Arg(7);
+BENCHMARK(BM_TelemetryCsvParse)->Arg(10)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SsaFit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GenerateLoadWeek)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

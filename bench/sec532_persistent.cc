@@ -1,0 +1,46 @@
+/// \file sec532_persistent.cc
+/// \brief §5.3.2 and §5.4 headline numbers for persistent forecast.
+///
+/// §5.3.2 (stable + pattern cohort): persistent forecast "correctly
+/// selected 99.83% of LL windows, accurately predicted the load during
+/// 99.06% of all windows, and classified 96.92% of servers as
+/// predictable". §5.4 (production, all long-lived servers): "99% of low
+/// load windows, ... 96% of all windows, and classified 75% of
+/// long-lived servers as predictable".
+
+#include "bench_common.h"
+
+using namespace seagull;
+using namespace seagull::bench;
+
+int main() {
+  PrintHeader("Section 5.3.2 / 5.4", "persistent forecast headline numbers");
+
+  Fleet fleet = ProductionFleet("sec532", 1500, 17);
+
+  struct Cohort {
+    const char* label;
+    ServerFilter filter;
+    double paper_windows, paper_loads, paper_predictable;
+  };
+  const Cohort cohorts[] = {
+      {"stable+pattern (5.3.2)", FilterStableOrPattern(), 99.83, 99.06,
+       96.92},
+      {"all long-lived (5.4)", FilterLongLived(), 99.0, 96.0, 75.0},
+  };
+
+  std::printf("%-24s %14s %14s %14s\n", "cohort", "LL windows",
+              "window load", "predictable");
+  for (const Cohort& cohort : cohorts) {
+    auto result = EvaluateModelOnFleet(fleet, "persistent_prev_day",
+                                       EvalOptions(cohort.filter));
+    result.status().Abort();
+    std::printf("%-24s %8.2f%%      %8.2f%%      %8.2f%%\n", cohort.label,
+                result->PctWindowsCorrect(), result->PctLoadsAccurate(),
+                result->PctPredictable());
+    std::printf("%-24s %8.2f%%      %8.2f%%      %8.2f%%   (paper)\n", "",
+                cohort.paper_windows, cohort.paper_loads,
+                cohort.paper_predictable);
+  }
+  return 0;
+}

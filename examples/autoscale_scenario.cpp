@@ -1,0 +1,95 @@
+/// \file autoscale_scenario.cpp
+/// \brief The second Seagull use case (Appendix A): preemptive auto-scale
+/// of SQL databases.
+///
+/// Classifies a simulated SQL fleet (Definition 10), compares forecast
+/// models on the appendix's Mean NRMSE / MASE metrics, and closes the
+/// loop the appendix motivates: a forecast-driven capacity policy
+/// against static peak provisioning, measured in SLO violations and
+/// wasted capacity.
+///
+/// Usage: autoscale_scenario [num_databases]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "autoscale/classify.h"
+#include "autoscale/eval.h"
+#include "autoscale/policy.h"
+#include "forecast/persistent.h"
+
+using namespace seagull;
+
+int main(int argc, char** argv) {
+  int num_databases = argc > 1 ? std::atoi(argv[1]) : 80;
+
+  SqlFleetConfig config;
+  config.num_databases = num_databases;
+  config.weeks = 4;
+  config.seed = 9090;
+  SqlFleet fleet = SqlFleet::Generate(config);
+
+  // --- A.1: classification ---
+  int64_t stable = 0;
+  for (const auto& db : fleet.databases()) {
+    LoadSeries load = fleet.Load(db, 0, 4 * kMinutesPerWeek);
+    if (ClassifySqlDatabase(load, 0, 4 * kMinutesPerWeek).stable) ++stable;
+  }
+  std::printf("SQL fleet: %d databases, %.1f%% stable (paper: 19.36%%)\n\n",
+              num_databases,
+              100.0 * static_cast<double>(stable) /
+                  static_cast<double>(fleet.size()));
+
+  // --- A.3: model accuracy ---
+  AutoscaleEvalOptions eval_options;
+  eval_options.models = {"persistent_prev_day", "feedforward", "additive"};
+  auto results = EvaluateAutoscaleModels(fleet, eval_options);
+  if (!results.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-22s %12s %10s %12s\n", "model", "mean NRMSE", "MASE",
+              "train ms");
+  for (const auto& r : *results) {
+    std::printf("%-22s %12.3f %10.3f %12.1f\n", r.model.c_str(),
+                r.mean_nrmse, r.mean_mase, r.train_millis);
+  }
+
+  // --- the auto-scale loop itself ---
+  PersistentForecast model(PersistentVariant::kPreviousDay);
+  AutoscalePolicy policy;
+  const MinuteStamp day = 3 * kMinutesPerWeek;  // first day of week 3
+  double dyn_waste = 0, dyn_viol = 0, fix_waste = 0, fix_viol = 0;
+  int64_t counted = 0;
+  for (const auto& db : fleet.databases()) {
+    LoadSeries history = fleet.Load(db, 0, day);
+    LoadSeries truth = fleet.Load(db, day, day + kMinutesPerDay);
+    auto dynamic = SimulateAutoscaleDay(model, history, truth, day, policy,
+                                        db.profile.server_id);
+    if (!dynamic.ok()) continue;
+    AutoscaleOutcome fixed =
+        StaticProvisionDay(history, truth, day, policy,
+                           db.profile.server_id);
+    dyn_waste += dynamic->mean_waste;
+    dyn_viol += dynamic->ViolationRate();
+    fix_waste += fixed.mean_waste;
+    fix_viol += fixed.ViolationRate();
+    ++counted;
+  }
+  if (counted > 0) {
+    double n = static_cast<double>(counted);
+    std::printf("\nPreemptive auto-scale vs static peak provisioning "
+                "(%lld database-days):\n",
+                static_cast<long long>(counted));
+    std::printf("  %-22s %14s %16s\n", "policy", "violations",
+                "wasted capacity");
+    std::printf("  %-22s %13.2f%% %15.1fpp\n", "forecast-driven",
+                100.0 * dyn_viol / n, dyn_waste / n);
+    std::printf("  %-22s %13.2f%% %15.1fpp\n", "static peak",
+                100.0 * fix_viol / n, fix_waste / n);
+    std::printf("\n(§6.2: 96.3%% of servers never reach capacity — the "
+                "headroom this policy reclaims.)\n");
+  }
+  return 0;
+}

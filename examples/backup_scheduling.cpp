@@ -1,0 +1,92 @@
+/// \file backup_scheduling.cpp
+/// \brief The headline scenario: multi-region, multi-week backup
+/// scheduling with impact accounting.
+///
+/// Runs the full Seagull loop over the paper's four-regions setup —
+/// weekly load extraction into the lake store, the AML-pipeline analog
+/// per region, daily backup scheduling through the service-fabric
+/// property, execution against ground truth — and prints the
+/// per-cohort impact report (Figure 13(a)-style) plus the operations
+/// dashboard.
+///
+/// Usage: backup_scheduling [scale] [weeks]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "scheduling/simulation.h"
+
+using namespace seagull;
+
+namespace {
+
+void PrintCohort(const char* label, const ImpactReport& impact) {
+  if (impact.backups == 0) {
+    std::printf("%-16s %8s\n", label, "(none)");
+    return;
+  }
+  std::printf("%-16s %8lld %9.1f%% %12.1f%% %10.1f%% %11.1f\n", label,
+              static_cast<long long>(impact.backups),
+              100.0 * impact.FractionMoved(),
+              100.0 * impact.FractionDefaultLl(),
+              100.0 * impact.FractionIncorrect(),
+              impact.improved_minutes / 60.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  int weeks = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  SimulationOptions options;
+  options.regions = MakeEvaluationRegions(scale, 2026);
+  for (auto& region : options.regions) region.weeks = weeks;
+  options.model_name = "persistent_prev_day";
+  options.threads = 8;
+
+  std::printf("Seagull backup scheduling: %zu regions, %d weeks, scale %.2f\n",
+              options.regions.size(), weeks, scale);
+  for (const auto& region : options.regions) {
+    std::printf("  %-12s %6d servers\n", region.name.c_str(),
+                region.num_servers);
+  }
+
+  auto result = RunSimulation(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n--- pipeline runs ---\n");
+  for (const auto& region : result->regions) {
+    int64_t ok = 0;
+    for (const auto& run : region.runs) {
+      if (run.success) ++ok;
+    }
+    std::printf("%-12s: %lld/%zu runs ok, %lld backups, %lld moved, "
+                "%zu alerts\n",
+                region.region.c_str(), static_cast<long long>(ok),
+                region.runs.size(),
+                static_cast<long long>(region.backups_scheduled),
+                static_cast<long long>(region.backups_moved),
+                region.alerts.size());
+    for (const auto& alert : region.alerts) {
+      std::printf("  ALERT [%s] %s\n", alert.rule.c_str(),
+                  alert.message.c_str());
+    }
+  }
+
+  std::printf("\n--- impact by cohort (Figure 13(a)) ---\n");
+  std::printf("%-16s %8s %10s %13s %11s %12s\n", "cohort", "backups",
+              "moved-LL", "default=LL", "incorrect", "impr.hours");
+  PrintCohort("all", result->impact);
+  PrintCohort("stable", result->impact_stable);
+  PrintCohort("daily", result->impact_daily);
+  PrintCohort("weekly", result->impact_weekly);
+  PrintCohort("no-pattern", result->impact_no_pattern);
+
+  std::printf("\n--- dashboard ---\n%s\n", result->dashboard_text.c_str());
+  return 0;
+}

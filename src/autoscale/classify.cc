@@ -1,0 +1,83 @@
+#include "autoscale/classify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace seagull {
+
+namespace {
+
+/// Short-term noise scale of a series: the lag-1 successive-difference
+/// estimator sqrt(mean(diff^2) / 2). Unlike the raw period standard
+/// deviation this is robust to slow regime drift and recurring intra-day
+/// shapes, which is what makes the stability verdict discriminative.
+double NoiseScale(const LoadSeries& series) {
+  double sum_sq = 0.0;
+  int64_t n = 0;
+  for (int64_t i = 1; i < series.size(); ++i) {
+    double a = series.ValueAt(i - 1);
+    double b = series.ValueAt(i);
+    if (IsMissing(a) || IsMissing(b)) continue;
+    sum_sq += (b - a) * (b - a);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::sqrt(sum_sq / (2.0 * static_cast<double>(n)));
+}
+
+}  // namespace
+
+SqlStability ClassifySqlDatabase(const LoadSeries& load, MinuteStamp from,
+                                 MinuteStamp to) {
+  SqlStability out;
+  LoadSeries period = load.Slice(from, to);
+  SeriesSummary summary = Summarize(period);
+  if (summary.count == 0) return out;
+  out.period_mean = summary.mean;
+  out.period_stddev = summary.stddev;
+
+  // "Variation does not exceed one standard deviation" (Definition 10),
+  // where the deviation scale is the series' short-term noise — a
+  // database is stable when, over its last three days, both the level
+  // (day means) and the spread (within-day stddev) stay at noise scale.
+  const double sigma = std::max(NoiseScale(period), 0.5);
+
+  const int64_t last_day = DayIndex(to - 1);
+  bool stable = true;
+  bool any_day = false;
+  double min_day_mean = 0.0, max_day_mean = 0.0;
+  for (int64_t day = last_day - 2; day <= last_day; ++day) {
+    LoadSeries slice = period.SliceDay(day);
+    SeriesSummary day_summary = Summarize(slice);
+    if (day_summary.count == 0) {
+      stable = false;
+      continue;
+    }
+    if (!any_day) {
+      min_day_mean = max_day_mean = day_summary.mean;
+    } else {
+      min_day_mean = std::min(min_day_mean, day_summary.mean);
+      max_day_mean = std::max(max_day_mean, day_summary.mean);
+    }
+    any_day = true;
+    double deviation = std::fabs(day_summary.mean - out.period_mean);
+    out.max_day_mean_deviation =
+        std::max(out.max_day_mean_deviation, deviation);
+    out.max_day_stddev = std::max(out.max_day_stddev, day_summary.stddev);
+    // (a) the day's level sits at noise scale from the period mean;
+    // (b) within-day spread is noise, not a business-hours pattern.
+    if (deviation > 2.0 * sigma || day_summary.stddev > 2.5 * sigma) {
+      stable = false;
+    }
+  }
+  // (c) the three day levels agree with each other.
+  if (any_day && max_day_mean - min_day_mean > 2.0 * sigma) {
+    stable = false;
+  }
+  out.stable = stable && any_day;
+  return out;
+}
+
+}  // namespace seagull

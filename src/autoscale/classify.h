@@ -1,0 +1,37 @@
+/// \file classify.h
+/// \brief Definition 10: stable vs unstable SQL databases (Appendix A.1).
+///
+/// "A stable database is defined as a database whose variation does not
+/// exceed one standard deviation for the last three days in the period
+/// evaluated." We read the deviation scale as the series' short-term
+/// noise (lag-1 successive-difference estimator): over the last three
+/// days, day-level means must stay at noise scale from the period mean
+/// and from each other, and within-day spread must stay at noise scale —
+/// so business-hour patterns, regime shifts, and bursts all classify as
+/// unstable while flat-but-noisy databases classify as stable.
+
+#pragma once
+
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// \brief Evidence behind a stability verdict.
+struct SqlStability {
+  bool stable = false;
+  double period_mean = 0.0;
+  double period_stddev = 0.0;
+  /// Largest |day mean − period mean| over the last three days.
+  double max_day_mean_deviation = 0.0;
+  /// Largest within-day standard deviation over the last three days.
+  double max_day_stddev = 0.0;
+};
+
+/// Classifies one database over the evaluation period [from, to). The
+/// last three full days must each have (a) a day-mean at noise scale
+/// from the period mean, (b) within-day spread at noise scale, and (c)
+/// day-means that agree with each other at noise scale.
+SqlStability ClassifySqlDatabase(const LoadSeries& load, MinuteStamp from,
+                                 MinuteStamp to);
+
+}  // namespace seagull

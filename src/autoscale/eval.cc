@@ -1,0 +1,84 @@
+#include "autoscale/eval.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "forecast/model.h"
+#include "metrics/standard.h"
+
+namespace seagull {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<std::vector<AutoscaleModelResult>> EvaluateAutoscaleModels(
+    const SqlFleet& fleet, const AutoscaleEvalOptions& options) {
+  std::vector<std::string> models = options.models;
+  if (models.empty()) {
+    // The appendix compares persistent forecast (previous day), the
+    // neural network (GluonTS analog), and ARIMA.
+    models = {"persistent_prev_day", "feedforward", "arima"};
+  }
+
+  const MinuteStamp train_start = options.train_week * kMinutesPerWeek;
+  const MinuteStamp train_end = train_start + kMinutesPerWeek;
+  const MinuteStamp eval_start = train_end;
+  const MinuteStamp eval_end = eval_start + kMinutesPerDay;
+
+  std::vector<AutoscaleModelResult> out;
+  for (const auto& model_name : models) {
+    AutoscaleModelResult r;
+    r.model = model_name;
+    double nrmse_sum = 0.0, mase_sum = 0.0;
+    int64_t metric_count = 0;
+
+    int64_t limit = options.max_databases > 0
+                        ? std::min<int64_t>(options.max_databases,
+                                            fleet.size())
+                        : fleet.size();
+    for (int64_t i = 0; i < limit; ++i) {
+      const SqlDatabase& db = fleet.databases()[static_cast<size_t>(i)];
+      LoadSeries history = fleet.Load(db, 0, train_end);
+      LoadSeries train = history.Slice(train_start, train_end);
+      LoadSeries truth = fleet.Load(db, eval_start, eval_end);
+
+      SEAGULL_ASSIGN_OR_RETURN(auto model,
+                               ModelFactory::Global().Create(model_name));
+      auto t0 = std::chrono::steady_clock::now();
+      Status fit = model->Fit(train);
+      r.train_millis += MillisSince(t0);
+      if (!fit.ok()) continue;
+
+      auto t1 = std::chrono::steady_clock::now();
+      auto predicted =
+          model->Forecast(history, eval_start, kMinutesPerDay);
+      r.inference_millis += MillisSince(t1);
+      if (!predicted.ok()) continue;
+
+      auto t2 = std::chrono::steady_clock::now();
+      double nrmse = NormalizedRmse(*predicted, truth);
+      double mase = MeanAbsoluteScaledError(*predicted, truth);
+      r.accuracy_millis += MillisSince(t2);
+      if (IsMissing(nrmse) || IsMissing(mase)) continue;
+      nrmse_sum += nrmse;
+      mase_sum += mase;
+      ++metric_count;
+    }
+    r.databases_evaluated = metric_count;
+    if (metric_count > 0) {
+      r.mean_nrmse = nrmse_sum / static_cast<double>(metric_count);
+      r.mean_mase = mase_sum / static_cast<double>(metric_count);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace seagull

@@ -1,0 +1,41 @@
+/// \file eval.h
+/// \brief Appendix A model comparison: Mean NRMSE / MASE and runtimes
+/// (Figures 16 and 17) for 24h-ahead SQL database load prediction.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autoscale/sql_fleet.h"
+#include "common/result.h"
+
+namespace seagull {
+
+/// \brief Per-model aggregate over the fleet.
+struct AutoscaleModelResult {
+  std::string model;
+  int64_t databases_evaluated = 0;
+  double mean_nrmse = 0.0;
+  double mean_mase = 0.0;
+  double train_millis = 0.0;      ///< total fitting time
+  double inference_millis = 0.0;  ///< total forecasting time
+  double accuracy_millis = 0.0;   ///< total metric-computation time
+};
+
+/// \brief Evaluation setup.
+struct AutoscaleEvalOptions {
+  /// Train on one week of history per database (§A.3), then predict the
+  /// following day.
+  int64_t train_week = 2;  ///< history week index used for fitting
+  /// Models evaluated; empty means the paper's Appendix set.
+  std::vector<std::string> models;
+  /// Cap on databases per model, to bound expensive baselines (ARIMA).
+  int64_t max_databases = 0;  ///< 0 = all
+};
+
+/// Runs the Figure 16/17 evaluation over the SQL fleet.
+Result<std::vector<AutoscaleModelResult>> EvaluateAutoscaleModels(
+    const SqlFleet& fleet, const AutoscaleEvalOptions& options = {});
+
+}  // namespace seagull

@@ -1,0 +1,86 @@
+#include "autoscale/overbooking.h"
+
+#include <algorithm>
+
+#include "timeseries/stats.h"
+
+namespace seagull {
+
+double OverbookingReport::PeakHeadroom() const {
+  if (provisioned <= 0) return 0.0;
+  return 1.0 - peak_demand / provisioned;
+}
+
+double OverbookingReport::PackingFactor(double safety_margin) const {
+  if (p95_demand <= 0 || servers == 0) return 0.0;
+  double per_server_p95 = p95_demand / static_cast<double>(servers);
+  if (per_server_p95 <= 0) return 0.0;
+  return (100.0 - safety_margin) / per_server_p95;
+}
+
+OverbookingReport AnalyzeOverbooking(const Fleet& fleet, int64_t week) {
+  OverbookingReport report;
+  MinuteStamp from = week * kMinutesPerWeek;
+  MinuteStamp to = from + kMinutesPerWeek;
+  for (const auto& profile : fleet.servers()) {
+    if (!profile.IsAliveAt(from)) continue;
+    LoadSeries load = fleet.TrueLoad(profile, from, to);
+    if (load.CountPresent() == 0) continue;
+    ++report.servers;
+    report.provisioned += 100.0;
+    double peak = load.Max();
+    report.peak_demand += IsMissing(peak) ? 0.0 : peak;
+    double p95 = Quantile(load.values(), 0.95);
+    report.p95_demand += IsMissing(p95) ? 0.0 : p95;
+    double mean = load.Mean();
+    report.mean_demand += IsMissing(mean) ? 0.0 : mean;
+  }
+  return report;
+}
+
+PackingOutcome SimulatePacking(const Fleet& fleet, int64_t week,
+                               double safety_margin) {
+  PackingOutcome outcome;
+  MinuteStamp from = week * kMinutesPerWeek;
+  MinuteStamp to = from + kMinutesPerWeek;
+  const double budget = 100.0 - safety_margin;
+
+  // Greedy first-fit onto one host: take servers in fleet order while
+  // their p95 sum stays within budget.
+  std::vector<LoadSeries> packed;
+  double used = 0.0;
+  for (const auto& profile : fleet.servers()) {
+    if (!profile.IsAliveAt(from)) continue;
+    LoadSeries load = fleet.TrueLoad(profile, from, to);
+    if (load.CountPresent() == 0) continue;
+    double p95 = Quantile(load.values(), 0.95);
+    if (IsMissing(p95)) continue;
+    if (used + p95 > budget && !packed.empty()) break;
+    used += p95;
+    packed.push_back(std::move(load));
+  }
+  outcome.servers_per_host = static_cast<int64_t>(packed.size());
+  if (packed.empty()) return outcome;
+
+  int64_t violations = 0, samples = 0;
+  for (MinuteStamp t = from; t < to; t += kServerIntervalMinutes) {
+    double total = 0.0;
+    bool any = false;
+    for (const auto& load : packed) {
+      double v = load.ValueAtTime(t);
+      if (IsMissing(v)) continue;
+      total += v;
+      any = true;
+    }
+    if (!any) continue;
+    ++samples;
+    if (total > 100.0) ++violations;
+  }
+  if (samples > 0) {
+    outcome.violation_rate = static_cast<double>(violations) /
+                             static_cast<double>(samples);
+  }
+  return outcome;
+}
+
+}  // namespace seagull

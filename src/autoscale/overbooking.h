@@ -1,0 +1,54 @@
+/// \file overbooking.h
+/// \brief Overbooking opportunity analysis (§6.2).
+///
+/// "Only 3.7% of servers reach their CPU capacity per week, i.e., for
+/// 96.3% of servers resources could be saved. This observation opens up
+/// opportunities to overbook or auto-scale resources." This module
+/// quantifies the opportunity: how much provisioned capacity a fleet
+/// actually needs at a percentile, and how many simulated servers can be
+/// packed per host under a quantile-based overbooking rule.
+
+#pragma once
+
+#include "telemetry/fleet.h"
+
+namespace seagull {
+
+/// \brief Fleet-wide overbooking headroom analysis.
+struct OverbookingReport {
+  int64_t servers = 0;
+  /// Sum of nominal capacity (100% per server).
+  double provisioned = 0.0;
+  /// Sum of per-server weekly peak loads.
+  double peak_demand = 0.0;
+  /// Sum of per-server weekly p95 loads.
+  double p95_demand = 0.0;
+  /// Sum of per-server weekly mean loads.
+  double mean_demand = 0.0;
+
+  /// Fraction of provisioned capacity idle even at per-server peaks.
+  double PeakHeadroom() const;
+  /// Overbooking factor: how many servers fit per nominal server slot
+  /// when packing by p95 demand with the given safety margin (points).
+  double PackingFactor(double safety_margin = 10.0) const;
+};
+
+/// \brief Quantile-packing simulation outcome.
+struct PackingOutcome {
+  /// Servers packed per 100%-capacity host.
+  int64_t servers_per_host = 0;
+  /// Fraction of 5-minute intervals where the packed hosts' combined
+  /// true load exceeded host capacity.
+  double violation_rate = 0.0;
+};
+
+/// Analyzes one week of a fleet's true load.
+OverbookingReport AnalyzeOverbooking(const Fleet& fleet, int64_t week);
+
+/// Packs servers onto simulated 100%-capacity hosts in id order, adding
+/// servers to a host while the sum of their p95 loads stays under
+/// 100 − safety_margin, then measures true combined load violations.
+PackingOutcome SimulatePacking(const Fleet& fleet, int64_t week,
+                               double safety_margin = 10.0);
+
+}  // namespace seagull

@@ -1,0 +1,81 @@
+#include "autoscale/policy.h"
+
+#include <algorithm>
+
+namespace seagull {
+
+namespace {
+
+/// Scores a per-slot capacity plan against the true load.
+AutoscaleOutcome Score(const std::vector<double>& capacity_per_slot,
+                       int64_t slot_minutes, const LoadSeries& truth,
+                       MinuteStamp day_start,
+                       const std::string& database_id) {
+  AutoscaleOutcome out;
+  out.database_id = database_id;
+  double waste_sum = 0.0, cap_sum = 0.0;
+  const int64_t interval = truth.interval_minutes();
+  for (MinuteStamp t = day_start; t < day_start + kMinutesPerDay;
+       t += interval) {
+    double y = truth.ValueAtTime(t);
+    if (IsMissing(y)) continue;
+    size_t slot = static_cast<size_t>((t - day_start) / slot_minutes);
+    if (slot >= capacity_per_slot.size()) slot = capacity_per_slot.size() - 1;
+    double cap = capacity_per_slot[slot];
+    ++out.samples;
+    if (y > cap) ++out.violations;
+    waste_sum += std::max(0.0, cap - y);
+    cap_sum += cap;
+  }
+  if (out.samples > 0) {
+    out.mean_waste = waste_sum / static_cast<double>(out.samples);
+    out.mean_capacity = cap_sum / static_cast<double>(out.samples);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AutoscaleOutcome> SimulateAutoscaleDay(const ForecastModel& model,
+                                              const LoadSeries& history,
+                                              const LoadSeries& truth,
+                                              MinuteStamp day_start,
+                                              const AutoscalePolicy& policy,
+                                              const std::string& database_id) {
+  SEAGULL_ASSIGN_OR_RETURN(
+      LoadSeries forecast,
+      model.Forecast(history, day_start, kMinutesPerDay));
+  const int64_t slots =
+      (kMinutesPerDay + policy.reprovision_minutes - 1) /
+      policy.reprovision_minutes;
+  std::vector<double> capacity(static_cast<size_t>(slots),
+                               policy.min_capacity);
+  for (int64_t s = 0; s < slots; ++s) {
+    MinuteStamp slot_start = day_start + s * policy.reprovision_minutes;
+    MinuteStamp slot_end =
+        std::min(slot_start + policy.reprovision_minutes,
+                 day_start + kMinutesPerDay);
+    // Peak of the forecast within the slot drives the provisioned level.
+    double peak = forecast.Slice(slot_start, slot_end).Max();
+    if (!IsMissing(peak)) {
+      capacity[static_cast<size_t>(s)] =
+          std::max(policy.min_capacity, peak + policy.headroom);
+    }
+  }
+  return Score(capacity, policy.reprovision_minutes, truth, day_start,
+               database_id);
+}
+
+AutoscaleOutcome StaticProvisionDay(const LoadSeries& history,
+                                    const LoadSeries& truth,
+                                    MinuteStamp day_start,
+                                    const AutoscalePolicy& policy,
+                                    const std::string& database_id) {
+  double peak = history.Max();
+  double cap = IsMissing(peak) ? policy.min_capacity
+                               : std::max(policy.min_capacity,
+                                          peak + policy.headroom);
+  return Score({cap}, kMinutesPerDay, truth, day_start, database_id);
+}
+
+}  // namespace seagull

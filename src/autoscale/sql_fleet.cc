@@ -1,0 +1,42 @@
+#include "autoscale/sql_fleet.h"
+
+#include "common/strings.h"
+#include "timeseries/resample.h"
+
+namespace seagull {
+
+SqlFleet SqlFleet::Generate(const SqlFleetConfig& config) {
+  SqlFleet fleet;
+  fleet.config_ = config;
+  Rng rng(config.seed);
+  const int64_t horizon =
+      static_cast<int64_t>(config.weeks) * kMinutesPerWeek;
+  ArchetypeMix mix;
+  // SQL databases are long-lived in the appendix's sample; the
+  // conditional shape mix is driven by the stable fraction.
+  mix.short_lived = 0.0;
+  mix.stable = config.stable_fraction;
+  mix.daily = 0.18;
+  mix.weekly = 0.05;
+  mix.no_pattern = 1.0 - mix.stable - mix.daily - mix.weekly;
+  fleet.databases_.reserve(static_cast<size_t>(config.num_databases));
+  for (int i = 0; i < config.num_databases; ++i) {
+    SqlDatabase db;
+    db.profile = SampleProfile(StringPrintf("sqldb-%05d", i), mix, horizon,
+                               &rng);
+    db.profile.created_at = 0;
+    db.profile.deleted_at = horizon;
+    fleet.databases_.push_back(std::move(db));
+  }
+  return fleet;
+}
+
+LoadSeries SqlFleet::Load(const SqlDatabase& db, MinuteStamp from,
+                          MinuteStamp to) const {
+  LoadSeries fine = GenerateLoad(db.profile, from, to, GeneratorOptions{});
+  auto coarse = Downsample(fine, kSqlIntervalMinutes);
+  coarse.status().Abort();  // 15 divides a day and is a multiple of 5
+  return std::move(coarse).ValueUnsafe();
+}
+
+}  // namespace seagull

@@ -1,0 +1,54 @@
+/// \file sql_fleet.h
+/// \brief Simulated Azure SQL database fleet (Appendix A).
+///
+/// SQL telemetry differs from server telemetry in granularity — "database
+/// identifier, timestamp in minutes, and average CPU load per 15 minutes"
+/// (§A.1) — and in population: only 19.36% of sampled databases were
+/// stable. The SQL fleet reuses the load-shape machinery of the server
+/// simulator and downsamples onto the 15-minute grid.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/fleet.h"
+
+namespace seagull {
+
+/// \brief One simulated SQL database.
+struct SqlDatabase {
+  ServerProfile profile;  ///< shape parameters; id doubles as database id
+};
+
+/// \brief Parameters of the simulated SQL fleet.
+struct SqlFleetConfig {
+  int num_databases = 200;
+  int weeks = 4;
+  uint64_t seed = 1234;
+  /// Fraction of databases generated from the low-variance archetype.
+  /// Slightly above the §A.1 target of 19.36% observed-stable because
+  /// the saturating tail and borderline noise push a few generators into
+  /// the unstable verdict.
+  double stable_fraction = 0.225;
+};
+
+/// \brief The SQL database fleet.
+class SqlFleet {
+ public:
+  static SqlFleet Generate(const SqlFleetConfig& config);
+
+  const SqlFleetConfig& config() const { return config_; }
+  const std::vector<SqlDatabase>& databases() const { return databases_; }
+  int64_t size() const { return static_cast<int64_t>(databases_.size()); }
+
+  /// True 15-minute-grid CPU load of one database over [from, to).
+  LoadSeries Load(const SqlDatabase& db, MinuteStamp from,
+                  MinuteStamp to) const;
+
+ private:
+  SqlFleetConfig config_;
+  std::vector<SqlDatabase> databases_;
+};
+
+}  // namespace seagull

@@ -1,0 +1,149 @@
+#include "common/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace seagull {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Parses one logical CSV record starting at *pos; advances *pos past the
+// record's terminating newline (or to text.size()).
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        return Status::Invalid("quote inside unquoted CSV field");
+      }
+      in_quotes = true;
+      ++i;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field += c;
+      ++i;
+    }
+  }
+  if (in_quotes) return Status::Invalid("unterminated quoted CSV field");
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+void AppendField(std::string* out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  CsvTable table;
+  size_t pos = 0;
+  if (text.empty()) return Status::Invalid("empty CSV document");
+  SEAGULL_ASSIGN_OR_RETURN(table.header, ParseRecord(text, &pos));
+  while (pos < text.size()) {
+    // Skip blank trailing lines.
+    if (text[pos] == '\n' || text[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    SEAGULL_ASSIGN_OR_RETURN(auto row, ParseRecord(text, &pos));
+    if (row.size() != table.header.size()) {
+      return Status::Invalid(StringPrintf(
+          "CSV row %zu has %zu fields, header has %zu", table.rows.size() + 2,
+          row.size(), table.header.size()));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendField(&out, table.header[i]);
+  }
+  out += '\n';
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(&out, row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::error_code ec;
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) return Status::IOError("mkdir failed: " + ec.message());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << WriteCsv(table);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace seagull

@@ -1,0 +1,44 @@
+/// \file csv.h
+/// \brief CSV reading/writing for telemetry files.
+///
+/// The pipeline's input files "are in csv format" (§5.3.1): server id,
+/// timestamp in minutes, average user CPU load per interval, and default
+/// backup start/end timestamps. This is a small RFC-4180-ish implementation
+/// (quoted fields, embedded commas/quotes/newlines) sufficient for that
+/// format and for the lake store.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace seagull {
+
+/// \brief In-memory CSV document: a header plus string rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  size_t NumRows() const { return rows.size(); }
+  size_t NumColumns() const { return header.size(); }
+};
+
+/// Parses CSV text (first row is the header). Every row must have the same
+/// arity as the header.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Serializes with minimal quoting.
+std::string WriteCsv(const CsvTable& table);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Writes a CSV file to disk, creating parent directories.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace seagull

@@ -1,0 +1,45 @@
+/// \file logging.h
+/// \brief Minimal leveled logger used by the pipeline and scheduler.
+///
+/// The pipeline's incident-management module (§2.2) consumes structured
+/// events rather than log lines; this logger exists for human-readable
+/// operational traces and is quiet (warnings and up) by default so tests
+/// and benches stay clean.
+
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace seagull {
+
+enum class LogLevel : int8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Process-wide logger configuration.
+class Logger {
+ public:
+  /// Sets the minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// printf-style emission with a level prefix to stderr.
+  static void Log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+}  // namespace seagull
+
+#define SEAGULL_LOG_DEBUG(...) \
+  ::seagull::Logger::Log(::seagull::LogLevel::kDebug, __VA_ARGS__)
+#define SEAGULL_LOG_INFO(...) \
+  ::seagull::Logger::Log(::seagull::LogLevel::kInfo, __VA_ARGS__)
+#define SEAGULL_LOG_WARN(...) \
+  ::seagull::Logger::Log(::seagull::LogLevel::kWarning, __VA_ARGS__)
+#define SEAGULL_LOG_ERROR(...) \
+  ::seagull::Logger::Log(::seagull::LogLevel::kError, __VA_ARGS__)

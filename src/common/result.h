@@ -1,0 +1,76 @@
+/// \file result.h
+/// \brief `Result<T>`: a value or an error `Status`.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace seagull {
+
+/// \brief Holds either a successfully computed `T` or the `Status`
+/// explaining why it could not be computed.
+///
+/// Mirrors `arrow::Result`. Construct from a value for success or from a
+/// non-OK `Status` for failure. Constructing from an OK status is a
+/// programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  /// Failure. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK if this result holds a value.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// The contained value. Requires `ok()`.
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueUnsafe() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value, aborting the process on error. For tests/benches.
+  T ValueOrDie() && {
+    status_.Abort();
+    return std::move(*value_);
+  }
+  const T& ValueOrDie() const& {
+    status_.Abort();
+    return *value_;
+  }
+
+  /// Returns the value or `fallback` if this result is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace seagull

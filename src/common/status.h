@@ -1,0 +1,158 @@
+/// \file status.h
+/// \brief Error propagation primitives for the Seagull library.
+///
+/// Seagull follows the Arrow/RocksDB idiom: no exceptions cross public API
+/// boundaries. Fallible operations return a `Status`, or a `Result<T>`
+/// (see result.h) when they also produce a value.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace seagull {
+
+/// \brief Machine-readable category of a `Status`.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kDataLoss = 6,
+  kIOError = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+  kCancelled = 10,
+  kResourceExhausted = 11,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no allocation; error statuses allocate a small
+/// state block. `Status` is cheap to move and to copy-on-OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \name Factory helpers, one per code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const noexcept { return state_ == nullptr; }
+  StatusCode code() const noexcept {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const noexcept {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Renders e.g. `"Invalid: bucket ratio threshold must be in [0,1]"`.
+  std::string ToString() const;
+
+  /// Prepends context to the message, keeping the code. No-op on OK.
+  Status WithContext(const std::string& context) const;
+
+  /// Aborts the process with the status message if not OK. For use in
+  /// tests, examples, and benches where an error is a programming bug.
+  void Abort() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace seagull
+
+/// Propagates a non-OK status to the caller.
+#define SEAGULL_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::seagull::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#define SEAGULL_CONCAT_IMPL(a, b) a##b
+#define SEAGULL_CONCAT(a, b) SEAGULL_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression, propagating errors; on success binds
+/// the value to `lhs`. Usage: SEAGULL_ASSIGN_OR_RETURN(auto v, Foo());
+#define SEAGULL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SEAGULL_ASSIGN_OR_RETURN_IMPL(                                    \
+      SEAGULL_CONCAT(_seagull_result_, __LINE__), lhs, rexpr)
+
+#define SEAGULL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto&& tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueUnsafe()

@@ -1,0 +1,47 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace seagull {
+
+const char* DayOfWeekName(DayOfWeek d) {
+  switch (d) {
+    case DayOfWeek::kMonday:
+      return "Monday";
+    case DayOfWeek::kTuesday:
+      return "Tuesday";
+    case DayOfWeek::kWednesday:
+      return "Wednesday";
+    case DayOfWeek::kThursday:
+      return "Thursday";
+    case DayOfWeek::kFriday:
+      return "Friday";
+    case DayOfWeek::kSaturday:
+      return "Saturday";
+    case DayOfWeek::kSunday:
+      return "Sunday";
+  }
+  return "Unknown";
+}
+
+std::string FormatMinute(MinuteStamp t) {
+  const int64_t week = WeekIndex(t);
+  const char* day = DayOfWeekName(DayOfWeekOf(t));
+  const int64_t mod = MinuteOfDay(t);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "W%lld %.3s %02lld:%02lld",
+                static_cast<long long>(week), day,
+                static_cast<long long>(mod / kMinutesPerHour),
+                static_cast<long long>(mod % kMinutesPerHour));
+  return buf;
+}
+
+std::string FormatTimeOfDay(int64_t minute_of_day) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld",
+                static_cast<long long>(minute_of_day / kMinutesPerHour),
+                static_cast<long long>(minute_of_day % kMinutesPerHour));
+  return buf;
+}
+
+}  // namespace seagull

@@ -1,0 +1,86 @@
+/// \file time.h
+/// \brief Simulation calendar: a minute-resolution clock on a fixed epoch.
+///
+/// Seagull telemetry is a regular grid of load samples (5 minutes apart for
+/// PostgreSQL/MySQL servers, 15 minutes for SQL databases, §A.1). All
+/// timestamps in the library are minutes since the simulation epoch, which
+/// is defined to fall on a Monday at 00:00 so that day-of-week arithmetic
+/// is pure modular arithmetic.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace seagull {
+
+/// Minutes since the simulation epoch (Monday 00:00).
+using MinuteStamp = int64_t;
+
+inline constexpr int64_t kMinutesPerHour = 60;
+inline constexpr int64_t kMinutesPerDay = 24 * kMinutesPerHour;
+inline constexpr int64_t kMinutesPerWeek = 7 * kMinutesPerDay;
+
+/// Telemetry granularity for PostgreSQL/MySQL servers (§2.2).
+inline constexpr int64_t kServerIntervalMinutes = 5;
+/// Telemetry granularity for SQL databases (§A.1).
+inline constexpr int64_t kSqlIntervalMinutes = 15;
+
+/// Samples per day at a given granularity.
+constexpr int64_t TicksPerDay(int64_t interval_minutes) {
+  return kMinutesPerDay / interval_minutes;
+}
+
+/// Days of the week; the epoch falls on a Monday.
+enum class DayOfWeek : int8_t {
+  kMonday = 0,
+  kTuesday = 1,
+  kWednesday = 2,
+  kThursday = 3,
+  kFriday = 4,
+  kSaturday = 5,
+  kSunday = 6,
+};
+
+/// \brief Stable display name, e.g. "Monday".
+const char* DayOfWeekName(DayOfWeek d);
+
+/// Day number since epoch (day 0 starts at minute 0).
+constexpr int64_t DayIndex(MinuteStamp t) {
+  return t >= 0 ? t / kMinutesPerDay
+                : (t - (kMinutesPerDay - 1)) / kMinutesPerDay;
+}
+
+/// Week number since epoch.
+constexpr int64_t WeekIndex(MinuteStamp t) {
+  return t >= 0 ? t / kMinutesPerWeek
+                : (t - (kMinutesPerWeek - 1)) / kMinutesPerWeek;
+}
+
+/// First minute of the day containing `t`.
+constexpr MinuteStamp StartOfDay(MinuteStamp t) {
+  return DayIndex(t) * kMinutesPerDay;
+}
+
+/// First minute of the week containing `t`.
+constexpr MinuteStamp StartOfWeek(MinuteStamp t) {
+  return WeekIndex(t) * kMinutesPerWeek;
+}
+
+/// Minute offset within the day, in [0, 1440).
+constexpr int64_t MinuteOfDay(MinuteStamp t) { return t - StartOfDay(t); }
+
+/// Day of week of the day containing `t`.
+constexpr DayOfWeek DayOfWeekOf(MinuteStamp t) {
+  int64_t d = DayIndex(t) % 7;
+  if (d < 0) d += 7;
+  return static_cast<DayOfWeek>(d);
+}
+
+/// Renders `t` as e.g. "W2 Tue 14:35" for logs and dashboards.
+std::string FormatMinute(MinuteStamp t);
+
+/// Renders a minute-of-day offset as "HH:MM".
+std::string FormatTimeOfDay(int64_t minute_of_day);
+
+}  // namespace seagull

@@ -1,0 +1,244 @@
+#include "forecast/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "timeseries/resample.h"
+
+namespace seagull {
+
+namespace {
+
+/// Applies `d` rounds of first differencing.
+std::vector<double> Difference(std::vector<double> x, int d) {
+  for (int round = 0; round < d; ++round) {
+    if (x.size() <= 1) {
+      x.clear();
+      break;
+    }
+    for (size_t i = x.size() - 1; i >= 1; --i) x[i] -= x[i - 1];
+    x.erase(x.begin());
+  }
+  return x;
+}
+
+/// Conditional sum of squares of an ARMA(p,q) with parameters
+/// params = [c, phi_1..phi_p, theta_1..theta_q].
+double CssLoss(const std::vector<double>& z, int p, int q,
+               const std::vector<double>& params) {
+  const int64_t n = static_cast<int64_t>(z.size());
+  const int64_t warm = std::max(p, q);
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+  double sse = 0.0;
+  for (int64_t t = warm; t < n; ++t) {
+    double pred = params[0];
+    for (int i = 1; i <= p; ++i) {
+      pred += params[static_cast<size_t>(i)] * z[static_cast<size_t>(t - i)];
+    }
+    for (int j = 1; j <= q; ++j) {
+      pred += params[static_cast<size_t>(p + j)] *
+              e[static_cast<size_t>(t - j)];
+    }
+    double err = z[static_cast<size_t>(t)] - pred;
+    e[static_cast<size_t>(t)] = err;
+    sse += err * err;
+  }
+  return sse;
+}
+
+/// Projects AR coefficients into a (loosely) stationary region.
+void ProjectStationary(std::vector<double>* params, int p) {
+  double sum = 0.0;
+  for (int i = 1; i <= p; ++i) sum += std::fabs((*params)[static_cast<size_t>(i)]);
+  if (sum > 0.98) {
+    double scale = 0.98 / sum;
+    for (int i = 1; i <= p; ++i) (*params)[static_cast<size_t>(i)] *= scale;
+  }
+}
+
+}  // namespace
+
+Status ArimaForecast::Fit(const LoadSeries& train) {
+  if (train.CountPresent() < 32) {
+    return Status::FailedPrecondition("ARIMA needs training history");
+  }
+  const LoadSeries filled = InterpolateMissing(train);
+  interval_ = filled.interval_minutes();
+  std::vector<double> x = filled.values();
+
+  double best_aic = std::numeric_limits<double>::infinity();
+  // pmdarima-style exhaustive order search: this loop is the documented
+  // reason ARIMA was excluded from production (§2.1).
+  for (int d = 0; d <= options_.max_d; ++d) {
+    std::vector<double> z = Difference(x, d);
+    const int64_t n = static_cast<int64_t>(z.size());
+    if (n < 16) continue;
+    for (int p = 0; p <= options_.max_p; ++p) {
+      for (int q = 0; q <= options_.max_q; ++q) {
+        if (p == 0 && q == 0 && d == 0) continue;
+        const int np = 1 + p + q;
+        std::vector<double> params(static_cast<size_t>(np), 0.0);
+        // Warm start: small positive AR(1)-ish prior.
+        if (p > 0) params[1] = 0.5;
+        // Adam on a central-difference numeric gradient.
+        std::vector<double> m(params.size(), 0.0), v(params.size(), 0.0);
+        const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+        const double h = 1e-4;
+        for (int64_t it = 0; it < options_.iterations; ++it) {
+          for (size_t k = 0; k < params.size(); ++k) {
+            double orig = params[k];
+            params[k] = orig + h;
+            double up = CssLoss(z, p, q, params);
+            params[k] = orig - h;
+            double dn = CssLoss(z, p, q, params);
+            params[k] = orig;
+            double g = (up - dn) / (2 * h);
+            m[k] = b1 * m[k] + (1 - b1) * g;
+            v[k] = b2 * v[k] + (1 - b2) * g * g;
+            double mh = m[k] / (1 - std::pow(b1, static_cast<double>(it + 1)));
+            double vh = v[k] / (1 - std::pow(b2, static_cast<double>(it + 1)));
+            params[k] -= options_.learning_rate * mh / (std::sqrt(vh) + eps);
+          }
+          ProjectStationary(&params, p);
+        }
+        double sse = CssLoss(z, p, q, params);
+        int64_t eff = n - std::max(p, q);
+        if (eff <= np + 1 || sse <= 0) continue;
+        double aic = static_cast<double>(eff) *
+                         std::log(sse / static_cast<double>(eff)) +
+                     2.0 * static_cast<double>(np);
+        if (aic < best_aic) {
+          best_aic = aic;
+          p_ = p;
+          d_ = d;
+          q_ = q;
+          c_ = params[0];
+          phi_.assign(params.begin() + 1, params.begin() + 1 + p);
+          theta_.assign(params.begin() + 1 + p, params.end());
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best_aic)) {
+    return Status::Internal("ARIMA order search failed");
+  }
+  aic_ = best_aic;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<LoadSeries> ArimaForecast::Forecast(const LoadSeries& recent,
+                                           MinuteStamp start,
+                                           int64_t horizon_minutes) const {
+  if (!fitted_) return Status::FailedPrecondition("ARIMA is not fitted");
+  if (start % interval_ != 0 || horizon_minutes % interval_ != 0) {
+    return Status::Invalid("forecast range must be grid-aligned");
+  }
+  // Condition on the last two days of history.
+  LoadSeries ctx = InterpolateMissing(
+      recent.Slice(start - 2 * kMinutesPerDay, start));
+  if (ctx.size() < 8) {
+    return Status::FailedPrecondition("ARIMA forecast needs recent history");
+  }
+  std::vector<double> x = ctx.values();
+  std::vector<double> z = Difference(x, d_);
+  const int64_t n = static_cast<int64_t>(z.size());
+
+  // Reconstruct in-sample residuals for the MA part.
+  const int64_t warm = std::max(p_, q_);
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+  for (int64_t t = warm; t < n; ++t) {
+    double pred = c_;
+    for (int i = 1; i <= p_; ++i) {
+      pred += phi_[static_cast<size_t>(i - 1)] * z[static_cast<size_t>(t - i)];
+    }
+    for (int j = 1; j <= q_; ++j) {
+      pred += theta_[static_cast<size_t>(j - 1)] *
+              e[static_cast<size_t>(t - j)];
+    }
+    e[static_cast<size_t>(t)] = z[static_cast<size_t>(t)] - pred;
+  }
+
+  const int64_t steps = horizon_minutes / interval_;
+  std::vector<double> zf = z, ef = e;
+  std::vector<double> out(static_cast<size_t>(steps), 0.0);
+  // Last levels for inverting the differencing.
+  double last_level = x.empty() ? 0.0 : x.back();
+  for (int64_t s = 0; s < steps; ++s) {
+    int64_t t = n + s;
+    double pred = c_;
+    for (int i = 1; i <= p_; ++i) {
+      int64_t idx = t - i;
+      double zv = idx < static_cast<int64_t>(zf.size())
+                      ? zf[static_cast<size_t>(idx)]
+                      : 0.0;
+      pred += phi_[static_cast<size_t>(i - 1)] * zv;
+    }
+    for (int j = 1; j <= q_; ++j) {
+      int64_t idx = t - j;
+      double ev = idx < static_cast<int64_t>(ef.size())
+                      ? ef[static_cast<size_t>(idx)]
+                      : 0.0;
+      pred += theta_[static_cast<size_t>(j - 1)] * ev;
+    }
+    zf.push_back(pred);
+    ef.push_back(0.0);  // expected future shocks are zero
+    double level = d_ == 0 ? pred : last_level + pred;
+    if (d_ > 0) last_level = level;
+    out[static_cast<size_t>(s)] = std::clamp(level, 0.0, 200.0);
+  }
+  return LoadSeries::Make(start, interval_, std::move(out));
+}
+
+Result<Json> ArimaForecast::Serialize() const {
+  if (!fitted_) return Status::FailedPrecondition("serialize before fit");
+  Json doc = Json::MakeObject();
+  doc["model"] = name();
+  doc["interval"] = interval_;
+  doc["p"] = p_;
+  doc["d"] = d_;
+  doc["q"] = q_;
+  doc["c"] = c_;
+  doc["aic"] = aic_;
+  Json phi = Json::MakeArray();
+  for (double v : phi_) phi.Append(v);
+  doc["phi"] = std::move(phi);
+  Json theta = Json::MakeArray();
+  for (double v : theta_) theta.Append(v);
+  doc["theta"] = std::move(theta);
+  return doc;
+}
+
+Status ArimaForecast::Deserialize(const Json& doc) {
+  SEAGULL_ASSIGN_OR_RETURN(double interval, doc.GetNumber("interval"));
+  SEAGULL_ASSIGN_OR_RETURN(double p, doc.GetNumber("p"));
+  SEAGULL_ASSIGN_OR_RETURN(double d, doc.GetNumber("d"));
+  SEAGULL_ASSIGN_OR_RETURN(double q, doc.GetNumber("q"));
+  SEAGULL_ASSIGN_OR_RETURN(c_, doc.GetNumber("c"));
+  SEAGULL_ASSIGN_OR_RETURN(aic_, doc.GetNumber("aic"));
+  interval_ = static_cast<int64_t>(interval);
+  p_ = static_cast<int>(p);
+  d_ = static_cast<int>(d);
+  q_ = static_cast<int>(q);
+  auto load = [&doc](const char* key, std::vector<double>* w) -> Status {
+    const Json& arr = doc[key];
+    if (!arr.is_array()) return Status::Invalid("missing coefficient array");
+    w->clear();
+    for (const auto& v : arr.AsArray()) {
+      if (!v.is_number()) return Status::Invalid("non-numeric coefficient");
+      w->push_back(v.AsDouble());
+    }
+    return Status::OK();
+  };
+  SEAGULL_RETURN_NOT_OK(load("phi", &phi_));
+  SEAGULL_RETURN_NOT_OK(load("theta", &theta_));
+  if (static_cast<int>(phi_.size()) != p_ ||
+      static_cast<int>(theta_.size()) != q_) {
+    return Status::Invalid("ARIMA order/coefficient mismatch");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace seagull

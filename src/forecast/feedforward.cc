@@ -1,0 +1,283 @@
+#include "forecast/feedforward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/resample.h"
+
+namespace seagull {
+
+namespace {
+
+/// Average-pools `raw` (one value per raw tick) into `bins` equal bins.
+std::vector<double> Pool(const std::vector<double>& raw, int64_t bins) {
+  std::vector<double> out(static_cast<size_t>(bins), 0.0);
+  const int64_t per = static_cast<int64_t>(raw.size()) / bins;
+  for (int64_t b = 0; b < bins; ++b) {
+    double sum = 0.0;
+    for (int64_t k = 0; k < per; ++k) {
+      sum += raw[static_cast<size_t>(b * per + k)];
+    }
+    out[static_cast<size_t>(b)] = sum / static_cast<double>(per);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status FeedForwardForecast::Fit(const LoadSeries& train) {
+  const LoadSeries filled = InterpolateMissing(train);
+  interval_ = filled.interval_minutes();
+  const int64_t ticks_day = filled.ticks_per_day();
+  const int64_t in_dim = options_.pooled_per_day;
+  const int64_t out_dim = options_.pooled_per_day;
+  const int64_t hidden = options_.hidden;
+  if (ticks_day % in_dim != 0) {
+    return Status::Invalid("pooled_per_day must divide samples per day");
+  }
+  if (filled.size() < 2 * ticks_day + 1) {
+    return Status::FailedPrecondition(
+        "feed-forward training needs at least two days of history");
+  }
+
+  // Build sliding (context day -> next day) training pairs.
+  std::vector<std::vector<double>> xs, ys;
+  for (int64_t off = 0; off + 2 * ticks_day <= filled.size();
+       off += options_.stride) {
+    std::vector<double> ctx(static_cast<size_t>(ticks_day));
+    std::vector<double> nxt(static_cast<size_t>(ticks_day));
+    for (int64_t i = 0; i < ticks_day; ++i) {
+      ctx[static_cast<size_t>(i)] = filled.ValueAt(off + i) / scale_;
+      nxt[static_cast<size_t>(i)] =
+          filled.ValueAt(off + ticks_day + i) / scale_;
+    }
+    xs.push_back(Pool(ctx, in_dim));
+    ys.push_back(Pool(nxt, out_dim));
+  }
+  const int64_t m = static_cast<int64_t>(xs.size());
+  if (m == 0) return Status::FailedPrecondition("no training windows");
+
+  // He-initialized parameters.
+  Rng rng(options_.seed);
+  auto init = [&rng](std::vector<double>* w, int64_t n, double fan_in) {
+    w->resize(static_cast<size_t>(n));
+    double s = std::sqrt(2.0 / fan_in);
+    for (auto& v : *w) v = rng.Gaussian(0.0, s);
+  };
+  init(&w1_, hidden * in_dim, static_cast<double>(in_dim));
+  b1_.assign(static_cast<size_t>(hidden), 0.0);
+  init(&w2_, out_dim * hidden, static_cast<double>(hidden));
+  b2_.assign(static_cast<size_t>(out_dim), 0.0);
+
+  // Adam state.
+  const size_t np = w1_.size() + b1_.size() + w2_.size() + b2_.size();
+  std::vector<double> m1(np, 0.0), v1(np, 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  const double lr = options_.learning_rate;
+
+  std::vector<double> g_w1(w1_.size()), g_b1(b1_.size()), g_w2(w2_.size()),
+      g_b2(b2_.size());
+  std::vector<double> h(static_cast<size_t>(hidden));
+  std::vector<double> pre(static_cast<size_t>(hidden));
+  std::vector<double> yhat(static_cast<size_t>(out_dim));
+  std::vector<double> dy(static_cast<size_t>(out_dim));
+  std::vector<double> dh(static_cast<size_t>(hidden));
+
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(g_w1.begin(), g_w1.end(), 0.0);
+    std::fill(g_b1.begin(), g_b1.end(), 0.0);
+    std::fill(g_w2.begin(), g_w2.end(), 0.0);
+    std::fill(g_b2.begin(), g_b2.end(), 0.0);
+    double loss = 0.0;
+    for (int64_t s = 0; s < m; ++s) {
+      const auto& x = xs[static_cast<size_t>(s)];
+      const auto& y = ys[static_cast<size_t>(s)];
+      // Forward.
+      for (int64_t j = 0; j < hidden; ++j) {
+        double a = b1_[static_cast<size_t>(j)];
+        for (int64_t i = 0; i < in_dim; ++i) {
+          a += w1_[static_cast<size_t>(j * in_dim + i)] *
+               x[static_cast<size_t>(i)];
+        }
+        pre[static_cast<size_t>(j)] = a;
+        h[static_cast<size_t>(j)] = a > 0 ? a : 0.0;
+      }
+      for (int64_t o = 0; o < out_dim; ++o) {
+        double a = b2_[static_cast<size_t>(o)];
+        for (int64_t j = 0; j < hidden; ++j) {
+          a += w2_[static_cast<size_t>(o * hidden + j)] *
+               h[static_cast<size_t>(j)];
+        }
+        yhat[static_cast<size_t>(o)] = a;
+        double d = a - y[static_cast<size_t>(o)];
+        dy[static_cast<size_t>(o)] = d;
+        loss += d * d;
+      }
+      // Backward.
+      std::fill(dh.begin(), dh.end(), 0.0);
+      for (int64_t o = 0; o < out_dim; ++o) {
+        double d = dy[static_cast<size_t>(o)];
+        g_b2[static_cast<size_t>(o)] += d;
+        for (int64_t j = 0; j < hidden; ++j) {
+          g_w2[static_cast<size_t>(o * hidden + j)] +=
+              d * h[static_cast<size_t>(j)];
+          dh[static_cast<size_t>(j)] +=
+              d * w2_[static_cast<size_t>(o * hidden + j)];
+        }
+      }
+      for (int64_t j = 0; j < hidden; ++j) {
+        if (pre[static_cast<size_t>(j)] <= 0) continue;
+        double d = dh[static_cast<size_t>(j)];
+        g_b1[static_cast<size_t>(j)] += d;
+        for (int64_t i = 0; i < in_dim; ++i) {
+          g_w1[static_cast<size_t>(j * in_dim + i)] +=
+              d * x[static_cast<size_t>(i)];
+        }
+      }
+    }
+    train_loss_ = loss / static_cast<double>(m * out_dim);
+
+    // Adam update over the concatenated parameter vector.
+    ++step;
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+    size_t k = 0;
+    auto update = [&](std::vector<double>* w, const std::vector<double>& g) {
+      const double inv_m = 1.0 / static_cast<double>(m);
+      for (size_t i = 0; i < w->size(); ++i, ++k) {
+        double grad = g[i] * inv_m;
+        m1[k] = beta1 * m1[k] + (1 - beta1) * grad;
+        v1[k] = beta2 * v1[k] + (1 - beta2) * grad * grad;
+        (*w)[i] -= lr * (m1[k] / bc1) / (std::sqrt(v1[k] / bc2) + eps);
+      }
+    };
+    update(&w1_, g_w1);
+    update(&b1_, g_b1);
+    update(&w2_, g_w2);
+    update(&b2_, g_b2);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> FeedForwardForecast::Apply(
+    const std::vector<double>& input) const {
+  const int64_t in_dim = options_.pooled_per_day;
+  const int64_t out_dim = options_.pooled_per_day;
+  const int64_t hidden = options_.hidden;
+  std::vector<double> h(static_cast<size_t>(hidden));
+  for (int64_t j = 0; j < hidden; ++j) {
+    double a = b1_[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < in_dim; ++i) {
+      a += w1_[static_cast<size_t>(j * in_dim + i)] *
+           input[static_cast<size_t>(i)];
+    }
+    h[static_cast<size_t>(j)] = a > 0 ? a : 0.0;
+  }
+  std::vector<double> y(static_cast<size_t>(out_dim));
+  for (int64_t o = 0; o < out_dim; ++o) {
+    double a = b2_[static_cast<size_t>(o)];
+    for (int64_t j = 0; j < hidden; ++j) {
+      a += w2_[static_cast<size_t>(o * hidden + j)] *
+           h[static_cast<size_t>(j)];
+    }
+    y[static_cast<size_t>(o)] = a;
+  }
+  return y;
+}
+
+Result<LoadSeries> FeedForwardForecast::Forecast(
+    const LoadSeries& recent, MinuteStamp start,
+    int64_t horizon_minutes) const {
+  if (!fitted_) return Status::FailedPrecondition("network is not fitted");
+  const int64_t interval = interval_;
+  if (start % interval != 0 || horizon_minutes % interval != 0) {
+    return Status::Invalid("forecast range must be grid-aligned");
+  }
+  const int64_t ticks_day = TicksPerDay(interval);
+  LoadSeries ctx_series = InterpolateMissing(
+      recent.Slice(start - kMinutesPerDay, start));
+  if (ctx_series.size() < ticks_day) {
+    return Status::FailedPrecondition("need one day of context");
+  }
+  std::vector<double> ctx(static_cast<size_t>(ticks_day));
+  for (int64_t i = 0; i < ticks_day; ++i) {
+    double v = ctx_series.ValueAtTime(start - (ticks_day - i) * interval);
+    ctx[static_cast<size_t>(i)] = IsMissing(v) ? 0.0 : v / scale_;
+  }
+
+  const int64_t steps = horizon_minutes / interval;
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(steps));
+  // Roll forward one day at a time, feeding predictions back for
+  // multi-day horizons.
+  while (static_cast<int64_t>(out.size()) < steps) {
+    std::vector<double> pooled = Pool(ctx, options_.pooled_per_day);
+    std::vector<double> pred = Apply(pooled);
+    // Upsample pooled predictions back to the raw grid (step function —
+    // the LL-window metrics average over windows anyway).
+    const int64_t per = ticks_day / options_.pooled_per_day;
+    std::vector<double> day(static_cast<size_t>(ticks_day));
+    for (int64_t i = 0; i < ticks_day; ++i) {
+      double v = pred[static_cast<size_t>(i / per)] * scale_;
+      day[static_cast<size_t>(i)] = std::clamp(v, 0.0, 200.0);
+    }
+    for (int64_t i = 0;
+         i < ticks_day && static_cast<int64_t>(out.size()) < steps; ++i) {
+      out.push_back(day[static_cast<size_t>(i)]);
+    }
+    for (int64_t i = 0; i < ticks_day; ++i) {
+      ctx[static_cast<size_t>(i)] = day[static_cast<size_t>(i)] / scale_;
+    }
+  }
+  return LoadSeries::Make(start, interval, std::move(out));
+}
+
+Result<Json> FeedForwardForecast::Serialize() const {
+  if (!fitted_) return Status::FailedPrecondition("serialize before fit");
+  Json doc = Json::MakeObject();
+  doc["model"] = name();
+  doc["interval"] = interval_;
+  doc["pooled"] = options_.pooled_per_day;
+  doc["hidden"] = options_.hidden;
+  doc["scale"] = scale_;
+  auto dump = [](const std::vector<double>& w) {
+    Json arr = Json::MakeArray();
+    for (double v : w) arr.Append(v);
+    return arr;
+  };
+  doc["w1"] = dump(w1_);
+  doc["b1"] = dump(b1_);
+  doc["w2"] = dump(w2_);
+  doc["b2"] = dump(b2_);
+  return doc;
+}
+
+Status FeedForwardForecast::Deserialize(const Json& doc) {
+  SEAGULL_ASSIGN_OR_RETURN(double interval, doc.GetNumber("interval"));
+  SEAGULL_ASSIGN_OR_RETURN(double pooled, doc.GetNumber("pooled"));
+  SEAGULL_ASSIGN_OR_RETURN(double hidden, doc.GetNumber("hidden"));
+  SEAGULL_ASSIGN_OR_RETURN(scale_, doc.GetNumber("scale"));
+  interval_ = static_cast<int64_t>(interval);
+  options_.pooled_per_day = static_cast<int64_t>(pooled);
+  options_.hidden = static_cast<int64_t>(hidden);
+  auto load = [&doc](const char* key, std::vector<double>* w) -> Status {
+    const Json& arr = doc[key];
+    if (!arr.is_array()) return Status::Invalid("missing weights");
+    w->clear();
+    for (const auto& v : arr.AsArray()) {
+      if (!v.is_number()) return Status::Invalid("non-numeric weight");
+      w->push_back(v.AsDouble());
+    }
+    return Status::OK();
+  };
+  SEAGULL_RETURN_NOT_OK(load("w1", &w1_));
+  SEAGULL_RETURN_NOT_OK(load("b1", &b1_));
+  SEAGULL_RETURN_NOT_OK(load("w2", &w2_));
+  SEAGULL_RETURN_NOT_OK(load("b2", &b2_));
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace seagull

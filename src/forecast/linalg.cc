@@ -1,0 +1,278 @@
+#include "forecast/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace seagull {
+
+std::vector<double> Matrix::Column(int64_t c) const {
+  std::vector<double> out(static_cast<size_t>(rows_));
+  for (int64_t r = 0; r < rows_; ++r) out[static_cast<size_t>(r)] = At(r, c);
+  return out;
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::Invalid("matmul shape mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      for (int64_t j = 0; j < b.cols(); ++j) {
+        c.At(i, j) += aik * b.At(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) t.At(j, i) = a.At(i, j);
+  }
+  return t;
+}
+
+Result<std::vector<double>> MatVec(const Matrix& a,
+                                   const std::vector<double>& x) {
+  if (a.cols() != static_cast<int64_t>(x.size())) {
+    return Status::Invalid("matvec shape mismatch");
+  }
+  std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      sum += a.At(i, j) * x[static_cast<size_t>(j)];
+    }
+    y[static_cast<size_t>(i)] = sum;
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Result<std::vector<double>> CholeskySolve(Matrix a, std::vector<double> b) {
+  const int64_t n = a.rows();
+  if (a.cols() != n || static_cast<int64_t>(b.size()) != n) {
+    return Status::Invalid("cholesky shape mismatch");
+  }
+  // Factor A = L Lᵀ in the lower triangle of `a`.
+  for (int64_t j = 0; j < n; ++j) {
+    double d = a.At(j, j);
+    for (int64_t k = 0; k < j; ++k) d -= a.At(j, k) * a.At(j, k);
+    if (d <= 0.0) {
+      return Status::Invalid("matrix is not positive definite");
+    }
+    d = std::sqrt(d);
+    a.At(j, j) = d;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double s = a.At(i, j);
+      for (int64_t k = 0; k < j; ++k) s -= a.At(i, k) * a.At(j, k);
+      a.At(i, j) = s / d;
+    }
+  }
+  // Forward solve L y = b.
+  for (int64_t i = 0; i < n; ++i) {
+    double s = b[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < i; ++k) s -= a.At(i, k) * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(i)] = s / a.At(i, i);
+  }
+  // Back solve Lᵀ x = y.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double s = b[static_cast<size_t>(i)];
+    for (int64_t k = i + 1; k < n; ++k) {
+      s -= a.At(k, i) * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = s / a.At(i, i);
+  }
+  return b;
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double ridge) {
+  if (a.rows() != static_cast<int64_t>(b.size())) {
+    return Status::Invalid("least-squares shape mismatch");
+  }
+  const int64_t n = a.cols();
+  Matrix ata(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t r = 0; r < a.rows(); ++r) s += a.At(r, i) * a.At(r, j);
+      ata.At(i, j) = s;
+      ata.At(j, i) = s;
+    }
+    ata.At(i, i) += ridge;
+  }
+  std::vector<double> atb(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      s += a.At(r, i) * b[static_cast<size_t>(r)];
+    }
+    atb[static_cast<size_t>(i)] = s;
+  }
+  auto solved = CholeskySolve(std::move(ata), std::move(atb));
+  if (!solved.ok()) {
+    return solved.status().WithContext("normal equations are singular");
+  }
+  return solved;
+}
+
+Result<SvdResult> JacobiSvd(const Matrix& a, int max_sweeps) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  if (m < n) return Status::Invalid("JacobiSvd requires rows >= cols");
+
+  Matrix u = a;  // will become U * diag(S)
+  Matrix v = Matrix::Identity(n);
+
+  const double eps = 1e-12;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (int64_t r = 0; r < m; ++r) {
+          double up = u.At(r, p), uq = u.At(r, q);
+          alpha += up * up;
+          beta += uq * uq;
+          gamma += up * uq;
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta) ||
+            alpha * beta == 0.0) {
+          continue;
+        }
+        converged = false;
+        double zeta = (beta - alpha) / (2.0 * gamma);
+        double t = (zeta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = c * t;
+        for (int64_t r = 0; r < m; ++r) {
+          double up = u.At(r, p), uq = u.At(r, q);
+          u.At(r, p) = c * up - s * uq;
+          u.At(r, q) = s * up + c * uq;
+        }
+        for (int64_t r = 0; r < n; ++r) {
+          double vp = v.At(r, p), vq = v.At(r, q);
+          v.At(r, p) = c * vp - s * vq;
+          v.At(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Extract singular values and normalize U's columns.
+  SvdResult out;
+  out.s.resize(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (int64_t r = 0; r < m; ++r) norm += u.At(r, j) * u.At(r, j);
+    norm = std::sqrt(norm);
+    out.s[static_cast<size_t>(j)] = norm;
+    if (norm > 0) {
+      for (int64_t r = 0; r < m; ++r) u.At(r, j) /= norm;
+    }
+  }
+
+  // Sort by singular value, descending.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return out.s[static_cast<size_t>(x)] > out.s[static_cast<size_t>(y)];
+  });
+  Matrix su(m, n), sv(n, n);
+  std::vector<double> ss(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    int64_t src = order[static_cast<size_t>(j)];
+    ss[static_cast<size_t>(j)] = out.s[static_cast<size_t>(src)];
+    for (int64_t r = 0; r < m; ++r) su.At(r, j) = u.At(r, src);
+    for (int64_t r = 0; r < n; ++r) sv.At(r, j) = v.At(r, src);
+  }
+  out.u = std::move(su);
+  out.v = std::move(sv);
+  out.s = std::move(ss);
+  return out;
+}
+
+Result<EigenResult> SymmetricEigen(Matrix a, int max_sweeps) {
+  const int64_t n = a.rows();
+  if (a.cols() != n) return Status::Invalid("matrix is not square");
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius norm as the convergence measure.
+    double off = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) off += a.At(i, j) * a.At(i, j);
+    }
+    if (off < 1e-20) break;
+
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = a.At(p, q);
+        if (std::fabs(apq) < 1e-18) continue;
+        double app = a.At(p, p), aqq = a.At(q, q);
+        double tau = (aqq - app) / (2.0 * apq);
+        double t = (tau >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = c * t;
+        // Apply the rotation J(p,q,θ) on both sides: A ← JᵀAJ.
+        for (int64_t k = 0; k < n; ++k) {
+          double akp = a.At(k, p), akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double apk = a.At(p, k), aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p), vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by eigenvalue, descending.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return a.At(x, x) > a.At(y, y);
+  });
+  EigenResult out;
+  out.values.resize(static_cast<size_t>(n));
+  out.vectors = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    int64_t src = order[static_cast<size_t>(j)];
+    out.values[static_cast<size_t>(j)] = a.At(src, src);
+    for (int64_t r = 0; r < n; ++r) {
+      out.vectors.At(r, j) = v.At(r, src);
+    }
+  }
+  return out;
+}
+
+}  // namespace seagull

@@ -1,0 +1,99 @@
+/// \file linalg.h
+/// \brief Small dense linear algebra kernel for the forecast models.
+///
+/// SSA needs an SVD of the trajectory matrix; the additive model and
+/// ARIMA need least-squares solves; the feed-forward network needs
+/// matrix products. Everything here is straightforward row-major double
+/// math — model inputs are at most a few thousand samples, so clarity
+/// beats blocking.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace seagull {
+
+/// \brief Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& At(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double At(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Extracts column `c` as a vector.
+  std::vector<double> Column(int64_t c) const;
+
+  static Matrix Identity(int64_t n);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b);
+
+/// Aᵀ.
+Matrix Transpose(const Matrix& a);
+
+/// y = A * x.
+Result<std::vector<double>> MatVec(const Matrix& a,
+                                   const std::vector<double>& x);
+
+/// Dot product.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky. Fails if A is not SPD (within tolerance).
+Result<std::vector<double>> CholeskySolve(Matrix a, std::vector<double> b);
+
+/// Solves min ‖A x − b‖² + ridge‖x‖² via the normal equations.
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double ridge = 0.0);
+
+/// \brief Thin SVD result: A = U diag(S) Vᵀ with singular values in
+/// non-increasing order.
+struct SvdResult {
+  Matrix u;               ///< m×n, orthonormal columns
+  std::vector<double> s;  ///< n singular values, descending
+  Matrix v;               ///< n×n orthogonal
+};
+
+/// One-sided Jacobi SVD of an m×n matrix with m >= n. Iterates until
+/// column pairs are orthogonal to machine-precision scale or the sweep
+/// limit is hit.
+Result<SvdResult> JacobiSvd(const Matrix& a, int max_sweeps = 60);
+
+/// \brief Eigendecomposition of a symmetric matrix: A = V diag(λ) Vᵀ
+/// with eigenvalues in non-increasing order.
+struct EigenResult {
+  Matrix vectors;             ///< n×n, column j is the j-th eigenvector
+  std::vector<double> values; ///< n eigenvalues, descending
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric n×n matrix. Used by
+/// SSA, which only needs the lag-space (right) singular vectors — the
+/// eigenvectors of AᵀA — making fitting O(K·L² + L³) instead of a full
+/// SVD of the K×L trajectory matrix.
+Result<EigenResult> SymmetricEigen(Matrix a, int max_sweeps = 100);
+
+}  // namespace seagull

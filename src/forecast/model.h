@@ -1,0 +1,86 @@
+/// \file model.h
+/// \brief Pluggable forecast-model interface (§2.1: "any ML model can be
+/// plugged in") plus the model factory used by deployment and tracking.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// \brief A trained (or heuristic) per-server load forecaster.
+///
+/// Lifecycle: construct → `Fit` on training history → `Forecast` any
+/// number of times. `Forecast` additionally receives the most recent
+/// telemetry so that autoregressive models (and the persistent-forecast
+/// heuristics, which have no parameters at all) can condition on it.
+class ForecastModel {
+ public:
+  virtual ~ForecastModel() = default;
+
+  /// Stable model-family name, e.g. "persistent_prev_day" or "ssa".
+  virtual std::string name() const = 0;
+
+  /// False for the persistent-forecast heuristics, which have no
+  /// training phase (§5.3.3).
+  virtual bool requires_training() const { return true; }
+
+  /// Estimates parameters from training history. Implementations must
+  /// tolerate missing samples.
+  virtual Status Fit(const LoadSeries& train) = 0;
+
+  /// Predicts load on [start, start + horizon_minutes) at the history's
+  /// granularity. `recent` is the telemetry available up to `start`.
+  virtual Result<LoadSeries> Forecast(const LoadSeries& recent,
+                                      MinuteStamp start,
+                                      int64_t horizon_minutes) const = 0;
+
+  /// Serializes fitted parameters for deployment (model registry, REST
+  /// endpoint analog). The JSON must round-trip through the factory.
+  virtual Result<Json> Serialize() const = 0;
+
+  /// Restores fitted parameters serialized by `Serialize`.
+  virtual Status Deserialize(const Json& doc) = 0;
+};
+
+/// \brief Registry of model constructors, keyed by family name.
+///
+/// Model Deployment writes serialized models here and Inference
+/// re-instantiates them; the tracking module stores (name, version,
+/// params) documents and falls back to the previous known-good version
+/// when accuracy regresses (§1).
+class ModelFactory {
+ public:
+  using Constructor = std::function<std::unique_ptr<ForecastModel>()>;
+
+  /// The process-wide factory with all built-in families registered.
+  static ModelFactory& Global();
+
+  /// Registers a family; overwrites any existing registration.
+  void Register(const std::string& name, Constructor ctor);
+
+  /// Creates an unfitted instance of a family.
+  Result<std::unique_ptr<ForecastModel>> Create(const std::string& name) const;
+
+  /// Restores a model from a serialized document ({"model": name, ...}).
+  Result<std::unique_ptr<ForecastModel>> Restore(const Json& doc) const;
+
+  /// Registered family names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Constructor> ctors_;
+};
+
+/// Convenience: wraps a serialized model with its family name.
+Json WrapModelDoc(const ForecastModel& model, const Json& params);
+
+}  // namespace seagull

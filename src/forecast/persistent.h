@@ -1,0 +1,51 @@
+/// \file persistent.h
+/// \brief Persistent-forecast heuristics (§5.1).
+///
+/// "Persistent Forecast refers to replicating previously seen load per
+/// server as the forecast of the load for this server." Three variants:
+/// previous day, previous equivalent day (same day last week), and the
+/// previous-week average (a flat line at the weekly mean). These have no
+/// parameters; `Fit` is a no-op and `Forecast` reads from the recent
+/// telemetry handed in.
+
+#pragma once
+
+#include "forecast/model.h"
+
+namespace seagull {
+
+/// \brief Which slice of history a persistent forecast replicates.
+enum class PersistentVariant : int8_t {
+  /// Yesterday's load becomes today's forecast (deployed to production,
+  /// §5.4 — captures daily patterns and stable load).
+  kPreviousDay = 0,
+  /// Load of the same weekday last week (captures weekly patterns).
+  kPreviousEquivalentDay = 1,
+  /// Flat line at the previous week's mean load (captures stable load).
+  kPreviousWeekAverage = 2,
+};
+
+const char* PersistentVariantName(PersistentVariant v);
+
+/// \brief The persistent-forecast model.
+class PersistentForecast final : public ForecastModel {
+ public:
+  explicit PersistentForecast(
+      PersistentVariant variant = PersistentVariant::kPreviousDay)
+      : variant_(variant) {}
+
+  std::string name() const override;
+  bool requires_training() const override { return false; }
+  Status Fit(const LoadSeries& train) override;
+  Result<LoadSeries> Forecast(const LoadSeries& recent, MinuteStamp start,
+                              int64_t horizon_minutes) const override;
+  Result<Json> Serialize() const override;
+  Status Deserialize(const Json& doc) override;
+
+  PersistentVariant variant() const { return variant_; }
+
+ private:
+  PersistentVariant variant_;
+};
+
+}  // namespace seagull

@@ -1,0 +1,81 @@
+#include "forecast/routed.h"
+
+namespace seagull {
+
+const std::string& RoutedForecast::FamilyFor(ServerClass cls) const {
+  switch (cls) {
+    case ServerClass::kStable:
+      return options_.stable_family;
+    case ServerClass::kDailyPattern:
+      return options_.daily_family;
+    case ServerClass::kWeeklyPattern:
+      return options_.weekly_family;
+    case ServerClass::kShortLived:
+    case ServerClass::kNoPattern:
+      return options_.unstable_family;
+  }
+  return options_.unstable_family;
+}
+
+std::string RoutedForecast::delegate_family() const {
+  return delegate_ ? delegate_->name() : "";
+}
+
+Status RoutedForecast::Fit(const LoadSeries& train) {
+  if (train.CountPresent() < 4) {
+    return Status::FailedPrecondition("routed model needs history");
+  }
+  // Classify the training span itself; the lifespan gate is irrelevant
+  // here (the caller decides which servers get a model at all).
+  FleetConfig no_gate;
+  no_gate.long_lived_weeks = 0;
+  ClassificationResult cls =
+      ClassifyServer(train, train.start(), train.end(), train.start(),
+                     train.end(), AccuracyConfig{}, no_gate);
+  routed_class_ = cls.server_class;
+
+  SEAGULL_ASSIGN_OR_RETURN(
+      delegate_, ModelFactory::Global().Create(FamilyFor(routed_class_)));
+  if (delegate_->requires_training()) {
+    SEAGULL_RETURN_NOT_OK(delegate_->Fit(train));
+  } else {
+    SEAGULL_RETURN_NOT_OK(delegate_->Fit(train));  // no-op, kept uniform
+  }
+  return Status::OK();
+}
+
+Result<LoadSeries> RoutedForecast::Forecast(const LoadSeries& recent,
+                                            MinuteStamp start,
+                                            int64_t horizon_minutes) const {
+  if (!delegate_) {
+    return Status::FailedPrecondition("routed model is not fitted");
+  }
+  return delegate_->Forecast(recent, start, horizon_minutes);
+}
+
+Result<Json> RoutedForecast::Serialize() const {
+  if (!delegate_) {
+    return Status::FailedPrecondition("serialize before fit");
+  }
+  Json doc = Json::MakeObject();
+  doc["model"] = name();
+  doc["routed_class"] = static_cast<int64_t>(routed_class_);
+  SEAGULL_ASSIGN_OR_RETURN(Json inner, delegate_->Serialize());
+  doc["delegate"] = std::move(inner);
+  return doc;
+}
+
+Status RoutedForecast::Deserialize(const Json& doc) {
+  SEAGULL_ASSIGN_OR_RETURN(double cls, doc.GetNumber("routed_class"));
+  int icls = static_cast<int>(cls);
+  if (icls < 0 || icls > 4) return Status::Invalid("bad routed class");
+  routed_class_ = static_cast<ServerClass>(icls);
+  if (!doc["delegate"].is_object()) {
+    return Status::Invalid("routed doc has no delegate");
+  }
+  SEAGULL_ASSIGN_OR_RETURN(delegate_,
+                           ModelFactory::Global().Restore(doc["delegate"]));
+  return Status::OK();
+}
+
+}  // namespace seagull

@@ -1,0 +1,52 @@
+/// \file ssa.h
+/// \brief Singular Spectrum Analysis forecaster — the NimbusML analog.
+///
+/// NimbusML's SsaForecaster (§5.1) decomposes the series into a trajectory
+/// matrix, keeps the dominant singular triples, and forecasts with the
+/// linear recurrence those components satisfy. This is the textbook
+/// recurrent-SSA algorithm implemented on the in-repo Jacobi SVD.
+
+#pragma once
+
+#include "forecast/model.h"
+
+namespace seagull {
+
+/// \brief SSA hyper-parameters.
+struct SsaOptions {
+  /// Embedding window length in samples (L). Defaults to six hours of
+  /// 5-minute telemetry; must satisfy 2L-1 <= train length.
+  int64_t window = 72;
+  /// Keep the smallest set of leading components whose energy reaches
+  /// this fraction of the total.
+  double energy_threshold = 0.95;
+  /// Hard cap on retained components.
+  int64_t max_components = 24;
+};
+
+/// \brief Recurrent-SSA forecast model.
+class SsaForecast final : public ForecastModel {
+ public:
+  explicit SsaForecast(SsaOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ssa"; }
+  Status Fit(const LoadSeries& train) override;
+  Result<LoadSeries> Forecast(const LoadSeries& recent, MinuteStamp start,
+                              int64_t horizon_minutes) const override;
+  Result<Json> Serialize() const override;
+  Status Deserialize(const Json& doc) override;
+
+  /// Number of components retained by the last `Fit`.
+  int64_t rank() const { return rank_; }
+
+ private:
+  SsaOptions options_;
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  int64_t interval_ = kServerIntervalMinutes;
+  /// Linear recurrence coefficients, length L-1: x_t = Σ r_j x_{t-L+1+j}.
+  std::vector<double> lrf_;
+  int64_t rank_ = 0;
+};
+
+}  // namespace seagull

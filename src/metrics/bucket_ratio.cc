@@ -1,0 +1,48 @@
+#include "metrics/bucket_ratio.h"
+
+#include <algorithm>
+
+namespace seagull {
+
+BucketRatioResult BucketRatioInRange(const LoadSeries& predicted,
+                                     const LoadSeries& truth,
+                                     MinuteStamp from, MinuteStamp to,
+                                     const AccuracyConfig& config) {
+  BucketRatioResult out;
+  if (predicted.empty() || truth.empty()) return out;
+  const int64_t interval = predicted.interval_minutes();
+  if (truth.interval_minutes() != interval) return out;
+
+  MinuteStamp lo = std::max({from, predicted.start(), truth.start()});
+  MinuteStamp hi = std::min({to, predicted.end(), truth.end()});
+  if (lo % interval != 0) {
+    lo += interval - (lo % interval + interval) % interval;
+  }
+  for (MinuteStamp t = lo; t < hi; t += interval) {
+    double p = predicted.ValueAtTime(t);
+    double y = truth.ValueAtTime(t);
+    if (IsMissing(p) || IsMissing(y)) continue;
+    ++out.compared;
+    if (InBound(p, y, config)) ++out.in_bound;
+  }
+  if (out.compared > 0) {
+    out.ratio = static_cast<double>(out.in_bound) /
+                static_cast<double>(out.compared);
+  }
+  return out;
+}
+
+BucketRatioResult BucketRatio(const LoadSeries& predicted,
+                              const LoadSeries& truth,
+                              const AccuracyConfig& config) {
+  MinuteStamp from = std::max(predicted.start(), truth.start());
+  MinuteStamp to = std::min(predicted.end(), truth.end());
+  return BucketRatioInRange(predicted, truth, from, to, config);
+}
+
+bool IsAccuratePrediction(const LoadSeries& predicted, const LoadSeries& truth,
+                          const AccuracyConfig& config) {
+  return BucketRatio(predicted, truth, config).IsAccurate(config);
+}
+
+}  // namespace seagull

@@ -1,0 +1,56 @@
+/// \file bucket_ratio.h
+/// \brief Definitions 1–2: the asymmetric-bound bucket ratio metric.
+///
+/// "the bucket ratio metric of the server s during the time interval t
+/// [is] the percentage of predicted data points that are within the
+/// acceptable error bound of +10/−5 of their respective true data points"
+/// (Definition 1). A prediction is *accurate* when the bucket ratio is at
+/// least 90% (Definition 2). The bound is asymmetric because slightly
+/// over-predicting low load is harmless while under-predicting risks
+/// scheduling a backup into real customer activity.
+
+#pragma once
+
+#include "common/config.h"
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// \brief Point-by-point outcome counts of a bucket-ratio evaluation.
+struct BucketRatioResult {
+  int64_t compared = 0;  ///< points where both series are present
+  int64_t in_bound = 0;  ///< points inside the +over/−under bound
+  /// Bucket ratio in [0,1]; 0 when nothing was comparable.
+  double ratio = 0.0;
+
+  bool IsAccurate(const AccuracyConfig& config) const {
+    return compared > 0 && ratio >= config.accurate_bucket_ratio;
+  }
+};
+
+/// Computes the bucket ratio of `predicted` against `truth` over the
+/// intersection of their ranges. Points missing in either series are
+/// excluded from the comparison.
+BucketRatioResult BucketRatio(const LoadSeries& predicted,
+                              const LoadSeries& truth,
+                              const AccuracyConfig& config = {});
+
+/// As above, restricted to [from, to).
+BucketRatioResult BucketRatioInRange(const LoadSeries& predicted,
+                                     const LoadSeries& truth,
+                                     MinuteStamp from, MinuteStamp to,
+                                     const AccuracyConfig& config = {});
+
+/// True if one predicted point is inside the bound of its true point
+/// (Definition 1's per-point test: true−under ≤ predicted ≤ true+over).
+inline bool InBound(double predicted, double truth,
+                    const AccuracyConfig& config) {
+  return predicted <= truth + config.over_bound &&
+         predicted >= truth - config.under_bound;
+}
+
+/// Definition 2 as a single call.
+bool IsAccuratePrediction(const LoadSeries& predicted, const LoadSeries& truth,
+                          const AccuracyConfig& config = {});
+
+}  // namespace seagull

@@ -1,0 +1,184 @@
+#include "metrics/classify.h"
+
+#include <algorithm>
+
+namespace seagull {
+
+const char* ServerClassName(ServerClass c) {
+  switch (c) {
+    case ServerClass::kShortLived:
+      return "short_lived";
+    case ServerClass::kStable:
+      return "stable";
+    case ServerClass::kDailyPattern:
+      return "daily_pattern";
+    case ServerClass::kWeeklyPattern:
+      return "weekly_pattern";
+    case ServerClass::kNoPattern:
+      return "no_pattern";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Minimum fraction of a day's samples that must be present for the day
+/// to participate in a pattern test.
+constexpr double kMinDayCoverage = 0.5;
+
+bool DayHasCoverage(const LoadSeries& load, int64_t day) {
+  LoadSeries slice = load.SliceDay(day);
+  if (slice.empty()) return false;
+  return static_cast<double>(slice.CountPresent()) >=
+         kMinDayCoverage * static_cast<double>(slice.ticks_per_day());
+}
+
+/// Tests whether day `d` is accurately predicted by day `d - lag_days`
+/// (Definitions 5/6). Returns the bucket ratio; `ok` reports Definition 2.
+struct DayTest {
+  bool comparable = false;
+  bool ok = false;
+  double ratio = 0.0;
+};
+
+DayTest TestDayAgainstLag(const LoadSeries& load, int64_t day,
+                          int64_t lag_days, const AccuracyConfig& accuracy) {
+  DayTest t;
+  if (!DayHasCoverage(load, day) || !DayHasCoverage(load, day - lag_days)) {
+    return t;
+  }
+  LoadSeries prediction =
+      load.SliceDay(day - lag_days).ShiftedTo(day * kMinutesPerDay);
+  BucketRatioResult bucket = BucketRatioInRange(
+      prediction, load, day * kMinutesPerDay, (day + 1) * kMinutesPerDay,
+      accuracy);
+  t.comparable = bucket.compared > 0;
+  t.ratio = bucket.ratio;
+  t.ok = bucket.IsAccurate(accuracy);
+  return t;
+}
+
+}  // namespace
+
+ClassificationResult ClassifyServer(const LoadSeries& load,
+                                    MinuteStamp lifespan_start,
+                                    MinuteStamp lifespan_end,
+                                    MinuteStamp from, MinuteStamp to,
+                                    const AccuracyConfig& accuracy,
+                                    const FleetConfig& fleet) {
+  ClassificationResult out;
+
+  // Definition 3: lifespan gate.
+  if (lifespan_end - lifespan_start < fleet.long_lived_weeks * kMinutesPerWeek) {
+    out.server_class = ServerClass::kShortLived;
+    return out;
+  }
+
+  MinuteStamp lo = std::max(from, lifespan_start);
+  MinuteStamp hi = std::min(to, lifespan_end);
+  int64_t first_day = DayIndex(lo + kMinutesPerDay - 1);
+  int64_t last_day = DayIndex(hi - 1);  // inclusive
+  out.observed_days = std::max<int64_t>(0, last_day - first_day + 1);
+
+  // Definition 4: stable = predicted by the interval's own average.
+  double avg = load.MeanInRange(lo, hi);
+  if (!IsMissing(avg)) {
+    const int64_t interval = load.interval_minutes();
+    MinuteStamp aligned = lo % interval == 0
+                              ? lo
+                              : lo + interval - (lo % interval + interval) %
+                                                    interval;
+    int64_t n = std::max<int64_t>(0, (hi - aligned) / interval);
+    auto flat = LoadSeries::Make(
+        aligned, interval,
+        std::vector<double>(static_cast<size_t>(n), avg));
+    if (flat.ok()) {
+      BucketRatioResult bucket =
+          BucketRatioInRange(*flat, load, lo, hi, accuracy);
+      out.stable_ratio = bucket.ratio;
+      if (bucket.IsAccurate(accuracy)) {
+        out.server_class = ServerClass::kStable;
+        return out;
+      }
+    }
+  }
+
+  // Definition 5: daily pattern on every day of the interval.
+  bool daily_any = false, daily_all = true;
+  out.daily_worst_ratio = 1.0;
+  for (int64_t d = first_day + 1; d <= last_day; ++d) {
+    DayTest t = TestDayAgainstLag(load, d, 1, accuracy);
+    if (!t.comparable) continue;
+    daily_any = true;
+    out.daily_worst_ratio = std::min(out.daily_worst_ratio, t.ratio);
+    if (!t.ok) daily_all = false;
+  }
+  if (daily_any && daily_all) {
+    out.server_class = ServerClass::kDailyPattern;
+    return out;
+  }
+
+  // Definition 6: weekly pattern (excluding daily) on every testable day.
+  bool weekly_any = false, weekly_all = true;
+  out.weekly_worst_ratio = 1.0;
+  for (int64_t d = first_day + 7; d <= last_day; ++d) {
+    DayTest t = TestDayAgainstLag(load, d, 7, accuracy);
+    if (!t.comparable) continue;
+    weekly_any = true;
+    out.weekly_worst_ratio = std::min(out.weekly_worst_ratio, t.ratio);
+    if (!t.ok) weekly_all = false;
+  }
+  if (weekly_any && weekly_all) {
+    out.server_class = ServerClass::kWeeklyPattern;
+    return out;
+  }
+
+  out.server_class = ServerClass::kNoPattern;
+  return out;
+}
+
+void ClassCounts::Add(ServerClass c) {
+  ++total;
+  switch (c) {
+    case ServerClass::kShortLived:
+      ++short_lived;
+      break;
+    case ServerClass::kStable:
+      ++stable;
+      break;
+    case ServerClass::kDailyPattern:
+      ++daily;
+      break;
+    case ServerClass::kWeeklyPattern:
+      ++weekly;
+      break;
+    case ServerClass::kNoPattern:
+      ++no_pattern;
+      break;
+  }
+}
+
+double ClassCounts::Fraction(ServerClass c) const {
+  if (total == 0) return 0.0;
+  int64_t n = 0;
+  switch (c) {
+    case ServerClass::kShortLived:
+      n = short_lived;
+      break;
+    case ServerClass::kStable:
+      n = stable;
+      break;
+    case ServerClass::kDailyPattern:
+      n = daily;
+      break;
+    case ServerClass::kWeeklyPattern:
+      n = weekly;
+      break;
+    case ServerClass::kNoPattern:
+      n = no_pattern;
+      break;
+  }
+  return static_cast<double>(n) / static_cast<double>(total);
+}
+
+}  // namespace seagull

@@ -1,0 +1,72 @@
+/// \file classify.h
+/// \brief Definitions 3–6: the §3.2 server classification.
+///
+/// Servers are classified by lifespan (short- vs long-lived) and by
+/// whether their load is stable, follows a daily or weekly pattern, or
+/// has no recognizable pattern. The classification is computed from
+/// observed telemetry with the same bucket-ratio machinery the paper
+/// uses, so a generator archetype only lands in its intended class when
+/// its signal actually satisfies the definitions.
+
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "metrics/bucket_ratio.h"
+
+namespace seagull {
+
+/// \brief Observed class of a server (Figure 3).
+enum class ServerClass : int8_t {
+  kShortLived = 0,
+  kStable = 1,
+  kDailyPattern = 2,
+  kWeeklyPattern = 3,
+  kNoPattern = 4,
+};
+
+const char* ServerClassName(ServerClass c);
+
+/// \brief Classification verdict with the evidence behind it.
+struct ClassificationResult {
+  ServerClass server_class = ServerClass::kShortLived;
+  /// Days of telemetry observed.
+  int64_t observed_days = 0;
+  /// Bucket ratio of the stable test (average-load prediction).
+  double stable_ratio = 0.0;
+  /// Worst per-day bucket ratio of the daily-pattern test.
+  double daily_worst_ratio = 0.0;
+  /// Worst per-day bucket ratio of the weekly-pattern test.
+  double weekly_worst_ratio = 0.0;
+};
+
+/// Classifies one server from its observed load over [from, to).
+///
+/// Definition 3: long-lived means over `config.long_lived_weeks` weeks of
+/// existence. Definition 4: stable when the interval's average accurately
+/// predicts the whole interval. Definition 5: a daily pattern must hold
+/// on *every* day of the interval. Definition 6: a weekly pattern must
+/// hold on every day with an equivalent prior day, and excludes servers
+/// with a daily pattern.
+ClassificationResult ClassifyServer(const LoadSeries& load,
+                                    MinuteStamp lifespan_start,
+                                    MinuteStamp lifespan_end,
+                                    MinuteStamp from, MinuteStamp to,
+                                    const AccuracyConfig& accuracy = {},
+                                    const FleetConfig& fleet = {});
+
+/// \brief Population counts per class (Figure 3).
+struct ClassCounts {
+  int64_t total = 0;
+  int64_t short_lived = 0;
+  int64_t stable = 0;
+  int64_t daily = 0;
+  int64_t weekly = 0;
+  int64_t no_pattern = 0;
+
+  void Add(ServerClass c);
+  double Fraction(ServerClass c) const;
+};
+
+}  // namespace seagull

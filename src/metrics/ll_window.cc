@@ -1,0 +1,57 @@
+#include "metrics/ll_window.h"
+
+namespace seagull {
+
+WindowResult LowestLoadWindow(const LoadSeries& load, int64_t day_index,
+                              int64_t backup_duration_minutes) {
+  MinuteStamp day_start = day_index * kMinutesPerDay;
+  MinuteStamp day_end = day_start + kMinutesPerDay;
+  return FindMinAverageWindowInRange(load, day_start, day_end,
+                                     backup_duration_minutes,
+                                     /*max_missing_fraction=*/0.25);
+}
+
+bool IsWindowChosenCorrectly(const LoadSeries& true_load,
+                             const WindowResult& predicted_window,
+                             const WindowResult& true_window,
+                             const AccuracyConfig& config) {
+  if (!predicted_window.found || !true_window.found) return false;
+  double avg_true_in_predicted = WindowAverage(
+      true_load, predicted_window.start, predicted_window.duration_minutes);
+  double avg_true_in_true = WindowAverage(true_load, true_window.start,
+                                          true_window.duration_minutes);
+  if (IsMissing(avg_true_in_predicted) || IsMissing(avg_true_in_true)) {
+    return false;
+  }
+  // The true LL window minimizes average true load, so the difference is
+  // non-negative; the question is only whether the true window would have
+  // been *significantly* better (Figure 8 vs Figure 9).
+  return avg_true_in_predicted - avg_true_in_true <= config.window_tolerance;
+}
+
+LowLoadEvaluation EvaluateLowLoad(const LoadSeries& predicted,
+                                  const LoadSeries& true_load,
+                                  int64_t day_index,
+                                  int64_t backup_duration_minutes,
+                                  const AccuracyConfig& config) {
+  LowLoadEvaluation eval;
+  eval.true_window =
+      LowestLoadWindow(true_load, day_index, backup_duration_minutes);
+  eval.predicted_window =
+      LowestLoadWindow(predicted, day_index, backup_duration_minutes);
+  eval.evaluable = eval.true_window.found && eval.predicted_window.found;
+  if (!eval.evaluable) return eval;
+
+  eval.window_correct = IsWindowChosenCorrectly(
+      true_load, eval.predicted_window, eval.true_window, config);
+  eval.window_bucket = BucketRatioInRange(
+      predicted, true_load, eval.predicted_window.start,
+      eval.predicted_window.end(), config);
+  eval.load_accurate = eval.window_bucket.IsAccurate(config);
+  eval.day_bucket =
+      BucketRatioInRange(predicted, true_load, day_index * kMinutesPerDay,
+                         (day_index + 1) * kMinutesPerDay, config);
+  return eval;
+}
+
+}  // namespace seagull

@@ -1,0 +1,54 @@
+/// \file ll_window.h
+/// \brief Definitions 7–8: lowest-load windows and the correctly-chosen
+/// test, plus the combined per-day low-load evaluation (§4).
+///
+/// The two metrics are orthogonal (Figures 9/10): a window can be chosen
+/// correctly while the load inside it is badly predicted, and vice versa.
+/// Only both together say the prediction is usable for scheduling.
+
+#pragma once
+
+#include "common/config.h"
+#include "metrics/bucket_ratio.h"
+#include "timeseries/window.h"
+
+namespace seagull {
+
+/// Definition 7: the length-b interval of day `day_index` with minimal
+/// average load, computed from `load` (true or predicted).
+WindowResult LowestLoadWindow(const LoadSeries& load, int64_t day_index,
+                              int64_t backup_duration_minutes);
+
+/// Definition 8: the predicted window is chosen correctly when the
+/// average *true* load inside it is within `config.window_tolerance` of
+/// the average true load inside the true LL window.
+bool IsWindowChosenCorrectly(const LoadSeries& true_load,
+                             const WindowResult& predicted_window,
+                             const WindowResult& true_window,
+                             const AccuracyConfig& config = {});
+
+/// \brief Joint result of the per-server, per-backup-day evaluation.
+struct LowLoadEvaluation {
+  /// Both windows were computable (enough present samples on the day).
+  bool evaluable = false;
+  WindowResult true_window;
+  WindowResult predicted_window;
+  /// Definition 8 verdict.
+  bool window_correct = false;
+  /// Bucket ratio of predicted vs true load *inside the predicted LL
+  /// window* (Figures 9/10 measure accuracy there).
+  BucketRatioResult window_bucket;
+  /// Definition 2 verdict inside the predicted window.
+  bool load_accurate = false;
+  /// Bucket ratio over the whole day, for diagnostics.
+  BucketRatioResult day_bucket;
+};
+
+/// Runs the full §4 evaluation of one server's backup day.
+LowLoadEvaluation EvaluateLowLoad(const LoadSeries& predicted,
+                                  const LoadSeries& true_load,
+                                  int64_t day_index,
+                                  int64_t backup_duration_minutes,
+                                  const AccuracyConfig& config = {});
+
+}  // namespace seagull

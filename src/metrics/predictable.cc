@@ -1,0 +1,50 @@
+#include "metrics/predictable.h"
+
+namespace seagull {
+
+PredictabilityResult EvaluatePredictability(
+    const DayForecaster& forecaster, const LoadSeries& observed,
+    MinuteStamp lifespan_start, MinuteStamp lifespan_end, int64_t target_week,
+    DayOfWeek backup_day, int64_t backup_duration_minutes,
+    const AccuracyConfig& accuracy, const FleetConfig& fleet) {
+  PredictabilityResult out;
+
+  // Definition 9 applies to long-lived servers only; and the server must
+  // have existed for all of the evidence weeks ("servers that did not
+  // exist ... for the last three weeks" default, §2.3).
+  const int64_t weeks = fleet.long_lived_weeks;
+  MinuteStamp evidence_start =
+      (target_week - weeks) * kMinutesPerWeek;
+  out.long_lived =
+      lifespan_end - lifespan_start >= weeks * kMinutesPerWeek &&
+      lifespan_start <= evidence_start;
+  if (!out.long_lived) return out;
+
+  bool all_good = true;
+  for (int64_t w = target_week - weeks; w < target_week; ++w) {
+    WeeklyEvidence ev;
+    ev.day_index = w * 7 + static_cast<int64_t>(backup_day);
+    MinuteStamp day_start = ev.day_index * kMinutesPerDay;
+    if (day_start < lifespan_start ||
+        day_start + kMinutesPerDay > lifespan_end) {
+      all_good = false;
+      out.evidence.push_back(ev);
+      continue;
+    }
+    auto predicted = forecaster(ev.day_index);
+    if (predicted.ok()) {
+      LowLoadEvaluation eval =
+          EvaluateLowLoad(*predicted, observed, ev.day_index,
+                          backup_duration_minutes, accuracy);
+      ev.evaluable = eval.evaluable;
+      ev.window_correct = eval.window_correct;
+      ev.load_accurate = eval.load_accurate;
+    }
+    if (!ev.Good()) all_good = false;
+    out.evidence.push_back(ev);
+  }
+  out.predictable = all_good && !out.evidence.empty();
+  return out;
+}
+
+}  // namespace seagull

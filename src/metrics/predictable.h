@@ -1,0 +1,55 @@
+/// \file predictable.h
+/// \brief Definition 9: the three-week predictability gate.
+///
+/// "A long-lived server is called predictable if for the last three weeks
+/// its LL windows were chosen correctly and the load during these windows
+/// was predicted accurately." The scheduler only moves backups of
+/// predictable servers; everyone else keeps the default window (§2.3).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "metrics/ll_window.h"
+
+namespace seagull {
+
+/// \brief One historical backup-day evaluation used as predictability
+/// evidence.
+struct WeeklyEvidence {
+  int64_t day_index = 0;
+  bool evaluable = false;
+  bool window_correct = false;
+  bool load_accurate = false;
+
+  bool Good() const { return evaluable && window_correct && load_accurate; }
+};
+
+/// \brief Definition 9 verdict with the evidence trail.
+struct PredictabilityResult {
+  bool long_lived = false;
+  /// True when every one of the last `fleet.long_lived_weeks` weeks has
+  /// good evidence.
+  bool predictable = false;
+  std::vector<WeeklyEvidence> evidence;
+};
+
+/// Produces the 24h load forecast for the given day (conditioning only on
+/// telemetry before that day). Decouples the metric from any concrete
+/// model — production stores past predictions; this harness regenerates
+/// them.
+using DayForecaster =
+    std::function<Result<LoadSeries>(int64_t day_index)>;
+
+/// Evaluates Definition 9 for a server whose weekly backup falls on
+/// `backup_day`. For each of the `fleet.long_lived_weeks` weeks before
+/// `target_week`, forecasts that week's backup day and applies the §4
+/// joint metric against `observed`.
+PredictabilityResult EvaluatePredictability(
+    const DayForecaster& forecaster, const LoadSeries& observed,
+    MinuteStamp lifespan_start, MinuteStamp lifespan_end, int64_t target_week,
+    DayOfWeek backup_day, int64_t backup_duration_minutes,
+    const AccuracyConfig& accuracy = {}, const FleetConfig& fleet = {});
+
+}  // namespace seagull

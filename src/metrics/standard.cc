@@ -1,0 +1,87 @@
+#include "metrics/standard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seagull {
+
+namespace {
+
+/// Applies `fn(pred, true)` to every jointly present sample pair.
+template <typename Fn>
+int64_t ForEachPair(const LoadSeries& predicted, const LoadSeries& truth,
+                    Fn&& fn) {
+  if (predicted.empty() || truth.empty()) return 0;
+  if (predicted.interval_minutes() != truth.interval_minutes()) return 0;
+  const int64_t interval = predicted.interval_minutes();
+  MinuteStamp lo = std::max(predicted.start(), truth.start());
+  MinuteStamp hi = std::min(predicted.end(), truth.end());
+  int64_t n = 0;
+  for (MinuteStamp t = lo; t < hi; t += interval) {
+    double p = predicted.ValueAtTime(t);
+    double y = truth.ValueAtTime(t);
+    if (IsMissing(p) || IsMissing(y)) continue;
+    fn(p, y);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+double MeanAbsoluteError(const LoadSeries& predicted,
+                         const LoadSeries& truth) {
+  double sum = 0.0;
+  int64_t n = ForEachPair(predicted, truth, [&](double p, double y) {
+    sum += std::fabs(p - y);
+  });
+  return n == 0 ? kMissingValue : sum / static_cast<double>(n);
+}
+
+double RootMeanSquaredError(const LoadSeries& predicted,
+                            const LoadSeries& truth) {
+  double sum = 0.0;
+  int64_t n = ForEachPair(predicted, truth, [&](double p, double y) {
+    sum += (p - y) * (p - y);
+  });
+  return n == 0 ? kMissingValue
+                : std::sqrt(sum / static_cast<double>(n));
+}
+
+double NormalizedRmse(const LoadSeries& predicted, const LoadSeries& truth) {
+  double sum_sq = 0.0, sum_true = 0.0;
+  int64_t n = ForEachPair(predicted, truth, [&](double p, double y) {
+    sum_sq += (p - y) * (p - y);
+    sum_true += y;
+  });
+  if (n == 0) return kMissingValue;
+  double mean_true = sum_true / static_cast<double>(n);
+  if (mean_true == 0.0) return kMissingValue;
+  return std::sqrt(sum_sq / static_cast<double>(n)) / mean_true;
+}
+
+double MeanAbsoluteScaledError(const LoadSeries& predicted,
+                               const LoadSeries& truth) {
+  double mae = MeanAbsoluteError(predicted, truth);
+  if (IsMissing(mae)) return kMissingValue;
+  // One-step-ahead naive error of the true series over the comparison
+  // range.
+  const int64_t interval = truth.interval_minutes();
+  MinuteStamp lo = std::max(predicted.start(), truth.start());
+  MinuteStamp hi = std::min(predicted.end(), truth.end());
+  double naive_sum = 0.0;
+  int64_t naive_n = 0;
+  for (MinuteStamp t = lo + interval; t < hi; t += interval) {
+    double cur = truth.ValueAtTime(t);
+    double prev = truth.ValueAtTime(t - interval);
+    if (IsMissing(cur) || IsMissing(prev)) continue;
+    naive_sum += std::fabs(cur - prev);
+    ++naive_n;
+  }
+  if (naive_n == 0) return kMissingValue;
+  double factor = naive_sum / static_cast<double>(naive_n);
+  if (factor == 0.0) return kMissingValue;
+  return mae / factor;
+}
+
+}  // namespace seagull

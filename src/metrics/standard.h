@@ -1,0 +1,34 @@
+/// \file standard.h
+/// \brief Standard statistical error metrics (Appendix A.2).
+///
+/// The backup-scheduling use case replaces these with the LL-window
+/// metrics, but the preemptive auto-scale scenario reports Mean NRMSE and
+/// MASE (Equations 1–3), so they are implemented here alongside the usual
+/// MAE/RMSE diagnostics.
+
+#pragma once
+
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// Mean absolute error over jointly present samples; missing if none.
+double MeanAbsoluteError(const LoadSeries& predicted, const LoadSeries& truth);
+
+/// Root mean squared error over jointly present samples; missing if none.
+double RootMeanSquaredError(const LoadSeries& predicted,
+                            const LoadSeries& truth);
+
+/// Equation 2: RMSE normalized by the mean of the true signal.
+/// "A mean NRMSE of 1 is produced when the mean is predicted as the
+/// forecast." Missing when the true mean is zero or nothing is present.
+double NormalizedRmse(const LoadSeries& predicted, const LoadSeries& truth);
+
+/// Equation 3: mean absolute error scaled by the in-sample one-step-ahead
+/// naive error ("the error produced by a one step ahead true forecast").
+/// MASE < 1 beats the one-step naive forecast. Missing when the
+/// normalizing factor is zero or nothing is comparable.
+double MeanAbsoluteScaledError(const LoadSeries& predicted,
+                               const LoadSeries& truth);
+
+}  // namespace seagull

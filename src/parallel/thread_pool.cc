@@ -1,0 +1,96 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace seagull {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> fut = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  const int threads = pool->num_threads();
+  if (threads <= 1 || n == 1) {
+    SequentialFor(n, fn);
+    return;
+  }
+  auto cursor = std::make_shared<std::atomic<int64_t>>(0);
+  // Chunk size balances dispatch overhead against load imbalance.
+  const int64_t chunk =
+      std::max<int64_t>(1, n / (static_cast<int64_t>(threads) * 8));
+  std::vector<std::future<void>> futs;
+  futs.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    futs.push_back(pool->Submit([cursor, chunk, n, &fn] {
+      while (true) {
+        int64_t begin = cursor->fetch_add(chunk);
+        if (begin >= n) return;
+        int64_t end = std::min(begin + chunk, n);
+        for (int64_t i = begin; i < end; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void SequentialFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  for (int64_t i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace seagull

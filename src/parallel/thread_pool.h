@@ -1,0 +1,63 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool — the library's Dask stand-in.
+///
+/// The paper partitions pipeline work per server and runs it on Dask
+/// workers (§2.1, §6.1). Here a plain task-queue pool provides the same
+/// partition-per-server parallelism for accuracy evaluation, model
+/// training, and the benchmark harness.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seagull {
+
+/// \brief A fixed pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Runs `fn(i)` for i in [0, n) across a pool.
+///
+/// Work is handed out in contiguous chunks via an atomic cursor so that
+/// per-server costs that vary widely (the paper's regions range from
+/// hundreds of kilobytes to gigabytes) still balance.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+/// Single-threaded reference loop with the same signature, for the
+/// Fig. 12(b) single-vs-parallel comparison.
+void SequentialFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+}  // namespace seagull

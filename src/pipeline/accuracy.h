@@ -1,0 +1,54 @@
+/// \file accuracy.h
+/// \brief Accuracy Evaluation module (§2.2, §4).
+///
+/// For every server, re-generates the forecasts of the last three weekly
+/// backup days (conditioning only on telemetry before each day), applies
+/// the joint LL-window metrics, derives the Definition 9 predictability
+/// verdict, and persists per-server accuracy documents for the scheduler.
+/// This module is the pipeline's bottleneck at large inputs (§6.1), so it
+/// is partitioned per server and optionally parallel — the Fig. 12(b)
+/// comparison.
+
+#pragma once
+
+#include "pipeline/deployment.h"
+#include "pipeline/pipeline.h"
+
+namespace seagull {
+
+/// Container holding per-server accuracy/predictability documents.
+inline constexpr const char* kAccuracyContainer = "accuracy";
+
+/// \brief Options shaping the evaluation cost profile.
+struct AccuracyEvaluationOptions {
+  /// Evaluate every day of the evidence weeks, not just the backup day —
+  /// the "each day one week ahead" mode of Fig. 12(b) used to move
+  /// backups to a better weekday.
+  bool evaluate_all_days = false;
+};
+
+/// \brief The evaluation module.
+class AccuracyEvaluationModule final : public PipelineModule {
+ public:
+  explicit AccuracyEvaluationModule(AccuracyEvaluationOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "accuracy"; }
+  Status Run(PipelineContext* ctx) override;
+
+ private:
+  AccuracyEvaluationOptions options_;
+};
+
+/// Evaluates one server against an endpoint: the Definition 9 gate over
+/// the three weeks preceding `target_week`. Exposed for tests and the
+/// Fig. 12(b) bench.
+ServerAccuracy EvaluateServerAccuracy(const ModelEndpoint& endpoint,
+                                      const ServerTelemetry& telemetry,
+                                      const ServerFeatures& features,
+                                      int64_t target_week,
+                                      const AccuracyConfig& accuracy,
+                                      const FleetConfig& fleet,
+                                      bool evaluate_all_days = false);
+
+}  // namespace seagull

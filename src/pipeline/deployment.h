@@ -1,0 +1,76 @@
+/// \file deployment.h
+/// \brief Model Deployment + the REST-endpoint analog (§2.2).
+///
+/// Deployment packages the trained models into a versioned registry
+/// document in the document store, verifies the package loads back into
+/// a serving endpoint (the production health check behind "failed model
+/// deployment" incidents), and flips the region's active-version pointer.
+/// `ModelEndpoint` is the in-process stand-in for the REST endpoint the
+/// scheduler queries daily.
+
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "forecast/model.h"
+#include "pipeline/pipeline.h"
+
+namespace seagull {
+
+/// Document-store container names used by deployment and tracking.
+inline constexpr const char* kModelRegistryContainer = "model_registry";
+inline constexpr const char* kActiveModelDocId = "active";
+
+/// \brief In-process serving endpoint holding deserialized models.
+class ModelEndpoint {
+ public:
+  /// Loads every model of a registry version document.
+  static Result<ModelEndpoint> FromVersionDoc(const Json& doc);
+
+  const std::string& family() const { return family_; }
+  int64_t version() const { return version_; }
+  int64_t model_count() const { return static_cast<int64_t>(models_.size()); }
+
+  /// Predicts load for a server over [start, start+horizon). Servers
+  /// without a per-server model are served by the fleet-wide model if
+  /// the family deploys one; otherwise NotFound.
+  Result<LoadSeries> Predict(const std::string& server_id,
+                             const LoadSeries& recent, MinuteStamp start,
+                             int64_t horizon_minutes) const;
+
+  /// True if the endpoint can serve this server.
+  bool Serves(const std::string& server_id) const;
+
+ private:
+  std::string family_;
+  int64_t version_ = 0;
+  /// Key "" holds the fleet-wide model for heuristic families.
+  std::map<std::string, std::unique_ptr<ForecastModel>> models_;
+};
+
+/// \brief Versions the trained models and activates the new version.
+class ModelDeploymentModule final : public PipelineModule {
+ public:
+  std::string name() const override { return "deployment"; }
+  Status Run(PipelineContext* ctx) override;
+};
+
+/// Reads the registry version document `version` of a region.
+Result<Json> LoadVersionDoc(DocStore* docs, const std::string& region,
+                            int64_t version);
+
+/// Currently active version number of a region (NotFound before the
+/// first deployment).
+Result<int64_t> ActiveVersion(DocStore* docs, const std::string& region);
+
+/// Points the region's active-version marker at `version`. Used by
+/// deployment and by tracking's fallback path.
+Status SetActiveVersion(DocStore* docs, const std::string& region,
+                        int64_t version, const std::string& reason);
+
+/// Loads the endpoint for the region's active version.
+Result<ModelEndpoint> LoadActiveEndpoint(DocStore* docs,
+                                         const std::string& region);
+
+}  // namespace seagull

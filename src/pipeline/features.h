@@ -1,0 +1,27 @@
+/// \file features.h
+/// \brief Feature Extraction module (§2.2): lifespan, stability, and
+/// pattern classification per server — the inputs both to model choice
+/// (§5.2) and to the Figure 3 population analysis.
+
+#pragma once
+
+#include "pipeline/pipeline.h"
+
+namespace seagull {
+
+/// \brief Derives `ServerFeatures` for every grouped server.
+class FeatureExtractionModule final : public PipelineModule {
+ public:
+  std::string name() const override { return "features"; }
+  Status Run(PipelineContext* ctx) override;
+};
+
+/// Computes features for a single server's telemetry within the run's
+/// observation window [obs_from, obs_to). Exposed for tests and the
+/// classification bench.
+ServerFeatures ExtractFeatures(const ServerTelemetry& telemetry,
+                               MinuteStamp obs_from, MinuteStamp obs_to,
+                               const AccuracyConfig& accuracy,
+                               const FleetConfig& fleet);
+
+}  // namespace seagull

@@ -1,0 +1,63 @@
+#include "pipeline/incidents.h"
+
+#include "common/strings.h"
+
+namespace seagull {
+
+const char* IncidentSeverityName(IncidentSeverity severity) {
+  switch (severity) {
+    case IncidentSeverity::kInfo:
+      return "info";
+    case IncidentSeverity::kWarning:
+      return "warning";
+    case IncidentSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::vector<Alert> IncidentManager::Process(const PipelineContext& ctx,
+                                            const PipelineRunReport& report) {
+  std::vector<Alert> alerts;
+  Container* container = docs_->GetContainer(kIncidentContainer);
+
+  int64_t warnings = 0;
+  for (const auto& incident : ctx.incidents) {
+    Document doc;
+    doc.partition_key = ctx.region;
+    doc.id = StringPrintf("w%04lld:%06lld",
+                          static_cast<long long>(ctx.week),
+                          static_cast<long long>(sequence_++));
+    doc.body = Json::MakeObject();
+    doc.body["week"] = ctx.week;
+    doc.body["module"] = incident.module;
+    doc.body["severity"] = IncidentSeverityName(incident.severity);
+    doc.body["message"] = incident.message;
+    container->Upsert(std::move(doc)).Abort();
+
+    if (incident.severity == IncidentSeverity::kWarning) ++warnings;
+    if (incident.severity == IncidentSeverity::kError &&
+        rules_.alert_on_error) {
+      alerts.push_back({ctx.region, ctx.week, "error_incident",
+                        incident.module + ": " + incident.message});
+    }
+  }
+  if (warnings > rules_.warning_threshold) {
+    alerts.push_back(
+        {ctx.region, ctx.week, "warning_flood",
+         StringPrintf("%lld warnings in one run",
+                      static_cast<long long>(warnings))});
+  }
+  if (!report.success && rules_.alert_on_failure) {
+    alerts.push_back(
+        {ctx.region, ctx.week, "run_failed", report.failure});
+  }
+  return alerts;
+}
+
+std::vector<Document> IncidentManager::History(
+    const std::string& region) const {
+  return docs_->GetContainer(kIncidentContainer)->ReadPartition(region);
+}
+
+}  // namespace seagull

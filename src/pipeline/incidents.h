@@ -1,0 +1,58 @@
+/// \file incidents.h
+/// \brief Incident Management (§2.2): persists incidents, evaluates alert
+/// rules, and summarizes what needs human attention.
+///
+/// Runs after each pipeline run ("Model Tracking, Pipeline Scheduler, and
+/// Incident Management run concurrently with other components and do not
+/// block the flow of data through the AML pipeline", §6.1) — so it is a
+/// post-run processor, not a `PipelineModule`.
+
+#pragma once
+
+#include "pipeline/pipeline.h"
+
+namespace seagull {
+
+/// Container holding persisted incidents.
+inline constexpr const char* kIncidentContainer = "incidents";
+
+/// \brief One alert raised toward on-call.
+struct Alert {
+  std::string region;
+  int64_t week = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// \brief Alert rule thresholds.
+struct IncidentRules {
+  /// Any error-severity incident alerts.
+  bool alert_on_error = true;
+  /// Alert when more than this many warnings accumulate in one run.
+  int64_t warning_threshold = 10;
+  /// Alert when the run failed outright.
+  bool alert_on_failure = true;
+};
+
+/// \brief Processes the incidents of finished runs.
+class IncidentManager {
+ public:
+  explicit IncidentManager(DocStore* docs, IncidentRules rules = {})
+      : docs_(docs), rules_(rules) {}
+
+  /// Persists the run's incidents and returns the alerts its rules fire.
+  std::vector<Alert> Process(const PipelineContext& ctx,
+                             const PipelineRunReport& report);
+
+  /// All persisted incidents of a region, ordered by id.
+  std::vector<Document> History(const std::string& region) const;
+
+ private:
+  DocStore* docs_;
+  IncidentRules rules_;
+  int64_t sequence_ = 0;
+};
+
+const char* IncidentSeverityName(IncidentSeverity severity);
+
+}  // namespace seagull

@@ -1,0 +1,37 @@
+#include "pipeline/ingestion.h"
+
+#include "common/strings.h"
+
+namespace seagull {
+
+Status DataIngestionModule::Run(PipelineContext* ctx) {
+  if (ctx->lake == nullptr) {
+    return Status::FailedPrecondition("no lake store configured");
+  }
+  const std::string key = LakeStore::TelemetryKey(ctx->region, ctx->week);
+  if (!ctx->lake->Exists(key)) {
+    // Missing input data is the canonical §2.2 incident example.
+    ctx->AddIncident(IncidentSeverity::kError, name(),
+                     "missing input blob: " + key);
+    return Status::NotFound("missing input blob: " + key);
+  }
+  SEAGULL_ASSIGN_OR_RETURN(std::string text, ctx->lake->Get(key));
+  auto records = ParseTelemetryCsv(text);
+  if (!records.ok()) {
+    ctx->AddIncident(IncidentSeverity::kError, name(),
+                     records.status().ToString());
+    return records.status();
+  }
+  ctx->records = std::move(records).ValueUnsafe();
+  ctx->stats["ingestion.rows"] = static_cast<double>(ctx->records.size());
+  SEAGULL_ASSIGN_OR_RETURN(int64_t bytes, ctx->lake->SizeOf(key));
+  ctx->stats["ingestion.bytes"] = static_cast<double>(bytes);
+  if (ctx->records.empty()) {
+    ctx->AddIncident(IncidentSeverity::kError, name(),
+                     "input blob has no rows: " + key);
+    return Status::DataLoss("input blob has no rows: " + key);
+  }
+  return Status::OK();
+}
+
+}  // namespace seagull

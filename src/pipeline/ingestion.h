@@ -1,0 +1,19 @@
+/// \file ingestion.h
+/// \brief Data Ingestion module: reads the region-week extraction from
+/// the lake store into telemetry records (§2.2, §2.4 "Data Ingestion
+/// requires update of the location of input data in ADLS").
+
+#pragma once
+
+#include "pipeline/pipeline.h"
+
+namespace seagull {
+
+/// \brief Reads `telemetry/<region>/week-XXXX.csv` and parses it.
+class DataIngestionModule final : public PipelineModule {
+ public:
+  std::string name() const override { return "ingestion"; }
+  Status Run(PipelineContext* ctx) override;
+};
+
+}  // namespace seagull

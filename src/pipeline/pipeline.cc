@@ -1,0 +1,91 @@
+#include "pipeline/pipeline.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "pipeline/accuracy.h"
+#include "pipeline/deployment.h"
+#include "pipeline/features.h"
+#include "pipeline/inference.h"
+#include "pipeline/ingestion.h"
+#include "pipeline/tracking.h"
+#include "pipeline/training.h"
+#include "pipeline/validation.h"
+
+namespace seagull {
+
+double PipelineRunReport::TotalMillis() const {
+  double sum = 0.0;
+  for (const auto& t : timings) sum += t.millis;
+  return sum;
+}
+
+double PipelineRunReport::MillisOf(const std::string& module) const {
+  for (const auto& t : timings) {
+    if (t.module == module) return t.millis;
+  }
+  return 0.0;
+}
+
+Pipeline& Pipeline::Add(std::unique_ptr<PipelineModule> module) {
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+PipelineRunReport Pipeline::Run(PipelineContext* ctx) const {
+  PipelineRunReport report;
+  report.region = ctx->region;
+  report.week = ctx->week;
+  report.success = true;
+  for (const auto& module : modules_) {
+    auto start = std::chrono::steady_clock::now();
+    Status st = module->Run(ctx);
+    auto end = std::chrono::steady_clock::now();
+    ModuleTiming timing;
+    timing.module = module->name();
+    timing.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    timing.ok = st.ok();
+    report.timings.push_back(timing);
+    if (!st.ok()) {
+      // Record the failure unless the module already raised an error
+      // incident about itself (avoids duplicate alerts).
+      bool already_reported = false;
+      for (const auto& incident : ctx->incidents) {
+        if (incident.module == module->name() &&
+            incident.severity == IncidentSeverity::kError) {
+          already_reported = true;
+          break;
+        }
+      }
+      if (!already_reported) {
+        ctx->AddIncident(IncidentSeverity::kError, module->name(),
+                         st.ToString());
+      }
+      SEAGULL_LOG_ERROR("pipeline %s week %lld: module %s failed: %s",
+                        ctx->region.c_str(),
+                        static_cast<long long>(ctx->week),
+                        module->name().c_str(), st.ToString().c_str());
+      report.success = false;
+      report.failure = module->name() + ": " + st.ToString();
+      break;
+    }
+  }
+  report.incident_count = static_cast<int64_t>(ctx->incidents.size());
+  return report;
+}
+
+Pipeline Pipeline::Standard() {
+  Pipeline p;
+  p.Add(std::make_unique<DataIngestionModule>())
+      .Add(std::make_unique<DataValidationModule>())
+      .Add(std::make_unique<FeatureExtractionModule>())
+      .Add(std::make_unique<ModelTrainingModule>())
+      .Add(std::make_unique<ModelDeploymentModule>())
+      .Add(std::make_unique<InferenceModule>())
+      .Add(std::make_unique<AccuracyEvaluationModule>())
+      .Add(std::make_unique<ModelTrackingModule>());
+  return p;
+}
+
+}  // namespace seagull

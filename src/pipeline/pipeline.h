@@ -1,0 +1,65 @@
+/// \file pipeline.h
+/// \brief The module chain and its runner (§2.2 "AML Pipeline").
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/context.h"
+
+namespace seagull {
+
+/// \brief One stage of the pipeline.
+class PipelineModule {
+ public:
+  virtual ~PipelineModule() = default;
+
+  /// Stable module name for timings, incidents, and the dashboard.
+  virtual std::string name() const = 0;
+
+  /// Transforms the context. A non-OK status aborts the run (and the
+  /// runner records an error incident); recoverable problems should
+  /// instead be appended as incidents.
+  virtual Status Run(PipelineContext* ctx) = 0;
+};
+
+/// \brief Wall-clock record of one module execution.
+struct ModuleTiming {
+  std::string module;
+  double millis = 0.0;
+  bool ok = false;
+};
+
+/// \brief Outcome of one pipeline run.
+struct PipelineRunReport {
+  std::string region;
+  int64_t week = 0;
+  bool success = false;
+  std::string failure;  ///< first failing module's status text
+  std::vector<ModuleTiming> timings;
+  int64_t incident_count = 0;
+
+  double TotalMillis() const;
+  /// Milliseconds spent in a module; 0 if it did not run.
+  double MillisOf(const std::string& module) const;
+};
+
+/// \brief Ordered chain of modules with timing and incident capture.
+class Pipeline {
+ public:
+  Pipeline& Add(std::unique_ptr<PipelineModule> module);
+
+  /// Runs all modules in order, stopping at the first failure.
+  PipelineRunReport Run(PipelineContext* ctx) const;
+
+  /// The standard Seagull chain: ingestion → validation → feature
+  /// extraction → training → deployment → accuracy evaluation.
+  static Pipeline Standard();
+
+ private:
+  std::vector<std::unique_ptr<PipelineModule>> modules_;
+};
+
+}  // namespace seagull

@@ -1,0 +1,51 @@
+#include "pipeline/scheduler.h"
+
+namespace seagull {
+
+int64_t PipelineScheduler::LastSuccessfulWeek(
+    const std::string& region) const {
+  Container* runs = docs_->GetContainer(kRunsContainer);
+  int64_t last = -1;
+  for (const auto& doc : runs->ReadPartition(region)) {
+    if (!doc.body.GetBool("success").ValueOr(false)) continue;
+    int64_t week =
+        static_cast<int64_t>(doc.body.GetNumber("week").ValueOr(-1.0));
+    if (week > last) last = week;
+  }
+  return last;
+}
+
+bool PipelineScheduler::IsDue(const std::string& region, int64_t week) const {
+  int64_t last = LastSuccessfulWeek(region);
+  return last < 0 || week - last >= period_weeks_;
+}
+
+PipelineScheduler::ScheduledRun PipelineScheduler::RunIfDue(
+    const std::string& region, int64_t week,
+    const PipelineContext& config_template) {
+  ScheduledRun out;
+  if (!IsDue(region, week)) {
+    out.report.region = region;
+    out.report.week = week;
+    out.report.success = true;
+    return out;
+  }
+  PipelineContext ctx;
+  ctx.region = region;
+  ctx.week = week;
+  ctx.accuracy = config_template.accuracy;
+  ctx.fleet = config_template.fleet;
+  ctx.model_name = config_template.model_name;
+  ctx.pool = config_template.pool;
+  ctx.lake = lake_;
+  ctx.docs = docs_;
+  out.report = pipeline_->Run(&ctx);
+
+  Dashboard dashboard(docs_);
+  dashboard.Record(ctx, out.report).Abort();
+  IncidentManager incidents(docs_);
+  out.alerts = incidents.Process(ctx, out.report);
+  return out;
+}
+
+}  // namespace seagull

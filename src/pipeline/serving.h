@@ -1,0 +1,67 @@
+/// \file serving.h
+/// \brief JSON request/response serving for deployed models.
+///
+/// In production the deployed model is "accessible through a REST
+/// endpoint" (§2.2). This module implements that contract — a JSON
+/// request carrying the server id, forecast range, and recent telemetry,
+/// and a JSON response carrying the prediction or a structured error —
+/// without binding to any transport: callers hand request text to
+/// `HandleRequest` and ship the response text however they like (the
+/// tests drive it in-process; an HTTP server would be a thin shim).
+
+#pragma once
+
+#include <string>
+
+#include "pipeline/deployment.h"
+
+namespace seagull {
+
+/// \brief Parsed forecast request.
+struct ForecastRequest {
+  std::string server_id;
+  MinuteStamp start = 0;
+  int64_t horizon_minutes = 0;
+  /// Recent telemetry: sample interval plus (timestamp, value) pairs.
+  LoadSeries recent;
+
+  /// Parses the JSON wire form:
+  /// {"server_id": "...", "start": M, "horizon_minutes": M,
+  ///  "recent": {"start": M, "interval": M, "values": [v|null, ...]}}
+  static Result<ForecastRequest> FromJson(const Json& doc);
+  Json ToJson() const;
+};
+
+/// \brief Serving endpoint wrapping a `ModelEndpoint`.
+class ForecastService {
+ public:
+  explicit ForecastService(ModelEndpoint endpoint)
+      : endpoint_(std::move(endpoint)) {}
+
+  const ModelEndpoint& endpoint() const { return endpoint_; }
+
+  /// Handles one request (JSON text in, JSON text out). Responses:
+  ///   success: {"ok": true, "model_version": V, "forecast":
+  ///             {"start": M, "interval": M, "values": [...]}}
+  ///   failure: {"ok": false, "error": "...", "code": "..."}
+  /// Malformed requests yield a failure response, never a crash.
+  std::string HandleRequest(const std::string& request_text) const;
+
+  /// Requests served / failed since construction.
+  int64_t requests_served() const { return served_; }
+  int64_t requests_failed() const { return failed_; }
+
+ private:
+  ModelEndpoint endpoint_;
+  mutable int64_t served_ = 0;
+  mutable int64_t failed_ = 0;
+};
+
+/// Serializes a load series into the wire form used by requests and
+/// responses (missing samples encode as JSON null).
+Json SeriesToJson(const LoadSeries& series);
+
+/// Parses the wire form back into a series.
+Result<LoadSeries> SeriesFromJson(const Json& doc);
+
+}  // namespace seagull

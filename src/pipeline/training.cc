@@ -1,0 +1,93 @@
+#include "pipeline/training.h"
+
+#include <mutex>
+
+#include "common/strings.h"
+#include "forecast/model.h"
+
+namespace seagull {
+
+Status ModelTrainingModule::Run(PipelineContext* ctx) {
+  if (ctx->servers.empty()) {
+    return Status::FailedPrecondition("training before validation");
+  }
+  SEAGULL_ASSIGN_OR_RETURN(auto probe,
+                           ModelFactory::Global().Create(ctx->model_name));
+  ctx->trained.clear();
+
+  if (!probe->requires_training()) {
+    // Heuristic family: one fleet-wide deployment entry, no fitting.
+    SEAGULL_ASSIGN_OR_RETURN(Json doc, probe->Serialize());
+    ctx->trained[""] = std::move(doc);
+    ctx->stats["training.models"] = 1.0;
+    ctx->stats["training.skipped"] = 0.0;
+    return Status::OK();
+  }
+
+  const MinuteStamp train_end = (ctx->week + 1) * kMinutesPerWeek;
+  const MinuteStamp train_start = train_end - kMinutesPerWeek;
+  const int64_t min_history =
+      ctx->fleet.min_history_days * kMinutesPerDay / kServerIntervalMinutes;
+
+  std::mutex mu;
+  int64_t skipped = 0, failed = 0;
+  std::vector<std::pair<std::string, Json>> fitted(ctx->servers.size());
+  std::vector<int8_t> ok_flags(ctx->servers.size(), 0);
+
+  auto work = [&](int64_t i) {
+    const ServerTelemetry& st = ctx->servers[static_cast<size_t>(i)];
+    LoadSeries train = st.load.Slice(train_start, train_end);
+    if (train.CountPresent() < min_history) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++skipped;
+      return;
+    }
+    auto model = ModelFactory::Global().Create(ctx->model_name);
+    if (!model.ok()) return;
+    Status fit = (*model)->Fit(train);
+    if (!fit.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++failed;
+      return;
+    }
+    auto doc = (*model)->Serialize();
+    if (!doc.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++failed;
+      return;
+    }
+    fitted[static_cast<size_t>(i)] = {st.server_id,
+                                      std::move(doc).ValueUnsafe()};
+    ok_flags[static_cast<size_t>(i)] = 1;
+  };
+
+  const int64_t n = static_cast<int64_t>(ctx->servers.size());
+  if (ctx->pool != nullptr) {
+    ParallelFor(ctx->pool, n, work);
+  } else {
+    SequentialFor(n, work);
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    if (ok_flags[static_cast<size_t>(i)]) {
+      ctx->trained.emplace(std::move(fitted[static_cast<size_t>(i)].first),
+                           std::move(fitted[static_cast<size_t>(i)].second));
+    }
+  }
+  ctx->stats["training.models"] = static_cast<double>(ctx->trained.size());
+  ctx->stats["training.skipped"] = static_cast<double>(skipped);
+  ctx->stats["training.failed"] = static_cast<double>(failed);
+  if (failed > 0) {
+    ctx->AddIncident(IncidentSeverity::kWarning, name(),
+                     StringPrintf("%lld servers failed model fitting",
+                                  static_cast<long long>(failed)));
+  }
+  if (ctx->trained.empty()) {
+    ctx->AddIncident(IncidentSeverity::kError, name(),
+                     "no server produced a trained model");
+    return Status::Internal("training produced no models");
+  }
+  return Status::OK();
+}
+
+}  // namespace seagull

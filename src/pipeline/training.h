@@ -1,0 +1,25 @@
+/// \file training.h
+/// \brief Model Training module (§2.2).
+///
+/// Trains the configured model family per server on the week of
+/// telemetry preceding the scheduling week ("ML models are trained on one
+/// week of data prior to backup day per server", §5.3.1) and serializes
+/// the fitted parameters for deployment. Families that do not train
+/// (persistent forecast) produce a single fleet-wide entry.
+
+#pragma once
+
+#include "pipeline/pipeline.h"
+
+namespace seagull {
+
+/// \brief Fits and serializes per-server models.
+class ModelTrainingModule final : public PipelineModule {
+ public:
+  /// `min_history_days` servers with less history are skipped (§5.3.1
+  /// considers servers with at least three days of history).
+  std::string name() const override { return "training"; }
+  Status Run(PipelineContext* ctx) override;
+};
+
+}  // namespace seagull

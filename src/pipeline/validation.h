@@ -1,0 +1,38 @@
+/// \file validation.h
+/// \brief Data Validation module: schema and bound anomaly detection.
+///
+/// §2.2: "we implemented existing rules such as detection of schema and
+/// bound anomalies". §2.4: the schema and numeric data properties are
+/// auto-deduced from input data, persisted, verified by a domain expert,
+/// and then enforced on later runs. This module implements that loop
+/// against the lake store and additionally enforces the telemetry grid,
+/// deduplicates rows, and drops physically impossible CPU values.
+
+#pragma once
+
+#include "pipeline/pipeline.h"
+
+namespace seagull {
+
+/// \brief Auto-deduced data properties of one region's telemetry.
+struct SchemaProperties {
+  std::vector<std::string> columns;
+  double cpu_min = 0.0;
+  double cpu_max = 0.0;
+  bool verified = false;
+
+  Json ToJson() const;
+  static Result<SchemaProperties> FromJson(const Json& doc);
+};
+
+/// \brief Validates records and groups them per server.
+class DataValidationModule final : public PipelineModule {
+ public:
+  std::string name() const override { return "validation"; }
+  Status Run(PipelineContext* ctx) override;
+
+  /// Lake key of the persisted schema file for a region.
+  static std::string SchemaKey(const std::string& region);
+};
+
+}  // namespace seagull

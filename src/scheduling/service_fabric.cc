@@ -1,0 +1,48 @@
+#include "scheduling/service_fabric.h"
+
+#include "common/strings.h"
+
+namespace seagull {
+
+void ServiceFabricProperties::Set(const std::string& instance,
+                                  const std::string& property,
+                                  const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  props_[{instance, property}] = value;
+}
+
+std::optional<std::string> ServiceFabricProperties::Get(
+    const std::string& instance, const std::string& property) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = props_.find({instance, property});
+  if (it == props_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ServiceFabricProperties::Clear(const std::string& instance,
+                                    const std::string& property) {
+  std::lock_guard<std::mutex> lock(mu_);
+  props_.erase({instance, property});
+}
+
+void ServiceFabricProperties::SetBackupWindowStart(const std::string& instance,
+                                                   MinuteStamp start) {
+  Set(instance, kBackupWindowProperty,
+      StringPrintf("%lld", static_cast<long long>(start)));
+}
+
+std::optional<MinuteStamp> ServiceFabricProperties::GetBackupWindowStart(
+    const std::string& instance) const {
+  auto value = Get(instance, kBackupWindowProperty);
+  if (!value.has_value()) return std::nullopt;
+  auto parsed = ParseInt64(*value);
+  if (!parsed.ok()) return std::nullopt;
+  return *parsed;
+}
+
+int64_t ServiceFabricProperties::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(props_.size());
+}
+
+}  // namespace seagull

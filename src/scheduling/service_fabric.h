@@ -1,0 +1,55 @@
+/// \file service_fabric.h
+/// \brief Service-fabric property store analog (§2.3).
+///
+/// "The algorithm stores the start time of this window as a service
+/// fabric property of respective PostgreSQL and MySQL database
+/// instances. This property is used by the backup service to schedule
+/// backups." A thread-safe (instance, property) → value map with typed
+/// helpers for the backup-window property.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/time.h"
+
+namespace seagull {
+
+/// Property name under which the scheduler publishes backup windows.
+inline constexpr const char* kBackupWindowProperty = "backup_window_start";
+
+/// \brief Per-instance property bag shared by scheduler and backup
+/// service.
+class ServiceFabricProperties {
+ public:
+  /// Sets a property on an instance.
+  void Set(const std::string& instance, const std::string& property,
+           const std::string& value);
+
+  /// Reads a property; nullopt when unset.
+  std::optional<std::string> Get(const std::string& instance,
+                                 const std::string& property) const;
+
+  /// Removes a property; no-op when unset.
+  void Clear(const std::string& instance, const std::string& property);
+
+  /// Typed helper: publishes the scheduled backup-window start stamp.
+  void SetBackupWindowStart(const std::string& instance, MinuteStamp start);
+
+  /// Typed helper: reads the scheduled start; nullopt when the instance
+  /// is on its default window.
+  std::optional<MinuteStamp> GetBackupWindowStart(
+      const std::string& instance) const;
+
+  int64_t Count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, std::string> props_;
+};
+
+}  // namespace seagull

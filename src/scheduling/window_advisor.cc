@@ -1,0 +1,41 @@
+#include "scheduling/window_advisor.h"
+
+#include "metrics/ll_window.h"
+
+namespace seagull {
+
+Result<WindowAdvice> AdviseCustomerWindow(
+    const ModelEndpoint& endpoint, const std::string& server_id,
+    const LoadSeries& recent, MinuteStamp customer_start,
+    int64_t backup_duration_minutes, const AccuracyConfig& accuracy) {
+  const int64_t day = DayIndex(customer_start);
+  MinuteStamp day_start = day * kMinutesPerDay;
+  if (customer_start + backup_duration_minutes >
+      day_start + kMinutesPerDay) {
+    return Status::Invalid("customer window crosses the day boundary");
+  }
+  SEAGULL_ASSIGN_OR_RETURN(
+      LoadSeries predicted,
+      endpoint.Predict(server_id, recent, day_start, kMinutesPerDay));
+
+  WindowAdvice advice;
+  double customer_load = WindowAverage(predicted, customer_start,
+                                       backup_duration_minutes);
+  if (IsMissing(customer_load)) {
+    return Status::FailedPrecondition(
+        "forecast has no data inside the customer window");
+  }
+  advice.customer_window_load = customer_load;
+  advice.suggested = LowestLoadWindow(predicted, day,
+                                      backup_duration_minutes);
+  if (!advice.suggested.found) {
+    return Status::FailedPrecondition("no LL window on the requested day");
+  }
+  advice.predicted_saving =
+      advice.customer_window_load - advice.suggested.average_load;
+  advice.customer_window_ok =
+      advice.predicted_saving <= accuracy.window_tolerance;
+  return advice;
+}
+
+}  // namespace seagull

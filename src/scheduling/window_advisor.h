@@ -1,0 +1,40 @@
+/// \file window_advisor.h
+/// \brief Customer backup-window advisor (§6.2).
+///
+/// "More recently, customers can select a backup window themselves.
+/// However, they may not know the best time to run a backup. ... We also
+/// use the lowest load window metric to measure if backup windows
+/// selected by customers correspond to predictable lowest load windows
+/// and suggest windows with expected lower load instead."
+
+#pragma once
+
+#include "common/config.h"
+#include "pipeline/deployment.h"
+#include "timeseries/window.h"
+
+namespace seagull {
+
+/// \brief Verdict on a customer-chosen backup window.
+struct WindowAdvice {
+  /// Predicted average load inside the customer's window.
+  double customer_window_load = 0.0;
+  /// The predicted lowest-load window of the same day.
+  WindowResult suggested;
+  /// True when the customer's window is already within tolerance of the
+  /// predicted LL window (no suggestion needed).
+  bool customer_window_ok = false;
+  /// Predicted load saved by taking the suggestion (points).
+  double predicted_saving = 0.0;
+};
+
+/// Evaluates a customer-selected window [start, start+duration) on its
+/// day against the endpoint's forecast, suggesting the predicted LL
+/// window when the customer's choice is significantly worse
+/// (Definition 8's tolerance, applied to predicted load).
+Result<WindowAdvice> AdviseCustomerWindow(
+    const ModelEndpoint& endpoint, const std::string& server_id,
+    const LoadSeries& recent, MinuteStamp customer_start,
+    int64_t backup_duration_minutes, const AccuracyConfig& accuracy = {});
+
+}  // namespace seagull

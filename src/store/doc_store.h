@@ -1,0 +1,95 @@
+/// \file doc_store.h
+/// \brief Partitioned JSON document store — the Cosmos DB analog.
+///
+/// Pipeline results (predictions, accuracy records, scheduled windows,
+/// model-registry entries) are stored in Cosmos DB in production (§2.2).
+/// `DocStore` reproduces the interaction pattern: named containers,
+/// documents addressed by (partition key, id), upserts, point reads, and
+/// filtered scans — with optional JSON-file persistence.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace seagull {
+
+/// \brief A stored document: addressing plus JSON body.
+struct Document {
+  std::string partition_key;
+  std::string id;
+  Json body;
+};
+
+/// \brief One named container of documents.
+class Container {
+ public:
+  explicit Container(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Inserts or replaces the document at (partition_key, id).
+  Status Upsert(Document doc);
+
+  /// Inserts; fails with AlreadyExists if present.
+  Status Insert(Document doc);
+
+  /// Point read.
+  Result<Document> Get(const std::string& partition_key,
+                       const std::string& id) const;
+
+  Status Delete(const std::string& partition_key, const std::string& id);
+
+  /// All documents of one partition, ordered by id.
+  std::vector<Document> ReadPartition(const std::string& partition_key) const;
+
+  /// Full scan with a predicate over the JSON body.
+  std::vector<Document> Query(
+      const std::function<bool(const Document&)>& pred) const;
+
+  int64_t Count() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::map<Key, Document> docs_;
+};
+
+/// \brief A set of named containers with JSON snapshot persistence.
+class DocStore {
+ public:
+  DocStore() = default;
+  DocStore(const DocStore&) = delete;
+  DocStore& operator=(const DocStore&) = delete;
+
+  /// Returns the container, creating it if absent.
+  Container* GetContainer(const std::string& name);
+
+  /// Names of existing containers, sorted.
+  std::vector<std::string> ContainerNames() const;
+
+  /// Serializes every container to one JSON document.
+  Json Snapshot() const;
+
+  /// Restores from a snapshot (replaces current contents).
+  Status Restore(const Json& snapshot);
+
+  /// Saves/loads the snapshot to/from a file.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Container>> containers_;
+};
+
+}  // namespace seagull

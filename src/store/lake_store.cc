@@ -1,0 +1,121 @@
+#include "store/lake_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace seagull {
+
+Result<LakeStore> LakeStore::Open(const std::string& root_dir) {
+  std::error_code ec;
+  fs::create_directories(root_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create lake root '" + root_dir +
+                           "': " + ec.message());
+  }
+  return LakeStore(fs::absolute(root_dir).string());
+}
+
+Result<LakeStore> LakeStore::OpenTemporary(const std::string& name_hint) {
+  static std::atomic<uint64_t> counter{0};
+  fs::path base = fs::temp_directory_path() / "seagull-lake";
+  std::string dir = StringPrintf(
+      "%s-%s-%llu", base.string().c_str(), name_hint.c_str(),
+      static_cast<unsigned long long>(counter.fetch_add(1)));
+  return Open(dir);
+}
+
+Result<std::string> LakeStore::ResolvePath(const std::string& key) const {
+  if (key.empty() || key.front() == '/' || key.find("..") != std::string::npos) {
+    return Status::Invalid("invalid lake key: '" + key + "'");
+  }
+  return (fs::path(root_) / key).string();
+}
+
+Status LakeStore::Put(const std::string& key,
+                      const std::string& content) const {
+  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  fs::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) return Status::IOError("mkdir failed: " + ec.message());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write blob: " + key);
+  out << content;
+  if (!out) return Status::IOError("short write: " + key);
+  return Status::OK();
+}
+
+Result<std::string> LakeStore::Get(const std::string& key) const {
+  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no such blob: " + key);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool LakeStore::Exists(const std::string& key) const {
+  auto path = ResolvePath(key);
+  if (!path.ok()) return false;
+  return fs::exists(*path);
+}
+
+Status LakeStore::Delete(const std::string& key) const {
+  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::NotFound("cannot delete blob: " + key);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> LakeStore::List(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  fs::path root(root_);
+  std::error_code ec;
+  if (!fs::exists(root, ec)) return keys;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) return Status::IOError("listing failed: " + ec.message());
+    if (!it->is_regular_file()) continue;
+    std::string rel = fs::relative(it->path(), root).generic_string();
+    if (StartsWith(rel, prefix)) keys.push_back(rel);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Result<int64_t> LakeStore::SizeOf(const std::string& key) const {
+  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  std::error_code ec;
+  auto size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("no such blob: " + key);
+  return static_cast<int64_t>(size);
+}
+
+Status LakeStore::PutCsv(const std::string& key, const CsvTable& table) const {
+  return Put(key, WriteCsv(table));
+}
+
+Result<CsvTable> LakeStore::GetCsv(const std::string& key) const {
+  SEAGULL_ASSIGN_OR_RETURN(std::string text, Get(key));
+  return ParseCsv(text);
+}
+
+std::string LakeStore::TelemetryKey(const std::string& region,
+                                    int64_t week_index) {
+  return StringPrintf("telemetry/%s/week-%04lld.csv", region.c_str(),
+                      static_cast<long long>(week_index));
+}
+
+}  // namespace seagull

@@ -1,0 +1,64 @@
+/// \file lake_store.h
+/// \brief File-backed blob store — the Azure Data Lake Store analog.
+///
+/// Load Extraction writes per-region, per-week CSV files into ADLS and
+/// the pipeline's ingestion module reads them back (§2.2). `LakeStore`
+/// provides that contract over a local directory tree with simple
+/// hierarchical keys like `telemetry/region-m/week-0003.csv`.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/result.h"
+
+namespace seagull {
+
+/// \brief Hierarchical blob storage rooted at a local directory.
+class LakeStore {
+ public:
+  /// Creates (if needed) and opens a store rooted at `root_dir`.
+  static Result<LakeStore> Open(const std::string& root_dir);
+
+  /// Opens a store in a fresh unique temporary directory.
+  static Result<LakeStore> OpenTemporary(const std::string& name_hint);
+
+  const std::string& root() const { return root_; }
+
+  /// Writes a blob, creating intermediate directories.
+  Status Put(const std::string& key, const std::string& content) const;
+
+  /// Reads a whole blob.
+  Result<std::string> Get(const std::string& key) const;
+
+  bool Exists(const std::string& key) const;
+
+  Status Delete(const std::string& key) const;
+
+  /// Lists keys under a prefix (recursive), sorted.
+  Result<std::vector<std::string>> List(const std::string& prefix) const;
+
+  /// Size of a blob in bytes.
+  Result<int64_t> SizeOf(const std::string& key) const;
+
+  /// \name CSV conveniences.
+  /// @{
+  Status PutCsv(const std::string& key, const CsvTable& table) const;
+  Result<CsvTable> GetCsv(const std::string& key) const;
+  /// @}
+
+  /// Canonical key of one region-week telemetry extraction.
+  static std::string TelemetryKey(const std::string& region,
+                                  int64_t week_index);
+
+ private:
+  explicit LakeStore(std::string root) : root_(std::move(root)) {}
+
+  Result<std::string> ResolvePath(const std::string& key) const;
+
+  std::string root_;
+};
+
+}  // namespace seagull

@@ -1,0 +1,44 @@
+/// \file azure_trace.h
+/// \brief Adapter for the Azure Public Dataset VM trace format.
+///
+/// Downstream users with real traces do not have the paper's internal
+/// telemetry, but Microsoft publishes VM CPU readings in the Azure
+/// Public Dataset (`vmtable`/`vm_cpu_readings`) as rows of
+/// `timestamp,vm_id,min_cpu,max_cpu,avg_cpu` with timestamps in seconds
+/// at a 300-second cadence. This adapter converts that format into the
+/// library's `ServerTelemetry` so the whole pipeline — classification,
+/// forecasting, scheduling — runs on real data unchanged.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/records.h"
+
+namespace seagull {
+
+/// \brief Import options.
+struct AzureTraceOptions {
+  /// The trace has no backup metadata; imported servers get this default
+  /// backup duration and a default window at this minute of day.
+  int64_t backup_duration_minutes = 60;
+  int64_t default_backup_start_minute = 2 * kMinutesPerHour;
+  /// Rows whose avg_cpu lies outside [0, 100] are dropped (the public
+  /// trace normalizes utilization to percent; stray rows exist).
+  bool drop_out_of_range = true;
+};
+
+/// Parses Azure-Public-Dataset-style CSV text
+/// (`timestamp,vm_id,min_cpu,max_cpu,avg_cpu`, header optional,
+/// timestamps in seconds since trace start, 300 s cadence) into grouped
+/// per-server telemetry on the 5-minute grid.
+Result<std::vector<ServerTelemetry>> ImportAzureVmTrace(
+    const std::string& text, const AzureTraceOptions& options = {});
+
+/// Exports grouped telemetry back into the library's native telemetry
+/// CSV (e.g. to stage an imported trace into a lake store for the
+/// pipeline).
+std::string ExportToTelemetryCsv(const std::vector<ServerTelemetry>& servers);
+
+}  // namespace seagull

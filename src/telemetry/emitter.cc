@@ -1,0 +1,56 @@
+#include "telemetry/emitter.h"
+
+namespace seagull {
+
+void DefaultBackupWindow(const ServerProfile& profile, int64_t week_index,
+                         MinuteStamp* start, MinuteStamp* end) {
+  MinuteStamp day_start =
+      week_index * kMinutesPerWeek +
+      static_cast<int64_t>(profile.backup_day) * kMinutesPerDay;
+  *start = day_start + profile.default_backup_start_minute;
+  *end = *start + profile.backup_duration_minutes;
+  // Keep the window inside the backup day.
+  MinuteStamp day_end = day_start + kMinutesPerDay;
+  if (*end > day_end) {
+    *end = day_end;
+    *start = day_end - profile.backup_duration_minutes;
+  }
+}
+
+std::vector<TelemetryRecord> ExtractWeek(const Fleet& fleet,
+                                         int64_t week_index,
+                                         const ExtractionOptions& options) {
+  std::vector<TelemetryRecord> out;
+  MinuteStamp to = (week_index + 1) * kMinutesPerWeek;
+  MinuteStamp from = to - options.history_weeks * kMinutesPerWeek;
+  if (from < 0) from = 0;
+  for (const auto& profile : fleet.servers()) {
+    LoadSeries load = fleet.ObservedLoad(profile, from, to);
+    MinuteStamp b_start = 0, b_end = 0;
+    DefaultBackupWindow(profile, week_index, &b_start, &b_end);
+    for (int64_t i = 0; i < load.size(); ++i) {
+      double v = load.ValueAt(i);
+      if (IsMissing(v)) continue;
+      TelemetryRecord r;
+      r.server_id = profile.server_id;
+      r.timestamp = load.TimeAt(i);
+      r.avg_cpu = v;
+      r.default_backup_start = b_start;
+      r.default_backup_end = b_end;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+CsvTable ExtractWeekCsv(const Fleet& fleet, int64_t week_index,
+                        const ExtractionOptions& options) {
+  return RecordsToCsv(ExtractWeek(fleet, week_index, options));
+}
+
+std::string ExtractWeekCsvText(const Fleet& fleet, int64_t week_index,
+                               const ExtractionOptions& options) {
+  return RecordsToCsvText(ExtractWeek(fleet, week_index, options));
+}
+
+}  // namespace seagull

@@ -1,0 +1,45 @@
+/// \file emitter.h
+/// \brief Load Extraction analog: turns the simulated fleet into the CSV
+/// files the pipeline ingests.
+///
+/// In production, Load Extraction is a recurring query over raw telemetry
+/// that writes per-region files into ADLS once a week (§2.2). Here the
+/// emitter plays the role of that query against the fleet simulator.
+
+#pragma once
+
+#include "telemetry/fleet.h"
+#include "telemetry/records.h"
+
+namespace seagull {
+
+/// \brief Options for one extraction run.
+struct ExtractionOptions {
+  /// Include this many weeks of history ending at the extraction week
+  /// (the evaluation data sets contain four weeks, §5.3.1).
+  int history_weeks = 4;
+};
+
+/// Extracts telemetry rows for one region covering the `history_weeks`
+/// ending with week `week_index` (inclusive). Rows for minutes where a
+/// server was not alive or telemetry was dropped are simply absent.
+std::vector<TelemetryRecord> ExtractWeek(const Fleet& fleet,
+                                         int64_t week_index,
+                                         const ExtractionOptions& options = {});
+
+/// Convenience: extraction straight to a CSV table.
+CsvTable ExtractWeekCsv(const Fleet& fleet, int64_t week_index,
+                        const ExtractionOptions& options = {});
+
+/// Convenience: extraction straight to CSV text (streaming writer; use
+/// this for large regions).
+std::string ExtractWeekCsvText(const Fleet& fleet, int64_t week_index,
+                               const ExtractionOptions& options = {});
+
+/// The default backup window of a server in a given week, as stamps.
+/// (The legacy workflow schedules the weekly full backup on the server's
+/// backup day at its default start minute.)
+void DefaultBackupWindow(const ServerProfile& profile, int64_t week_index,
+                         MinuteStamp* start, MinuteStamp* end);
+
+}  // namespace seagull

@@ -1,0 +1,66 @@
+#include "telemetry/fleet.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace seagull {
+
+Fleet Fleet::Generate(const RegionConfig& config) {
+  Fleet fleet;
+  fleet.config_ = config;
+  Rng rng(config.seed ^ Rng::HashString(config.name));
+  fleet.servers_.reserve(static_cast<size_t>(config.num_servers));
+  for (int i = 0; i < config.num_servers; ++i) {
+    std::string id = StringPrintf("%s-srv-%05d", config.name.c_str(), i);
+    fleet.servers_.push_back(
+        SampleProfile(id, config.mix, config.HorizonMinutes(), &rng));
+  }
+  return fleet;
+}
+
+const ServerProfile* Fleet::Find(const std::string& server_id) const {
+  for (const auto& s : servers_) {
+    if (s.server_id == server_id) return &s;
+  }
+  return nullptr;
+}
+
+LoadSeries Fleet::TrueLoad(const ServerProfile& profile, MinuteStamp from,
+                           MinuteStamp to) const {
+  return GenerateLoad(profile, from, to, GeneratorOptions{});
+}
+
+LoadSeries Fleet::ObservedLoad(const ServerProfile& profile, MinuteStamp from,
+                               MinuteStamp to) const {
+  return GenerateLoad(profile, from, to, config_.telemetry);
+}
+
+std::vector<RegionConfig> MakeEvaluationRegions(double scale, uint64_t seed) {
+  // Four regions of distinctly different sizes, mirroring the paper's
+  // "hundreds of kilobytes to a few gigabytes" spread.
+  struct Spec {
+    const char* name;
+    int servers;
+  };
+  const Spec specs[] = {
+      {"region-xs", 60},
+      {"region-s", 240},
+      {"region-m", 900},
+      {"region-l", 2400},
+  };
+  std::vector<RegionConfig> out;
+  uint64_t salt = 0;
+  for (const auto& spec : specs) {
+    RegionConfig rc;
+    rc.name = spec.name;
+    rc.num_servers =
+        std::max(1, static_cast<int>(spec.servers * scale));
+    rc.weeks = 4;
+    rc.seed = seed + (++salt) * 7919;
+    out.push_back(rc);
+  }
+  return out;
+}
+
+}  // namespace seagull

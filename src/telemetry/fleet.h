@@ -1,0 +1,68 @@
+/// \file fleet.h
+/// \brief Region-scoped fleets of simulated servers.
+///
+/// Seagull partitions all input data by Azure region and runs one
+/// pipeline per region (§2.1). A `Fleet` is the simulator's view of one
+/// region: its server profiles plus helpers to materialize their load.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "telemetry/load_generator.h"
+#include "telemetry/server_profile.h"
+
+namespace seagull {
+
+/// \brief Parameters of one simulated region.
+struct RegionConfig {
+  std::string name = "region";
+  int num_servers = 100;
+  /// Simulation horizon in weeks; the paper's data sets span four weeks
+  /// (three for the predictability gate + the backup week, §5.3.1).
+  int weeks = 4;
+  ArchetypeMix mix;
+  GeneratorOptions telemetry;
+  uint64_t seed = 42;
+
+  int64_t HorizonMinutes() const {
+    return static_cast<int64_t>(weeks) * kMinutesPerWeek;
+  }
+};
+
+/// \brief All simulated servers of one region.
+class Fleet {
+ public:
+  /// Samples `config.num_servers` profiles deterministically.
+  static Fleet Generate(const RegionConfig& config);
+
+  const RegionConfig& config() const { return config_; }
+  const std::vector<ServerProfile>& servers() const { return servers_; }
+  int64_t size() const { return static_cast<int64_t>(servers_.size()); }
+
+  /// Finds a profile by id; nullptr if absent.
+  const ServerProfile* Find(const std::string& server_id) const;
+
+  /// Ground-truth load of one server over [from, to) — no telemetry
+  /// dropout, for impact evaluation.
+  LoadSeries TrueLoad(const ServerProfile& profile, MinuteStamp from,
+                      MinuteStamp to) const;
+
+  /// Observed telemetry of one server over [from, to) — includes the
+  /// region's configured dropout.
+  LoadSeries ObservedLoad(const ServerProfile& profile, MinuteStamp from,
+                          MinuteStamp to) const;
+
+ private:
+  RegionConfig config_;
+  std::vector<ServerProfile> servers_;
+};
+
+/// Builds the paper's four-regions-of-different-sizes evaluation setup
+/// (§5.3.1) scaled by `scale` (1.0 keeps the default sizes).
+std::vector<RegionConfig> MakeEvaluationRegions(double scale = 1.0,
+                                                uint64_t seed = 42);
+
+}  // namespace seagull

@@ -1,0 +1,111 @@
+#include "telemetry/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seagull {
+
+namespace {
+
+double Bump(double minute_of_day, double center, double width,
+            double amplitude) {
+  // Wrap-around Gaussian bump so shapes are continuous at midnight.
+  double d = minute_of_day - center;
+  if (d > kMinutesPerDay / 2.0) d -= kMinutesPerDay;
+  if (d < -kMinutesPerDay / 2.0) d += kMinutesPerDay;
+  return amplitude * std::exp(-(d * d) / (2.0 * width * width));
+}
+
+}  // namespace
+
+double ShapeAt(const ServerProfile& profile, MinuteStamp t) {
+  const double mod = static_cast<double>(MinuteOfDay(t));
+  const auto dow = static_cast<size_t>(DayOfWeekOf(t));
+  double v = profile.base_load;
+  for (int b = 0; b < 2; ++b) {
+    v += profile.day_scale[dow] *
+         Bump(mod, profile.bump_center[static_cast<size_t>(b)],
+              profile.bump_width[static_cast<size_t>(b)],
+              profile.bump_amplitude[static_cast<size_t>(b)]);
+  }
+  return v;
+}
+
+LoadSeries GenerateLoad(const ServerProfile& profile, MinuteStamp from,
+                        MinuteStamp to, const GeneratorOptions& options) {
+  const int64_t grid = kServerIntervalMinutes;
+  // Align the emission range to the grid.
+  MinuteStamp out_from = from / grid * grid;
+  MinuteStamp out_to = (to + grid - 1) / grid * grid;
+  const int64_t n = std::max<int64_t>(0, (out_to - out_from) / grid);
+  std::vector<double> out(static_cast<size_t>(n), kMissingValue);
+
+  // The load process always advances from the server's creation time so
+  // that any emission range observes the same ground truth.
+  MinuteStamp sim_from = profile.created_at / grid * grid;
+  MinuteStamp sim_to = std::min(out_to, profile.deleted_at);
+  Rng rng_load(profile.seed);
+  Rng rng_drop(profile.seed ^ 0xD50FD50FD50FD50FULL);
+
+  const bool is_no_pattern =
+      profile.archetype == ServerArchetype::kNoPattern;
+  const bool has_bursts = is_no_pattern || profile.saturating;
+
+  // Ornstein–Uhlenbeck excursion state (no-pattern servers only).
+  double ou_state = 0.0;
+  double ou_mu = 0.0;
+  MinuteStamp next_regime =
+      sim_from + static_cast<MinuteStamp>(
+          rng_load.Exponential(profile.regime_mean_interarrival_minutes));
+  // Burst state.
+  MinuteStamp burst_until = sim_from - 1;
+  double burst_level = 0.0;
+  MinuteStamp next_burst =
+      sim_from + static_cast<MinuteStamp>(rng_load.Exponential(
+          kMinutesPerDay / std::max(profile.burst_rate_per_day, 1e-6)));
+  // Telemetry-hour dropout state.
+  bool hour_dropped = false;
+
+  for (MinuteStamp t = sim_from; t < sim_to; t += grid) {
+    // -- advance stochastic state (always, for determinism) --
+    double noise = rng_load.Gaussian(0.0, profile.noise_sigma);
+    double ou_noise = rng_load.Gaussian(0.0, profile.ou_sigma);
+    if (is_no_pattern) {
+      if (t >= next_regime) {
+        ou_mu = rng_load.Uniform(-0.35, 0.5) * profile.base_load;
+        next_regime = t + static_cast<MinuteStamp>(rng_load.Exponential(
+            profile.regime_mean_interarrival_minutes));
+      }
+      ou_state += profile.ou_theta * (ou_mu - ou_state) + ou_noise;
+    }
+    if (has_bursts && t >= next_burst) {
+      burst_level = rng_load.Uniform(0.5, 1.0) * profile.burst_magnitude;
+      burst_until = t + static_cast<MinuteStamp>(
+          rng_load.Uniform(20.0, 4.0 * 60.0));
+      next_burst = t + static_cast<MinuteStamp>(rng_load.Exponential(
+          kMinutesPerDay / std::max(profile.burst_rate_per_day, 1e-6)));
+    }
+
+    // Hour-level dropout decision at hour boundaries.
+    if (MinuteOfDay(t) % kMinutesPerHour == 0) {
+      hour_dropped = rng_drop.Chance(options.missing_hour_rate);
+    }
+    bool sample_dropped = rng_drop.Chance(options.missing_sample_rate);
+
+    if (t < out_from || t >= out_to) continue;
+    if (!profile.IsAliveAt(t)) continue;
+    if (hour_dropped || sample_dropped) continue;
+
+    double v = ShapeAt(profile, t) + noise;
+    if (is_no_pattern) v += ou_state;
+    if (has_bursts && t < burst_until) v += burst_level;
+    v = std::clamp(v, 0.0, profile.capacity_ceiling);
+    out[static_cast<size_t>((t - out_from) / grid)] = v;
+  }
+
+  auto series = LoadSeries::Make(out_from, grid, std::move(out));
+  series.status().Abort();  // construction is internal and must not fail
+  return std::move(series).ValueUnsafe();
+}
+
+}  // namespace seagull

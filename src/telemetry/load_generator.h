@@ -1,0 +1,35 @@
+/// \file load_generator.h
+/// \brief Deterministic synthetic load signal per server profile.
+///
+/// Given a `ServerProfile` and a time range, produces the server's ground
+/// truth CPU load on the 5-minute telemetry grid. Generation is a pure
+/// function of (profile.seed, range), so any component — the emitter, the
+/// backup service, the impact evaluator — observes a consistent signal.
+
+#pragma once
+
+#include "telemetry/server_profile.h"
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// \brief Options controlling telemetry imperfections.
+struct GeneratorOptions {
+  /// Probability that any individual sample is dropped (missing), as
+  /// happens with real telemetry agents.
+  double missing_sample_rate = 0.0;
+  /// Probability that a whole hour of samples is dropped.
+  double missing_hour_rate = 0.0;
+};
+
+/// Generates the server's true load over [from, to) clipped to the
+/// server's lifespan; samples outside the lifespan are missing.
+LoadSeries GenerateLoad(const ServerProfile& profile, MinuteStamp from,
+                        MinuteStamp to,
+                        const GeneratorOptions& options = {});
+
+/// Deterministic noiseless shape component at time `t` (no OU/regime
+/// state, no noise). Exposed for tests that verify pattern geometry.
+double ShapeAt(const ServerProfile& profile, MinuteStamp t);
+
+}  // namespace seagull

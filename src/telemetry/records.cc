@@ -1,0 +1,189 @@
+#include "telemetry/records.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace seagull {
+
+const char* const kTelemetryColumns[5] = {
+    "server_id", "timestamp_minutes", "avg_cpu_pct",
+    "default_backup_start", "default_backup_end"};
+
+CsvTable RecordsToCsv(const std::vector<TelemetryRecord>& records) {
+  CsvTable table;
+  table.header.assign(kTelemetryColumns, kTelemetryColumns + 5);
+  table.rows.reserve(records.size());
+  for (const auto& r : records) {
+    table.rows.push_back({
+        r.server_id,
+        StringPrintf("%lld", static_cast<long long>(r.timestamp)),
+        StringPrintf("%.4f", r.avg_cpu),
+        StringPrintf("%lld", static_cast<long long>(r.default_backup_start)),
+        StringPrintf("%lld", static_cast<long long>(r.default_backup_end)),
+    });
+  }
+  return table;
+}
+
+Result<std::vector<TelemetryRecord>> CsvToRecords(const CsvTable& table) {
+  if (table.header.size() != 5) {
+    return Status::Invalid("telemetry CSV must have 5 columns");
+  }
+  for (int i = 0; i < 5; ++i) {
+    if (table.header[static_cast<size_t>(i)] != kTelemetryColumns[i]) {
+      return Status::Invalid("unexpected telemetry column: " +
+                             table.header[static_cast<size_t>(i)]);
+    }
+  }
+  std::vector<TelemetryRecord> out;
+  out.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    TelemetryRecord r;
+    r.server_id = row[0];
+    SEAGULL_ASSIGN_OR_RETURN(r.timestamp, ParseInt64(row[1]));
+    SEAGULL_ASSIGN_OR_RETURN(r.avg_cpu, ParseDouble(row[2]));
+    SEAGULL_ASSIGN_OR_RETURN(r.default_backup_start, ParseInt64(row[3]));
+    SEAGULL_ASSIGN_OR_RETURN(r.default_backup_end, ParseInt64(row[4]));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string RecordsToCsvText(const std::vector<TelemetryRecord>& records) {
+  std::string out;
+  // server_id(~20) + 4 numeric fields: ~64 bytes per row.
+  out.reserve(records.size() * 64 + 128);
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) out += ',';
+    out += kTelemetryColumns[i];
+  }
+  out += '\n';
+  char buf[160];
+  for (const auto& r : records) {
+    int n = std::snprintf(buf, sizeof(buf), "%s,%lld,%.4f,%lld,%lld\n",
+                          r.server_id.c_str(),
+                          static_cast<long long>(r.timestamp), r.avg_cpu,
+                          static_cast<long long>(r.default_backup_start),
+                          static_cast<long long>(r.default_backup_end));
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Result<std::vector<TelemetryRecord>> ParseTelemetryCsv(
+    const std::string& text) {
+  std::vector<TelemetryRecord> out;
+  size_t pos = 0;
+  const size_t size = text.size();
+  auto next_line = [&](std::string_view* line) {
+    if (pos >= size) return false;
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = size;
+    *line = std::string_view(text).substr(pos, end - pos);
+    pos = end + 1;
+    if (!line->empty() && line->back() == '\r') {
+      line->remove_suffix(1);
+    }
+    return true;
+  };
+
+  std::string_view header;
+  if (!next_line(&header)) return Status::Invalid("empty telemetry CSV");
+  {
+    std::string expected;
+    for (int i = 0; i < 5; ++i) {
+      if (i > 0) expected += ',';
+      expected += kTelemetryColumns[i];
+    }
+    if (header != expected) {
+      return Status::Invalid("unexpected telemetry CSV header");
+    }
+  }
+  out.reserve(size / 48);
+
+  std::string_view line;
+  size_t line_no = 1;
+  while (next_line(&line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string_view fields[5];
+    size_t start = 0;
+    int nf = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (nf >= 5) {
+          return Status::Invalid(StringPrintf(
+              "telemetry CSV line %zu has too many fields", line_no));
+        }
+        fields[nf++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (nf != 5) {
+      return Status::Invalid(StringPrintf(
+          "telemetry CSV line %zu has %d fields, expected 5", line_no, nf));
+    }
+    TelemetryRecord r;
+    r.server_id.assign(fields[0]);
+    SEAGULL_ASSIGN_OR_RETURN(r.timestamp, ParseInt64(fields[1]));
+    SEAGULL_ASSIGN_OR_RETURN(r.avg_cpu, ParseDouble(fields[2]));
+    SEAGULL_ASSIGN_OR_RETURN(r.default_backup_start, ParseInt64(fields[3]));
+    SEAGULL_ASSIGN_OR_RETURN(r.default_backup_end, ParseInt64(fields[4]));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::vector<ServerTelemetry>> GroupByServer(
+    const std::vector<TelemetryRecord>& records, int64_t interval_minutes) {
+  struct Acc {
+    MinuteStamp min_t = 0;
+    MinuteStamp max_t = 0;
+    bool any = false;
+    std::vector<std::pair<MinuteStamp, double>> samples;
+    MinuteStamp backup_start = 0;
+    MinuteStamp backup_end = 0;
+  };
+  std::map<std::string, Acc> by_server;
+  for (const auto& r : records) {
+    if (r.timestamp % interval_minutes != 0) {
+      return Status::Invalid(StringPrintf(
+          "timestamp %lld of server %s is off the %lld-minute grid",
+          static_cast<long long>(r.timestamp), r.server_id.c_str(),
+          static_cast<long long>(interval_minutes)));
+    }
+    Acc& acc = by_server[r.server_id];
+    if (!acc.any) {
+      acc.min_t = acc.max_t = r.timestamp;
+      acc.any = true;
+    } else {
+      acc.min_t = std::min(acc.min_t, r.timestamp);
+      acc.max_t = std::max(acc.max_t, r.timestamp);
+    }
+    acc.samples.emplace_back(r.timestamp, r.avg_cpu);
+    acc.backup_start = r.default_backup_start;
+    acc.backup_end = r.default_backup_end;
+  }
+
+  std::vector<ServerTelemetry> out;
+  out.reserve(by_server.size());
+  for (auto& [id, acc] : by_server) {
+    int64_t n = (acc.max_t - acc.min_t) / interval_minutes + 1;
+    SEAGULL_ASSIGN_OR_RETURN(
+        LoadSeries series,
+        LoadSeries::MakeEmpty(acc.min_t, interval_minutes, n));
+    for (const auto& [t, v] : acc.samples) {
+      series.SetValue((t - acc.min_t) / interval_minutes, v);
+    }
+    ServerTelemetry st;
+    st.server_id = id;
+    st.load = std::move(series);
+    st.default_backup_start = acc.backup_start;
+    st.default_backup_end = acc.backup_end;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+}  // namespace seagull

@@ -1,0 +1,67 @@
+/// \file records.h
+/// \brief Telemetry record schema and per-server grouping.
+///
+/// The load-extraction query writes CSV files whose rows are: server
+/// identifier, timestamp in minutes, average user CPU load percentage per
+/// five minutes, and the default backup start/end timestamps (§5.3.1).
+/// This header defines that row type and the per-server grouped form the
+/// pipeline operates on.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// \brief One telemetry row, exactly the paper's CSV schema.
+struct TelemetryRecord {
+  std::string server_id;
+  MinuteStamp timestamp = 0;
+  double avg_cpu = 0.0;
+  MinuteStamp default_backup_start = 0;
+  MinuteStamp default_backup_end = 0;
+};
+
+/// \brief All telemetry of one server within one extraction, grouped.
+struct ServerTelemetry {
+  std::string server_id;
+  LoadSeries load;
+  MinuteStamp default_backup_start = 0;
+  MinuteStamp default_backup_end = 0;
+
+  int64_t backup_duration_minutes() const {
+    return default_backup_end - default_backup_start;
+  }
+};
+
+/// Column names of the telemetry CSV schema, in order.
+extern const char* const kTelemetryColumns[5];
+
+/// Converts rows to a CSV table.
+CsvTable RecordsToCsv(const std::vector<TelemetryRecord>& records);
+
+/// Parses a CSV table into rows, validating the header.
+Result<std::vector<TelemetryRecord>> CsvToRecords(const CsvTable& table);
+
+/// Streaming writer: serializes rows straight to CSV text. Telemetry
+/// fields never need quoting, so this avoids materializing a string
+/// table for multi-million-row extractions.
+std::string RecordsToCsvText(const std::vector<TelemetryRecord>& records);
+
+/// Streaming parser: the inverse of `RecordsToCsvText`. Validates the
+/// header and field count per line.
+Result<std::vector<TelemetryRecord>> ParseTelemetryCsv(
+    const std::string& text);
+
+/// Groups rows by server into aligned load series. Rows may arrive in any
+/// order; duplicate (server, timestamp) rows keep the last value.
+Result<std::vector<ServerTelemetry>> GroupByServer(
+    const std::vector<TelemetryRecord>& records,
+    int64_t interval_minutes = kServerIntervalMinutes);
+
+}  // namespace seagull

@@ -1,0 +1,185 @@
+#include "telemetry/server_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seagull {
+
+const char* ServerArchetypeName(ServerArchetype a) {
+  switch (a) {
+    case ServerArchetype::kStable:
+      return "stable";
+    case ServerArchetype::kDailyPattern:
+      return "daily";
+    case ServerArchetype::kWeeklyPattern:
+      return "weekly";
+    case ServerArchetype::kNoPattern:
+      return "no_pattern";
+  }
+  return "unknown";
+}
+
+bool ArchetypeMix::IsValid() const {
+  if (short_lived < 0 || stable < 0 || daily < 0 || weekly < 0 ||
+      no_pattern < 0) {
+    return false;
+  }
+  double sum = short_lived + stable + daily + weekly + no_pattern;
+  return std::fabs(sum - 1.0) < 1e-6;
+}
+
+namespace {
+
+// Rounds to the telemetry grid.
+int64_t SnapToGrid(double minutes, int64_t grid) {
+  int64_t v = static_cast<int64_t>(minutes / static_cast<double>(grid));
+  return v * grid;
+}
+
+ServerArchetype SampleShape(const ArchetypeMix& mix, Rng* rng) {
+  // Conditional shape distribution for long-lived servers; short-lived
+  // servers reuse the same conditional shape.
+  double total = mix.stable + mix.daily + mix.weekly + mix.no_pattern;
+  double u = rng->Uniform() * total;
+  if ((u -= mix.stable) < 0) return ServerArchetype::kStable;
+  if ((u -= mix.daily) < 0) return ServerArchetype::kDailyPattern;
+  if ((u -= mix.weekly) < 0) return ServerArchetype::kWeeklyPattern;
+  return ServerArchetype::kNoPattern;
+}
+
+void ConfigureShape(ServerProfile* p, Rng* rng) {
+  switch (p->archetype) {
+    case ServerArchetype::kStable:
+      p->base_load = rng->Uniform(3.0, 45.0);
+      p->noise_sigma = rng->Uniform(0.4, 1.6);
+      p->bump_amplitude = {0.0, 0.0};
+      break;
+    case ServerArchetype::kDailyPattern: {
+      p->base_load = rng->Uniform(8.0, 30.0);
+      p->noise_sigma = rng->Uniform(0.5, 1.5);
+      // Strong recurring peaks (e.g. an automated workload, §3.2): big
+      // enough that a flat average fails the bucket-ratio test.
+      p->bump_center = {rng->Uniform(7.0, 12.0) * 60,
+                        rng->Uniform(13.0, 21.0) * 60};
+      p->bump_width = {rng->Uniform(60.0, 150.0), rng->Uniform(60.0, 180.0)};
+      p->bump_amplitude = {rng->Uniform(25.0, 45.0),
+                           rng->Uniform(15.0, 40.0)};
+      break;
+    }
+    case ServerArchetype::kWeeklyPattern: {
+      p->base_load = rng->Uniform(8.0, 30.0);
+      p->noise_sigma = rng->Uniform(0.5, 1.5);
+      p->bump_center = {rng->Uniform(7.0, 12.0) * 60,
+                        rng->Uniform(13.0, 21.0) * 60};
+      p->bump_width = {rng->Uniform(60.0, 150.0), rng->Uniform(60.0, 180.0)};
+      p->bump_amplitude = {rng->Uniform(25.0, 45.0),
+                           rng->Uniform(15.0, 40.0)};
+      // Weekday/weekend regime plus mild per-day variation breaks the
+      // daily pattern while keeping the weekly one (Figure 6).
+      for (int d = 0; d < 7; ++d) {
+        bool weekend = d >= 5;
+        p->day_scale[static_cast<size_t>(d)] =
+            weekend ? rng->Uniform(0.05, 0.35) : rng->Uniform(0.8, 1.2);
+      }
+      break;
+    }
+    case ServerArchetype::kNoPattern: {
+      // Unstable without a *recognizable* pattern (§3.2): enough
+      // structure that low-load valleys often recur, but level drift,
+      // regime shifts, and bursts break the strict 90%-bucket-ratio
+      // tests day over day (Figure 7).
+      p->base_load = rng->Uniform(10.0, 35.0);
+      p->noise_sigma = rng->Uniform(1.0, 1.6);
+      p->bump_center = {rng->Uniform(8.0, 13.0) * 60,
+                        rng->Uniform(14.0, 20.0) * 60};
+      p->bump_width = {rng->Uniform(80.0, 160.0), rng->Uniform(80.0, 180.0)};
+      p->bump_amplitude = {rng->Uniform(4.0, 16.0), rng->Uniform(3.0, 12.0)};
+      for (int d = 0; d < 7; ++d) {
+        p->day_scale[static_cast<size_t>(d)] = rng->Uniform(0.85, 1.15);
+      }
+      p->ou_theta = rng->Uniform(0.03, 0.07);
+      p->ou_sigma = rng->Uniform(0.2, 0.6);
+      p->regime_mean_interarrival_minutes =
+          rng->Uniform(3.0, 8.0) * kMinutesPerDay;
+      p->burst_rate_per_day = rng->Uniform(0.5, 2.0);
+      p->burst_magnitude = rng->Uniform(8.0, 20.0);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ServerProfile SampleProfile(const std::string& server_id,
+                            const ArchetypeMix& mix, int64_t horizon_minutes,
+                            Rng* rng) {
+  ServerProfile p;
+  p.server_id = server_id;
+  p.seed = Rng::HashString(server_id) ^ rng->Next();
+
+  const bool short_lived = rng->Chance(mix.short_lived);
+  p.archetype = SampleShape(mix, rng);
+  ConfigureShape(&p, rng);
+
+  if (short_lived) {
+    // Lifespan under three weeks, placed uniformly in the horizon.
+    int64_t lifespan = SnapToGrid(
+        rng->Uniform(0.5 * kMinutesPerDay, 20.5 * kMinutesPerDay),
+        kServerIntervalMinutes);
+    int64_t slack = horizon_minutes - lifespan;
+    p.created_at = slack > 0
+                       ? SnapToGrid(rng->Uniform(0.0,
+                                                 static_cast<double>(slack)),
+                                    kServerIntervalMinutes)
+                       : 0;
+    p.deleted_at = p.created_at + lifespan;
+  } else {
+    // Long-lived: present from (near) the start through the horizon.
+    p.created_at = 0;
+    p.deleted_at = horizon_minutes;
+  }
+
+  // Capacity ceilings: a small tail of servers actually saturates their
+  // CPU in a typical week (Figure 13(b) reports 3.7%).
+  double u = rng->Uniform();
+  if (u < 0.037) {
+    p.capacity_ceiling = 100.0;
+    p.base_load = rng->Uniform(55.0, 75.0);
+    p.saturating = true;
+    p.burst_rate_per_day = rng->Uniform(1.0, 4.0);
+    p.burst_magnitude = rng->Uniform(40.0, 60.0);
+  } else {
+    p.capacity_ceiling = rng->Uniform(55.0, 99.0);
+  }
+
+  // Backup duration scales with a lognormal synthetic database size.
+  double size_factor = std::exp(rng->Gaussian(0.0, 0.7));
+  double duration = std::clamp(60.0 * size_factor, 30.0, 360.0);
+  p.backup_duration_minutes =
+      std::max<int64_t>(kServerIntervalMinutes,
+                        SnapToGrid(duration, kServerIntervalMinutes));
+  // Size consistent with the duration at the engine's idle throughput
+  // (100 MB/min), so the scheduled window is exactly the idle run time.
+  p.database_size_mb =
+      static_cast<double>(p.backup_duration_minutes) * 100.0;
+
+  p.backup_day = static_cast<DayOfWeek>(rng->UniformInt(0, 6));
+
+  // The legacy default window ignores customer activity; it clusters in
+  // the provider's overnight maintenance band with a minority scattered
+  // across the day (so that some defaults collide with peaks).
+  if (rng->Chance(0.75)) {
+    p.default_backup_start_minute =
+        SnapToGrid(rng->Uniform(0.0, 6.0) * 60, kServerIntervalMinutes);
+  } else {
+    p.default_backup_start_minute = SnapToGrid(
+        rng->Uniform(0.0, 24.0) * 60 - static_cast<double>(
+            p.backup_duration_minutes),
+        kServerIntervalMinutes);
+    if (p.default_backup_start_minute < 0) p.default_backup_start_minute = 0;
+  }
+
+  return p;
+}
+
+}  // namespace seagull

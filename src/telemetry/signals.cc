@@ -1,0 +1,201 @@
+#include "telemetry/signals.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seagull {
+
+const char* SignalKindName(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kCpu:
+      return "cpu";
+    case SignalKind::kMemory:
+      return "memory";
+    case SignalKind::kIo:
+      return "io";
+    case SignalKind::kConnections:
+      return "connections";
+  }
+  return "unknown";
+}
+
+const LoadSeries& MultiSignalSeries::Get(SignalKind kind) const {
+  switch (kind) {
+    case SignalKind::kCpu:
+      return cpu;
+    case SignalKind::kMemory:
+      return memory;
+    case SignalKind::kIo:
+      return io;
+    case SignalKind::kConnections:
+      return connections;
+  }
+  return cpu;
+}
+
+namespace {
+
+/// Derives a companion signal from the CPU series. Deterministic given
+/// (profile.seed, kind).
+LoadSeries DeriveSignal(const ServerProfile& profile, const LoadSeries& cpu,
+                        SignalKind kind) {
+  Rng rng(profile.seed ^ (0x51617EA1ULL * (static_cast<uint64_t>(kind) + 1)));
+  LoadSeries out = cpu;  // same grid and missingness
+
+  switch (kind) {
+    case SignalKind::kCpu:
+      return out;
+    case SignalKind::kMemory: {
+      // Memory follows activity slowly (caches fill, connections pin
+      // buffers) above a provisioning-dependent floor.
+      double floor = rng.Uniform(15.0, 45.0);
+      double state = floor;
+      const double alpha = 0.02;  // slow leaky integral
+      for (int64_t i = 0; i < cpu.size(); ++i) {
+        double c = cpu.ValueAt(i);
+        if (IsMissing(c)) {
+          out.SetValue(i, kMissingValue);
+          continue;
+        }
+        double target = floor + 0.6 * c;
+        state += alpha * (target - state) + rng.Gaussian(0.0, 0.15);
+        out.SetValue(i, std::clamp(state, 0.0, 100.0));
+      }
+      return out;
+    }
+    case SignalKind::kIo: {
+      // I/O tracks activity with multiplicative noise plus independent
+      // flush bursts (checkpoints, log rotation).
+      double io_ratio = rng.Uniform(0.3, 0.9);
+      MinuteStamp burst_until = cpu.start() - 1;
+      double burst_level = 0.0;
+      MinuteStamp next_burst = cpu.start() + static_cast<MinuteStamp>(
+          rng.Exponential(6.0 * kMinutesPerHour));
+      for (int64_t i = 0; i < cpu.size(); ++i) {
+        MinuteStamp t = cpu.TimeAt(i);
+        if (t >= next_burst) {
+          burst_level = rng.Uniform(25.0, 70.0);
+          burst_until = t + static_cast<MinuteStamp>(
+              rng.Uniform(10.0, 45.0));
+          next_burst = t + static_cast<MinuteStamp>(
+              rng.Exponential(6.0 * kMinutesPerHour));
+        }
+        double c = cpu.ValueAt(i);
+        if (IsMissing(c)) {
+          out.SetValue(i, kMissingValue);
+          continue;
+        }
+        double v = io_ratio * c * rng.Uniform(0.7, 1.3);
+        if (t < burst_until) v += burst_level;
+        out.SetValue(i, std::clamp(v, 0.0, 100.0));
+      }
+      return out;
+    }
+    case SignalKind::kConnections: {
+      // Connections scale with activity above a small resident pool,
+      // quantized to whole connections.
+      double pool = rng.Uniform(2.0, 12.0);
+      double per_point = rng.Uniform(0.5, 3.0);
+      for (int64_t i = 0; i < cpu.size(); ++i) {
+        double c = cpu.ValueAt(i);
+        if (IsMissing(c)) {
+          out.SetValue(i, kMissingValue);
+          continue;
+        }
+        double v = pool + per_point * c + rng.Gaussian(0.0, 1.0);
+        out.SetValue(i, std::max(0.0, std::round(v)));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LoadSeries GenerateSignal(const ServerProfile& profile, SignalKind kind,
+                          MinuteStamp from, MinuteStamp to,
+                          const GeneratorOptions& options) {
+  LoadSeries cpu = GenerateLoad(profile, from, to, options);
+  if (kind == SignalKind::kCpu) return cpu;
+  return DeriveSignal(profile, cpu, kind);
+}
+
+MultiSignalSeries GenerateAllSignals(const ServerProfile& profile,
+                                     MinuteStamp from, MinuteStamp to,
+                                     const GeneratorOptions& options) {
+  MultiSignalSeries signals;
+  signals.cpu = GenerateLoad(profile, from, to, options);
+  signals.memory = DeriveSignal(profile, signals.cpu, SignalKind::kMemory);
+  signals.io = DeriveSignal(profile, signals.cpu, SignalKind::kIo);
+  signals.connections =
+      DeriveSignal(profile, signals.cpu, SignalKind::kConnections);
+  return signals;
+}
+
+double SignalCorrelation(const LoadSeries& a, const LoadSeries& b) {
+  if (a.empty() || b.empty() ||
+      a.interval_minutes() != b.interval_minutes()) {
+    return 0.0;
+  }
+  MinuteStamp lo = std::max(a.start(), b.start());
+  MinuteStamp hi = std::min(a.end(), b.end());
+  double sum_a = 0, sum_b = 0, sum_ab = 0, sum_a2 = 0, sum_b2 = 0;
+  int64_t n = 0;
+  for (MinuteStamp t = lo; t < hi; t += a.interval_minutes()) {
+    double va = a.ValueAtTime(t);
+    double vb = b.ValueAtTime(t);
+    if (IsMissing(va) || IsMissing(vb)) continue;
+    sum_a += va;
+    sum_b += vb;
+    sum_ab += va * vb;
+    sum_a2 += va * va;
+    sum_b2 += vb * vb;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double nn = static_cast<double>(n);
+  double cov = sum_ab / nn - (sum_a / nn) * (sum_b / nn);
+  double var_a = sum_a2 / nn - (sum_a / nn) * (sum_a / nn);
+  double var_b = sum_b2 / nn - (sum_b / nn) * (sum_b / nn);
+  if (var_a <= 0 || var_b <= 0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+CrossSignalFeatures ComputeCrossSignalFeatures(
+    const MultiSignalSeries& signals) {
+  CrossSignalFeatures f;
+  f.cpu_memory_correlation = SignalCorrelation(signals.cpu, signals.memory);
+  f.cpu_io_correlation = SignalCorrelation(signals.cpu, signals.io);
+  f.cpu_connections_correlation =
+      SignalCorrelation(signals.cpu, signals.connections);
+
+  int64_t io_bound = 0, compared = 0;
+  double memory_sum = 0;
+  int64_t memory_n = 0;
+  for (int64_t i = 0; i < signals.cpu.size(); ++i) {
+    double c = signals.cpu.ValueAt(i);
+    double io = i < signals.io.size() ? signals.io.ValueAt(i)
+                                      : kMissingValue;
+    if (!IsMissing(c) && !IsMissing(io)) {
+      ++compared;
+      if (io > c + 20.0) ++io_bound;
+    }
+    double m = i < signals.memory.size() ? signals.memory.ValueAt(i)
+                                         : kMissingValue;
+    if (!IsMissing(m)) {
+      memory_sum += m;
+      ++memory_n;
+    }
+  }
+  if (compared > 0) {
+    f.io_bound_fraction =
+        static_cast<double>(io_bound) / static_cast<double>(compared);
+  }
+  if (memory_n > 0) {
+    f.mean_memory = memory_sum / static_cast<double>(memory_n);
+  }
+  return f;
+}
+
+}  // namespace seagull

@@ -1,0 +1,72 @@
+/// \file signals.h
+/// \brief Additional telemetry signals beyond CPU (§2.2).
+///
+/// "For the backup scheduling scenario, we have selected the average
+/// customer CPU load percentage ... Other signals (memory, I/O, number
+/// of active connections, etc.) can be added to improve accuracy." This
+/// module generates those signals consistently with a server's CPU
+/// ground truth — memory as a slow leaky integral of activity, I/O as
+/// activity-correlated bursts, connections as a discretized scaled
+/// activity level — and derives the cross-signal features the paper's
+/// Feature Extraction module would consume.
+
+#pragma once
+
+#include "telemetry/load_generator.h"
+
+namespace seagull {
+
+/// \brief Telemetry signal kinds.
+enum class SignalKind : int8_t {
+  kCpu = 0,          ///< average user CPU percent (the paper's signal)
+  kMemory = 1,       ///< memory utilization percent
+  kIo = 2,           ///< disk I/O utilization percent
+  kConnections = 3,  ///< active connection count
+};
+
+const char* SignalKindName(SignalKind kind);
+
+/// \brief All signals of one server over one range, on the CPU grid.
+struct MultiSignalSeries {
+  LoadSeries cpu;
+  LoadSeries memory;
+  LoadSeries io;
+  LoadSeries connections;
+
+  const LoadSeries& Get(SignalKind kind) const;
+};
+
+/// Generates one signal over [from, to). `kCpu` is identical to
+/// `GenerateLoad`; the others are deterministic functions of the same
+/// ground truth plus signal-specific dynamics seeded per (server, kind).
+LoadSeries GenerateSignal(const ServerProfile& profile, SignalKind kind,
+                          MinuteStamp from, MinuteStamp to,
+                          const GeneratorOptions& options = {});
+
+/// Generates all four signals at once (shares one CPU evaluation).
+MultiSignalSeries GenerateAllSignals(const ServerProfile& profile,
+                                     MinuteStamp from, MinuteStamp to,
+                                     const GeneratorOptions& options = {});
+
+/// \brief Cross-signal features for the Feature Extraction module.
+struct CrossSignalFeatures {
+  /// Pearson correlation of CPU with each companion signal over the
+  /// jointly present samples; 0 when not computable.
+  double cpu_memory_correlation = 0.0;
+  double cpu_io_correlation = 0.0;
+  double cpu_connections_correlation = 0.0;
+  /// Fraction of samples where I/O exceeds CPU by 20+ points — an
+  /// "I/O-bound" indicator that CPU-only scheduling would miss.
+  double io_bound_fraction = 0.0;
+  /// Mean memory level (memory pressure changes backup cost).
+  double mean_memory = 0.0;
+};
+
+/// Computes the cross-signal features over the series' common range.
+CrossSignalFeatures ComputeCrossSignalFeatures(
+    const MultiSignalSeries& signals);
+
+/// Pearson correlation over jointly present samples; 0 if undefined.
+double SignalCorrelation(const LoadSeries& a, const LoadSeries& b);
+
+}  // namespace seagull

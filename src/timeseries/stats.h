@@ -1,0 +1,41 @@
+/// \file stats.h
+/// \brief Descriptive statistics over load series and raw samples.
+
+#pragma once
+
+#include <vector>
+
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// \brief Summary of a sample set (missing values excluded).
+struct SeriesSummary {
+  int64_t count = 0;
+  int64_t missing = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a full summary in one pass.
+SeriesSummary Summarize(const LoadSeries& series);
+
+/// Population standard deviation of present samples (0 for < 2 samples).
+double StdDev(const std::vector<double>& values);
+
+/// Mean of present samples; missing if none.
+double MeanOf(const std::vector<double>& values);
+
+/// Linear-interpolated quantile `q` in [0,1] of present samples;
+/// missing if none present.
+double Quantile(std::vector<double> values, double q);
+
+/// Element-wise mean of several aligned day slices: output[i] is the mean
+/// of input[k].ValueAt(i) over all k where present. All inputs must have
+/// equal size and interval. Used by the previous-week-average forecast.
+Result<LoadSeries> ElementwiseMean(const std::vector<LoadSeries>& days,
+                                   MinuteStamp out_start);
+
+}  // namespace seagull

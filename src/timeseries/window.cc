@@ -1,0 +1,63 @@
+#include "timeseries/window.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace seagull {
+
+WindowResult FindMinAverageWindow(const LoadSeries& series,
+                                  int64_t duration_minutes,
+                                  double max_missing_fraction) {
+  return FindMinAverageWindowInRange(series, series.start(), series.end(),
+                                     duration_minutes, max_missing_fraction);
+}
+
+WindowResult FindMinAverageWindowInRange(const LoadSeries& series,
+                                         MinuteStamp from, MinuteStamp to,
+                                         int64_t duration_minutes,
+                                         double max_missing_fraction) {
+  WindowResult best;
+  best.duration_minutes = duration_minutes;
+  const int64_t interval = series.interval_minutes();
+  if (duration_minutes <= 0 || duration_minutes % interval != 0) return best;
+  const int64_t w = duration_minutes / interval;  // window size in ticks
+
+  from = std::max(from, series.start());
+  to = std::min(to, series.end());
+  if (from % interval != 0) {
+    from += interval - (from % interval + interval) % interval;
+  }
+  const int64_t n = (to - from) / interval;
+  if (n < w) return best;
+
+  const int64_t base = (from - series.start()) / interval;
+  // Prefix sums over present values and present counts.
+  std::vector<double> sum(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int64_t> cnt(static_cast<size_t>(n) + 1, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    double v = series.ValueAt(base + i);
+    sum[i + 1] = sum[i] + (IsMissing(v) ? 0.0 : v);
+    cnt[i + 1] = cnt[i] + (IsMissing(v) ? 0 : 1);
+  }
+
+  const int64_t min_present = w - static_cast<int64_t>(
+      max_missing_fraction * static_cast<double>(w));
+  for (int64_t i = 0; i + w <= n; ++i) {
+    int64_t present = cnt[i + w] - cnt[i];
+    if (present < min_present || present == 0) continue;
+    double avg = (sum[i + w] - sum[i]) / static_cast<double>(present);
+    if (!best.found || avg < best.average_load) {
+      best.found = true;
+      best.average_load = avg;
+      best.start = from + i * interval;
+    }
+  }
+  return best;
+}
+
+double WindowAverage(const LoadSeries& series, MinuteStamp from,
+                     int64_t duration_minutes) {
+  return series.MeanInRange(from, from + duration_minutes);
+}
+
+}  // namespace seagull

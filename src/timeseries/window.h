@@ -1,0 +1,47 @@
+/// \file window.h
+/// \brief Sliding-window search over load series.
+///
+/// The backup scheduler needs the contiguous interval of a given duration
+/// with the minimal average load within a day (Definition 7). This module
+/// provides that search as a generic O(n) prefix-sum sweep.
+
+#pragma once
+
+#include "timeseries/series.h"
+
+namespace seagull {
+
+/// \brief A window found by `FindMinAverageWindow`.
+struct WindowResult {
+  /// Start stamp of the window.
+  MinuteStamp start = 0;
+  /// Duration of the window in minutes.
+  int64_t duration_minutes = 0;
+  /// Average load over the window's present samples.
+  double average_load = 0.0;
+  /// True when a window was found (the series covered >= one window).
+  bool found = false;
+
+  MinuteStamp end() const { return start + duration_minutes; }
+};
+
+/// Finds the length-`duration_minutes` window with minimal average load in
+/// [series.start(), series.end()). Windows are evaluated at every grid
+/// position; windows containing more than `max_missing_fraction` missing
+/// samples are skipped. Ties resolve to the earliest window.
+WindowResult FindMinAverageWindow(const LoadSeries& series,
+                                  int64_t duration_minutes,
+                                  double max_missing_fraction = 0.0);
+
+/// As above but restricted to windows fully inside [from, to).
+WindowResult FindMinAverageWindowInRange(const LoadSeries& series,
+                                         MinuteStamp from, MinuteStamp to,
+                                         int64_t duration_minutes,
+                                         double max_missing_fraction = 0.0);
+
+/// Average of present samples in [from, from + duration); missing if the
+/// interval has no present samples.
+double WindowAverage(const LoadSeries& series, MinuteStamp from,
+                     int64_t duration_minutes);
+
+}  // namespace seagull

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autoscale/classify.h"
+#include "autoscale/eval.h"
+#include "autoscale/policy.h"
+#include "autoscale/sql_fleet.h"
+#include "forecast/persistent.h"
+
+namespace seagull {
+namespace {
+
+TEST(SqlFleetTest, GeneratesOn15MinuteGrid) {
+  SqlFleetConfig config;
+  config.num_databases = 10;
+  config.weeks = 2;
+  SqlFleet fleet = SqlFleet::Generate(config);
+  ASSERT_EQ(fleet.size(), 10);
+  LoadSeries load =
+      fleet.Load(fleet.databases()[0], 0, kMinutesPerDay);
+  EXPECT_EQ(load.interval_minutes(), kSqlIntervalMinutes);
+  EXPECT_EQ(load.size(), 96);
+  for (int64_t i = 0; i < load.size(); ++i) {
+    EXPECT_FALSE(load.MissingAt(i));
+    EXPECT_GE(load.ValueAt(i), 0.0);
+    EXPECT_LE(load.ValueAt(i), 100.0);
+  }
+}
+
+TEST(SqlFleetTest, Deterministic) {
+  SqlFleetConfig config;
+  config.num_databases = 5;
+  SqlFleet a = SqlFleet::Generate(config);
+  SqlFleet b = SqlFleet::Generate(config);
+  LoadSeries la = a.Load(a.databases()[2], 0, kMinutesPerDay);
+  LoadSeries lb = b.Load(b.databases()[2], 0, kMinutesPerDay);
+  EXPECT_EQ(la.values(), lb.values());
+}
+
+TEST(SqlClassifyTest, FlatDatabaseIsStable) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int64_t i = 0; i < 28 * 96; ++i) {
+    values.push_back(20.0 + rng.Gaussian(0.0, 1.0));
+  }
+  LoadSeries load =
+      std::move(LoadSeries::Make(0, 15, std::move(values))).ValueOrDie();
+  SqlStability s = ClassifySqlDatabase(load, 0, 28 * kMinutesPerDay);
+  EXPECT_TRUE(s.stable);
+  EXPECT_NEAR(s.period_mean, 20.0, 0.2);
+}
+
+TEST(SqlClassifyTest, RegimeShiftIsUnstable) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int64_t i = 0; i < 28 * 96; ++i) {
+    double level = (i / 96) % 2 == 0 ? 10.0 : 55.0;  // alternating days
+    values.push_back(level + rng.Gaussian(0.0, 1.0));
+  }
+  LoadSeries load =
+      std::move(LoadSeries::Make(0, 15, std::move(values))).ValueOrDie();
+  SqlStability s = ClassifySqlDatabase(load, 0, 28 * kMinutesPerDay);
+  EXPECT_FALSE(s.stable);
+}
+
+TEST(SqlClassifyTest, EmptyLoadIsNotStable) {
+  auto load = LoadSeries::MakeEmpty(0, 15, 96);
+  SqlStability s = ClassifySqlDatabase(*load, 0, kMinutesPerDay);
+  EXPECT_FALSE(s.stable);
+}
+
+TEST(SqlClassifyTest, FleetStableFractionNearPaper) {
+  // §A.1: 19.36% of sampled SQL databases are stable.
+  SqlFleetConfig config;
+  config.num_databases = 300;
+  config.weeks = 4;
+  SqlFleet fleet = SqlFleet::Generate(config);
+  int64_t stable = 0;
+  for (const auto& db : fleet.databases()) {
+    LoadSeries load = fleet.Load(db, 0, 4 * kMinutesPerWeek);
+    if (ClassifySqlDatabase(load, 0, 4 * kMinutesPerWeek).stable) {
+      ++stable;
+    }
+  }
+  double fraction =
+      static_cast<double>(stable) / static_cast<double>(fleet.size());
+  EXPECT_GT(fraction, 0.08);
+  EXPECT_LT(fraction, 0.40);
+}
+
+TEST(AutoscaleEvalTest, PersistentForecastScoresReasonably) {
+  SqlFleetConfig config;
+  config.num_databases = 20;
+  config.weeks = 4;
+  SqlFleet fleet = SqlFleet::Generate(config);
+  AutoscaleEvalOptions options;
+  options.models = {"persistent_prev_day"};
+  auto results = EvaluateAutoscaleModels(fleet, options);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  const AutoscaleModelResult& r = (*results)[0];
+  EXPECT_GT(r.databases_evaluated, 10);
+  EXPECT_GT(r.mean_nrmse, 0.0);
+  EXPECT_LT(r.mean_nrmse, 2.0);
+  EXPECT_GT(r.mean_mase, 0.0);
+  // Persistent forecast has no training cost.
+  EXPECT_LT(r.train_millis, 50.0);
+}
+
+TEST(AutoscaleEvalTest, MaxDatabasesCapsWork) {
+  SqlFleetConfig config;
+  config.num_databases = 20;
+  SqlFleet fleet = SqlFleet::Generate(config);
+  AutoscaleEvalOptions options;
+  options.models = {"persistent_prev_day"};
+  options.max_databases = 5;
+  auto results = EvaluateAutoscaleModels(fleet, options);
+  ASSERT_TRUE(results.ok());
+  EXPECT_LE((*results)[0].databases_evaluated, 5);
+}
+
+TEST(AutoscalePolicyTest, ForecastDrivenBeatsStaticOnWaste) {
+  // A database with a strong daily pattern: forecast-driven provisioning
+  // tracks the valley, static provisioning pays for the peak all day.
+  std::vector<double> values;
+  for (int64_t i = 0; i < 8 * 96; ++i) {
+    double phase = static_cast<double>(i % 96) / 96.0;
+    values.push_back(10.0 + 50.0 * std::exp(-std::pow((phase - 0.5) * 6, 2)));
+  }
+  LoadSeries all =
+      std::move(LoadSeries::Make(0, 15, std::move(values))).ValueOrDie();
+  LoadSeries history = all.Slice(0, 7 * kMinutesPerDay);
+  LoadSeries truth = all.Slice(7 * kMinutesPerDay, 8 * kMinutesPerDay);
+
+  PersistentForecast model(PersistentVariant::kPreviousDay);
+  AutoscalePolicy policy;
+  auto dynamic = SimulateAutoscaleDay(model, history, truth,
+                                      7 * kMinutesPerDay, policy, "db");
+  ASSERT_TRUE(dynamic.ok());
+  AutoscaleOutcome fixed =
+      StaticProvisionDay(history, truth, 7 * kMinutesPerDay, policy, "db");
+  EXPECT_LT(dynamic->mean_waste, fixed.mean_waste);
+  EXPECT_LT(dynamic->ViolationRate(), 0.05);
+  EXPECT_EQ(fixed.violations, 0);
+}
+
+TEST(AutoscalePolicyTest, HeadroomControlsViolations) {
+  std::vector<double> values;
+  Rng rng(7);
+  for (int64_t i = 0; i < 8 * 96; ++i) {
+    values.push_back(30.0 + rng.Gaussian(0.0, 4.0));
+  }
+  LoadSeries all =
+      std::move(LoadSeries::Make(0, 15, std::move(values))).ValueOrDie();
+  LoadSeries history = all.Slice(0, 7 * kMinutesPerDay);
+  LoadSeries truth = all.Slice(7 * kMinutesPerDay, 8 * kMinutesPerDay);
+  PersistentForecast model(PersistentVariant::kPreviousWeekAverage);
+  AutoscalePolicy tight;
+  tight.headroom = 1.0;
+  AutoscalePolicy generous;
+  generous.headroom = 20.0;
+  auto risky = SimulateAutoscaleDay(model, history, truth,
+                                    7 * kMinutesPerDay, tight, "db");
+  auto safe = SimulateAutoscaleDay(model, history, truth,
+                                   7 * kMinutesPerDay, generous, "db");
+  ASSERT_TRUE(risky.ok());
+  ASSERT_TRUE(safe.ok());
+  EXPECT_GT(risky->violations, safe->violations);
+  EXPECT_EQ(safe->violations, 0);
+  EXPECT_LT(risky->mean_capacity, safe->mean_capacity);
+}
+
+TEST(AutoscalePolicyTest, MinCapacityFloor) {
+  std::vector<double> zeros(8 * 96, 0.0);
+  LoadSeries all =
+      std::move(LoadSeries::Make(0, 15, std::move(zeros))).ValueOrDie();
+  LoadSeries history = all.Slice(0, 7 * kMinutesPerDay);
+  LoadSeries truth = all.Slice(7 * kMinutesPerDay, 8 * kMinutesPerDay);
+  PersistentForecast model(PersistentVariant::kPreviousDay);
+  AutoscalePolicy policy;
+  policy.min_capacity = 5.0;
+  policy.headroom = 0.0;
+  auto outcome = SimulateAutoscaleDay(model, history, truth,
+                                      7 * kMinutesPerDay, policy, "db");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->mean_capacity, 5.0);
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Smoke test for the `seagull` CLI: generate -> pipeline -> schedule ->
+# dashboard -> incidents -> advise against a scratch lake + doc store.
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+"$CLI" generate --lake lake --region smoke --servers 25 --weeks 5 --seed 5 \
+  > generate.out
+grep -q "generated 25 servers" generate.out
+
+"$CLI" pipeline --lake lake --docs docs.json --region smoke --week 3 \
+  > pipeline.out
+grep -q "pipeline smoke week 3: ok" pipeline.out
+test -f docs.json
+
+# Re-running the same week is a no-op (the scheduler's cadence).
+"$CLI" pipeline --lake lake --docs docs.json --region smoke --week 3 \
+  > pipeline2.out
+grep -q "not due" pipeline2.out
+
+# Day 28 = first day of week 4, the scheduled week.
+"$CLI" schedule --lake lake --docs docs.json --region smoke --day 28 \
+  > schedule.out
+grep -q "servers due" schedule.out
+
+"$CLI" dashboard --docs docs.json > dashboard.out
+grep -q "smoke" dashboard.out
+
+"$CLI" incidents --docs docs.json --region smoke > incidents.out
+
+# Advise on any server that has telemetry.
+SERVER="smoke-srv-00000"
+"$CLI" advise --lake lake --docs docs.json --region smoke \
+  --server "$SERVER" --day 28 --start 12:00 --duration 60 > advise.out \
+  || grep -q "no telemetry" advise.out
+
+# Unknown command and missing flags fail with non-zero status.
+if "$CLI" bogus > /dev/null 2>&1; then exit 1; fi
+if "$CLI" pipeline --region smoke > /dev/null 2>&1; then exit 1; fi
+
+echo "cli smoke test ok"

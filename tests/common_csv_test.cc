@@ -1,0 +1,104 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace seagull {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  auto t = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->rows[1][2], "6");
+}
+
+TEST(CsvTest, ParseWithoutTrailingNewline) {
+  auto t = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->NumRows(), 1u);
+  EXPECT_EQ(t->rows[0][1], "2");
+}
+
+TEST(CsvTest, ParseCrLf) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->NumRows(), 1u);
+  EXPECT_EQ(t->rows[0][0], "1");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto t = ParseCsv("name,note\nx,\"a, b\"\ny,\"line1\nline2\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][1], "a, b");
+  EXPECT_EQ(t->rows[1][1], "line1\nline2");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto t = ParseCsv("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvTest, RowArityMismatchFails) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("a\n\"open\n").ok());
+}
+
+TEST(CsvTest, EmptyDocumentFails) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, WriteQuotesWhenNeeded) {
+  CsvTable t;
+  t.header = {"k", "v"};
+  t.rows = {{"x", "plain"}, {"y", "has,comma"}, {"z", "has\"quote"}};
+  std::string text = WriteCsv(t);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows[1][1], "has,comma");
+  EXPECT_EQ(parsed->rows[2][1], "has\"quote");
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  CsvTable t;
+  t.header = {"a", "weird header, quoted"};
+  t.rows = {{"", "empty first"}, {"multi\nline", "x"}};
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, t.header);
+  EXPECT_EQ(parsed->rows, t.rows);
+}
+
+TEST(CsvTest, ColumnIndex) {
+  CsvTable t;
+  t.header = {"a", "b", "c"};
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "seagull_csv_test.csv")
+          .string();
+  CsvTable t;
+  t.header = {"x"};
+  t.rows = {{"1"}, {"2"}};
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows, t.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/dir/file.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace seagull

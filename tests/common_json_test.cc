@@ -1,0 +1,132 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+TEST(JsonTest, TypesAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json(7).is_number());
+  EXPECT_TRUE(Json("s").is_string());
+  EXPECT_TRUE(Json::MakeArray().is_array());
+  EXPECT_TRUE(Json::MakeObject().is_object());
+  EXPECT_EQ(Json(int64_t{9}).AsInt(), 9);
+  EXPECT_DOUBLE_EQ(Json(2.25).AsDouble(), 2.25);
+}
+
+TEST(JsonTest, DumpPrimitives) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DumpEscapes) {
+  EXPECT_EQ(Json("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").Dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("tab\t").Dump(), "\"tab\\t\"");
+  EXPECT_EQ(Json("back\\slash").Dump(), "\"back\\\\slash\"");
+}
+
+TEST(JsonTest, ObjectAndArrayDump) {
+  Json obj = Json::MakeObject();
+  obj["b"] = 1;
+  obj["a"] = Json::MakeArray();
+  obj["a"].Append(1);
+  obj["a"].Append("two");
+  // std::map orders keys.
+  EXPECT_EQ(obj.Dump(), "{\"a\":[1,\"two\"],\"b\":1}");
+}
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_DOUBLE_EQ(Json::Parse("-2.5e2")->AsDouble(), -250.0);
+  EXPECT_EQ(Json::Parse("\"x\"")->AsString(), "x");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto v = Json::Parse(R"({"a": [1, {"b": true}], "c": "s"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)["a"].AsArray()[1]["b"].AsBool(), true);
+  EXPECT_EQ((*v)["c"].AsString(), "s");
+}
+
+TEST(JsonTest, ParseStringEscapes) {
+  auto v = Json::Parse(R"("a\"b\\c\ndA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\"b\\c\nd" "A");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, RoundTrip) {
+  Json doc = Json::MakeObject();
+  doc["model"] = "ssa";
+  doc["coeffs"] = Json::MakeArray();
+  for (int i = 0; i < 5; ++i) doc["coeffs"].Append(i * 0.5);
+  doc["nested"] = Json::MakeObject();
+  doc["nested"]["flag"] = true;
+  doc["nothing"] = Json();
+  auto back = Json::Parse(doc.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, doc);
+}
+
+TEST(JsonTest, PrettyRoundTrip) {
+  Json doc = Json::MakeObject();
+  doc["a"] = Json::MakeArray();
+  doc["a"].Append(1);
+  doc["b"] = "x";
+  auto back = Json::Parse(doc.DumpPretty());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, doc);
+}
+
+TEST(JsonTest, MissingKeyReturnsNull) {
+  Json obj = Json::MakeObject();
+  obj["present"] = 1;
+  // Const access does not insert; mutable operator[] (like std::map) does.
+  const Json& view = obj;
+  EXPECT_TRUE(view["absent"].is_null());
+  EXPECT_TRUE(view.Contains("present"));
+  EXPECT_FALSE(view.Contains("absent"));
+  obj["inserted"];
+  EXPECT_TRUE(obj.Contains("inserted"));
+}
+
+TEST(JsonTest, CheckedGetters) {
+  Json obj = Json::MakeObject();
+  obj["n"] = 5;
+  obj["s"] = "str";
+  obj["b"] = true;
+  EXPECT_DOUBLE_EQ(*obj.GetNumber("n"), 5.0);
+  EXPECT_EQ(*obj.GetString("s"), "str");
+  EXPECT_EQ(*obj.GetBool("b"), true);
+  EXPECT_FALSE(obj.GetNumber("s").ok());
+  EXPECT_FALSE(obj.GetString("missing").ok());
+}
+
+TEST(JsonTest, LargeIntegersDumpWithoutScientific) {
+  EXPECT_EQ(Json(int64_t{10080000}).Dump(), "10080000");
+}
+
+TEST(JsonTest, NonAsciiUnicodeEscapeRejected) {
+  EXPECT_FALSE(Json::Parse("\"\\u00e9\"").ok());
+}
+
+}  // namespace
+}  // namespace seagull

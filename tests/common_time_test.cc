@@ -1,0 +1,67 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+TEST(TimeTest, Constants) {
+  EXPECT_EQ(kMinutesPerDay, 1440);
+  EXPECT_EQ(kMinutesPerWeek, 10080);
+  EXPECT_EQ(TicksPerDay(kServerIntervalMinutes), 288);
+  EXPECT_EQ(TicksPerDay(kSqlIntervalMinutes), 96);
+}
+
+TEST(TimeTest, DayIndexAndStartOfDay) {
+  EXPECT_EQ(DayIndex(0), 0);
+  EXPECT_EQ(DayIndex(1439), 0);
+  EXPECT_EQ(DayIndex(1440), 1);
+  EXPECT_EQ(StartOfDay(1500), 1440);
+  EXPECT_EQ(StartOfDay(1440), 1440);
+  EXPECT_EQ(MinuteOfDay(1500), 60);
+}
+
+TEST(TimeTest, NegativeStampsFloor) {
+  EXPECT_EQ(DayIndex(-1), -1);
+  EXPECT_EQ(DayIndex(-1440), -1);
+  EXPECT_EQ(DayIndex(-1441), -2);
+  EXPECT_EQ(MinuteOfDay(-1), 1439);
+}
+
+TEST(TimeTest, WeekIndex) {
+  EXPECT_EQ(WeekIndex(0), 0);
+  EXPECT_EQ(WeekIndex(kMinutesPerWeek - 1), 0);
+  EXPECT_EQ(WeekIndex(kMinutesPerWeek), 1);
+  EXPECT_EQ(StartOfWeek(kMinutesPerWeek + 5), kMinutesPerWeek);
+}
+
+TEST(TimeTest, EpochIsMonday) {
+  EXPECT_EQ(DayOfWeekOf(0), DayOfWeek::kMonday);
+  EXPECT_EQ(DayOfWeekOf(kMinutesPerDay), DayOfWeek::kTuesday);
+  EXPECT_EQ(DayOfWeekOf(6 * kMinutesPerDay), DayOfWeek::kSunday);
+  EXPECT_EQ(DayOfWeekOf(7 * kMinutesPerDay), DayOfWeek::kMonday);
+}
+
+TEST(TimeTest, DayOfWeekNames) {
+  EXPECT_STREQ(DayOfWeekName(DayOfWeek::kMonday), "Monday");
+  EXPECT_STREQ(DayOfWeekName(DayOfWeek::kSunday), "Sunday");
+}
+
+TEST(TimeTest, FormatMinute) {
+  // Week 1, Tuesday 14:35 = week + day + 14h35.
+  MinuteStamp t = kMinutesPerWeek + kMinutesPerDay + 14 * 60 + 35;
+  EXPECT_EQ(FormatMinute(t), "W1 Tue 14:35");
+  EXPECT_EQ(FormatTimeOfDay(0), "00:00");
+  EXPECT_EQ(FormatTimeOfDay(23 * 60 + 59), "23:59");
+}
+
+TEST(TimeTest, EquivalentDayArithmetic) {
+  // The same day of week one week apart maps to the same weekday.
+  for (int64_t d = 0; d < 14; ++d) {
+    EXPECT_EQ(DayOfWeekOf(d * kMinutesPerDay),
+              DayOfWeekOf((d + 7) * kMinutesPerDay));
+  }
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,195 @@
+#include "forecast/additive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/standard.h"
+
+namespace seagull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+AdditiveOptions FastOptions() {
+  AdditiveOptions o;
+  o.iterations = 300;
+  o.uncertainty_samples = 20;
+  return o;
+}
+
+LoadSeries SeasonalSeries(int64_t days, double trend_per_day = 0.0) {
+  std::vector<double> values;
+  for (int64_t i = 0; i < days * 288; ++i) {
+    double day_phase = static_cast<double>(i % 288) / 288.0;
+    double week_phase = static_cast<double>(i % 2016) / 2016.0;
+    double v = 30.0 + 10.0 * std::sin(kTwoPi * day_phase) +
+               5.0 * std::cos(kTwoPi * week_phase) +
+               trend_per_day * static_cast<double>(i) / 288.0;
+    values.push_back(std::max(0.0, v));
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+TEST(AdditiveTest, FitsDailySeasonality) {
+  LoadSeries train = SeasonalSeries(7);
+  AdditiveForecast model(FastOptions());
+  ASSERT_TRUE(model.Fit(train).ok());
+  auto forecast = model.Forecast(train, 7 * kMinutesPerDay, kMinutesPerDay);
+  ASSERT_TRUE(forecast.ok());
+  LoadSeries truth =
+      SeasonalSeries(8).Slice(7 * kMinutesPerDay, 8 * kMinutesPerDay);
+  double mae = MeanAbsoluteError(*forecast, truth);
+  EXPECT_LT(mae, 4.0);
+}
+
+TEST(AdditiveTest, CapturesLinearTrend) {
+  LoadSeries train = SeasonalSeries(7, 1.0);  // +1 point per day
+  AdditiveForecast model(FastOptions());
+  ASSERT_TRUE(model.Fit(train).ok());
+  auto forecast = model.Forecast(train, 7 * kMinutesPerDay, kMinutesPerDay);
+  ASSERT_TRUE(forecast.ok());
+  // Mean of the forecast day should be near the trend-extrapolated level.
+  LoadSeries truth =
+      SeasonalSeries(8, 1.0).Slice(7 * kMinutesPerDay, 8 * kMinutesPerDay);
+  EXPECT_NEAR(forecast->Mean(), truth.Mean(), 5.0);
+}
+
+TEST(AdditiveTest, ForecastBeforeFitFails) {
+  AdditiveForecast model(FastOptions());
+  LoadSeries any = SeasonalSeries(1);
+  EXPECT_TRUE(
+      model.Forecast(any, 0, kMinutesPerDay).status().IsFailedPrecondition());
+}
+
+TEST(AdditiveTest, TooLittleHistoryFails) {
+  auto tiny = LoadSeries::Make(0, 5, {1, 2, 3});
+  AdditiveForecast model(FastOptions());
+  EXPECT_FALSE(model.Fit(*tiny).ok());
+}
+
+TEST(AdditiveTest, OutputsBoundedNonNegative) {
+  LoadSeries train = SeasonalSeries(7);
+  AdditiveForecast model(FastOptions());
+  ASSERT_TRUE(model.Fit(train).ok());
+  auto forecast = model.Forecast(train, 7 * kMinutesPerDay, kMinutesPerDay);
+  ASSERT_TRUE(forecast.ok());
+  for (int64_t i = 0; i < forecast->size(); ++i) {
+    EXPECT_GE(forecast->ValueAt(i), 0.0);
+    EXPECT_LE(forecast->ValueAt(i), 200.0);
+  }
+}
+
+TEST(AdditiveTest, ToleratesMissingSamples) {
+  LoadSeries train = SeasonalSeries(7);
+  for (int64_t i = 1000; i < 1100; ++i) train.SetValue(i, kMissingValue);
+  AdditiveForecast model(FastOptions());
+  EXPECT_TRUE(model.Fit(train).ok());
+}
+
+TEST(AdditiveTest, SerializationRoundTrip) {
+  LoadSeries train = SeasonalSeries(7);
+  AdditiveForecast model(FastOptions());
+  ASSERT_TRUE(model.Fit(train).ok());
+  auto doc = model.Serialize();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->GetString("model"), "additive");
+
+  AdditiveForecast restored;
+  ASSERT_TRUE(restored.Deserialize(*doc).ok());
+  auto f1 = model.Forecast(train, 7 * kMinutesPerDay, 60);
+  auto f2 = restored.Forecast(train, 7 * kMinutesPerDay, 60);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  // Monte-Carlo uncertainty is seeded identically, so forecasts agree.
+  for (int64_t i = 0; i < f1->size(); ++i) {
+    EXPECT_NEAR(f1->ValueAt(i), f2->ValueAt(i), 1e-9);
+  }
+}
+
+TEST(AdditiveTest, DeserializeRejectsCoefficientMismatch) {
+  LoadSeries train = SeasonalSeries(7);
+  AdditiveForecast model(FastOptions());
+  ASSERT_TRUE(model.Fit(train).ok());
+  Json doc = std::move(model.Serialize()).ValueOrDie();
+  doc["coef"].AsArray().pop_back();
+  AdditiveForecast restored;
+  EXPECT_FALSE(restored.Deserialize(doc).ok());
+}
+
+TEST(AdditiveTest, HolidayEffectLearnedAndApplied) {
+  // Days 2 and 5 carry a +20 batch-job offset; day 7 (the forecast day)
+  // is also a configured holiday. Weekly seasonality is disabled in both
+  // models: with one week of training, day-of-week Fourier terms could
+  // explain the elevated days equally well and the (collinear) holiday
+  // coefficient would not be identifiable.
+  AdditiveOptions options = FastOptions();
+  options.weekly_order = 0;
+  options.changepoints = 0;
+  options.iterations = 1500;
+  options.holidays = {2, 5, 7};
+  std::vector<double> values;
+  for (int64_t i = 0; i < 7 * 288; ++i) {
+    int64_t day = i / 288;
+    double v = 20.0 + ((day == 2 || day == 5) ? 20.0 : 0.0);
+    values.push_back(v);
+  }
+  LoadSeries train =
+      std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+  AdditiveForecast with(options);
+  ASSERT_TRUE(with.Fit(train).ok());
+  AdditiveOptions plain = options;
+  plain.holidays.clear();
+  AdditiveForecast without(plain);
+  ASSERT_TRUE(without.Fit(train).ok());
+  auto f_with = with.Forecast(train, 7 * kMinutesPerDay, kMinutesPerDay);
+  auto f_without =
+      without.Forecast(train, 7 * kMinutesPerDay, kMinutesPerDay);
+  ASSERT_TRUE(f_with.ok());
+  ASSERT_TRUE(f_without.ok());
+  // The holiday-aware model predicts the elevated level on day 7; the
+  // plain model predicts near the weekday baseline.
+  EXPECT_GT(f_with->Mean(), f_without->Mean() + 10.0);
+  EXPECT_NEAR(f_with->Mean(), 40.0, 6.0);
+}
+
+TEST(AdditiveTest, HolidaysSurviveSerialization) {
+  AdditiveOptions options = FastOptions();
+  options.holidays = {3, 9};
+  LoadSeries train = SeasonalSeries(7);
+  AdditiveForecast model(options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  Json doc = std::move(model.Serialize()).ValueOrDie();
+  AdditiveForecast restored;
+  ASSERT_TRUE(restored.Deserialize(doc).ok());
+  auto f1 = model.Forecast(train, 9 * kMinutesPerDay, 60);
+  auto f2 = restored.Forecast(train, 9 * kMinutesPerDay, 60);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  for (int64_t i = 0; i < f1->size(); ++i) {
+    EXPECT_NEAR(f1->ValueAt(i), f2->ValueAt(i), 1e-9);
+  }
+}
+
+TEST(AdditiveTest, UncertaintySamplesOnlyAffectBeyondTraining) {
+  // Inside the trained range the drift term is zero, so the forecast is
+  // the deterministic curve regardless of the sample count.
+  LoadSeries train = SeasonalSeries(7);
+  AdditiveOptions few = FastOptions();
+  few.uncertainty_samples = 1;
+  AdditiveOptions many = FastOptions();
+  many.uncertainty_samples = 50;
+  AdditiveForecast a(few), b(many);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  auto fa = a.Forecast(train, 3 * kMinutesPerDay, 60);
+  auto fb = b.Forecast(train, 3 * kMinutesPerDay, 60);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  for (int64_t i = 0; i < fa->size(); ++i) {
+    EXPECT_NEAR(fa->ValueAt(i), fb->ValueAt(i), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace seagull

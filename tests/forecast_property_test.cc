@@ -1,0 +1,147 @@
+/// \file forecast_property_test.cc
+/// \brief Parameterized invariants that every forecast-model family must
+/// satisfy: grid alignment, horizon coverage, bounded non-negative
+/// output, tolerance to missing samples, and serialize→restore fidelity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "forecast/model.h"
+
+namespace seagull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// One week of plausible server load: daily shape + noise + mild drift.
+LoadSeries TrainingWeek(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  double drift = 0.0;
+  for (int64_t i = 0; i < 7 * 288; ++i) {
+    double phase = static_cast<double>(i % 288) / 288.0;
+    drift += rng.Gaussian(0.0, 0.05);
+    double v = 22.0 + 12.0 * std::sin(kTwoPi * phase) + drift +
+               rng.Gaussian(0.0, 1.0);
+    values.push_back(std::clamp(v, 0.0, 100.0));
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+/// Families cheap enough for a parameterized sweep (ARIMA has its own
+/// suite; its fit is too slow to sweep).
+class ModelProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<ForecastModel> FittedModel(const LoadSeries& train) {
+    auto model =
+        std::move(ModelFactory::Global().Create(GetParam())).ValueOrDie();
+    Status st = model->Fit(train);
+    st.Abort();
+    return model;
+  }
+};
+
+TEST_P(ModelProperty, ForecastCoversExactHorizonOnGrid) {
+  LoadSeries train = TrainingWeek(1);
+  auto model = FittedModel(train);
+  for (int64_t horizon : {int64_t{60}, int64_t{6 * 60}, kMinutesPerDay}) {
+    auto forecast = model->Forecast(train, 7 * kMinutesPerDay, horizon);
+    ASSERT_TRUE(forecast.ok()) << GetParam() << " horizon " << horizon;
+    EXPECT_EQ(forecast->start(), 7 * kMinutesPerDay);
+    EXPECT_EQ(forecast->end(), 7 * kMinutesPerDay + horizon);
+    EXPECT_EQ(forecast->interval_minutes(), 5);
+  }
+}
+
+TEST_P(ModelProperty, OutputsBoundedNonNegative) {
+  LoadSeries train = TrainingWeek(2);
+  auto model = FittedModel(train);
+  auto forecast =
+      model->Forecast(train, 7 * kMinutesPerDay, kMinutesPerDay);
+  ASSERT_TRUE(forecast.ok());
+  for (int64_t i = 0; i < forecast->size(); ++i) {
+    if (forecast->MissingAt(i)) continue;
+    EXPECT_GE(forecast->ValueAt(i), 0.0) << GetParam();
+    EXPECT_LE(forecast->ValueAt(i), 300.0) << GetParam();
+  }
+}
+
+TEST_P(ModelProperty, MisalignedRequestsRejected) {
+  LoadSeries train = TrainingWeek(3);
+  auto model = FittedModel(train);
+  EXPECT_FALSE(
+      model->Forecast(train, 7 * kMinutesPerDay + 2, 60).ok());
+  EXPECT_FALSE(
+      model->Forecast(train, 7 * kMinutesPerDay, 61).ok());
+}
+
+TEST_P(ModelProperty, ToleratesMissingHistory) {
+  LoadSeries train = TrainingWeek(4);
+  Rng rng(99);
+  for (int64_t i = 0; i < train.size(); ++i) {
+    if (rng.Chance(0.1)) train.SetValue(i, kMissingValue);
+  }
+  auto model =
+      std::move(ModelFactory::Global().Create(GetParam())).ValueOrDie();
+  ASSERT_TRUE(model->Fit(train).ok()) << GetParam();
+  auto forecast =
+      model->Forecast(train, 7 * kMinutesPerDay, kMinutesPerDay);
+  EXPECT_TRUE(forecast.ok()) << GetParam();
+}
+
+TEST_P(ModelProperty, SerializeRestoreProducesIdenticalForecasts) {
+  LoadSeries train = TrainingWeek(5);
+  auto model = FittedModel(train);
+  Json doc = std::move(model->Serialize()).ValueOrDie();
+  // The wire format survives a JSON round-trip (what the document store
+  // actually persists).
+  auto reparsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(reparsed.ok()) << GetParam();
+  auto restored = ModelFactory::Global().Restore(*reparsed);
+  ASSERT_TRUE(restored.ok()) << GetParam();
+  auto f1 = model->Forecast(train, 7 * kMinutesPerDay, 4 * 60);
+  auto f2 = (*restored)->Forecast(train, 7 * kMinutesPerDay, 4 * 60);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  for (int64_t i = 0; i < f1->size(); ++i) {
+    double a = f1->ValueAt(i);
+    double b = f2->ValueAt(i);
+    if (IsMissing(a)) {
+      EXPECT_TRUE(IsMissing(b)) << GetParam();
+    } else {
+      EXPECT_NEAR(a, b, 1e-6) << GetParam() << " at " << i;
+    }
+  }
+}
+
+TEST_P(ModelProperty, RepeatedForecastsAreDeterministic) {
+  LoadSeries train = TrainingWeek(6);
+  auto model = FittedModel(train);
+  auto f1 = model->Forecast(train, 7 * kMinutesPerDay, 2 * 60);
+  auto f2 = model->Forecast(train, 7 * kMinutesPerDay, 2 * 60);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  for (int64_t i = 0; i < f1->size(); ++i) {
+    double a = f1->ValueAt(i), b = f2->ValueAt(i);
+    if (IsMissing(a)) {
+      EXPECT_TRUE(IsMissing(b));
+    } else {
+      EXPECT_DOUBLE_EQ(a, b) << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ModelProperty,
+    ::testing::Values("persistent_prev_day", "persistent_prev_eq_day",
+                      "persistent_week_avg", "ssa", "feedforward",
+                      "additive", "routed"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+}  // namespace
+}  // namespace seagull

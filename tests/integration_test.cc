@@ -1,0 +1,134 @@
+/// \file integration_test.cc
+/// \brief End-to-end assertions on the full simulation: the pipeline, the
+/// scheduler, and the paper's fleet-level shapes (Figure 3, §5.4,
+/// Figure 13) on a scaled-down fleet.
+
+#include <gtest/gtest.h>
+
+#include "scheduling/simulation.h"
+
+namespace seagull {
+namespace {
+
+class SimulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RegionConfig region;
+    region.name = "integration";
+    region.num_servers = 400;
+    region.weeks = 4;
+    region.seed = 777;
+    SimulationOptions options;
+    options.regions = {region};
+    options.threads = 4;
+    auto result = RunSimulation(options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    result_ = new SimulationResult(std::move(result).ValueUnsafe());
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+
+  static SimulationResult* result_;
+};
+
+SimulationResult* SimulationTest::result_ = nullptr;
+
+TEST_F(SimulationTest, PipelineRunsSucceed) {
+  ASSERT_EQ(result_->regions.size(), 1u);
+  const auto& region = result_->regions[0];
+  ASSERT_FALSE(region.runs.empty());
+  for (const auto& run : region.runs) {
+    EXPECT_TRUE(run.success) << run.failure;
+  }
+  EXPECT_TRUE(region.alerts.empty());
+}
+
+TEST_F(SimulationTest, BackupsWereScheduled) {
+  const auto& region = result_->regions[0];
+  // Roughly one backup per alive long-lived server in the scheduled week.
+  EXPECT_GT(region.backups_scheduled, 150);
+  EXPECT_GT(region.backups_moved, 0);
+  EXPECT_LT(region.backups_moved, region.backups_scheduled);
+}
+
+TEST_F(SimulationTest, ImpactAccountingConsistent) {
+  const ImpactReport& impact = result_->impact;
+  EXPECT_EQ(impact.backups, result_->regions[0].backups_scheduled);
+  EXPECT_EQ(impact.backups, impact.moved_to_ll + impact.default_already_ll +
+                                impact.incorrect + impact.moved_neutral);
+  // The large majority of placements land in (or tie with) LL windows.
+  EXPECT_LT(impact.FractionIncorrect(), 0.15);
+}
+
+TEST_F(SimulationTest, CapacityTailMatchesPaperShape) {
+  // Figure 13(b): only a small tail (paper: 3.7%) reaches capacity.
+  const CapacityReport& cap = result_->capacity;
+  EXPECT_GT(cap.servers, 200);
+  EXPECT_GT(cap.FractionAtCapacity(), 0.005);
+  EXPECT_LT(cap.FractionAtCapacity(), 0.10);
+  int64_t histogram_total = 0;
+  for (int64_t count : cap.histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, cap.servers);
+}
+
+TEST_F(SimulationTest, DashboardRendered) {
+  EXPECT_NE(result_->dashboard_text.find("integration"), std::string::npos);
+  EXPECT_NE(result_->dashboard_text.find("Backups:"), std::string::npos);
+}
+
+TEST(SimulationSmallTest, MultiRegionRuns) {
+  RegionConfig r1, r2;
+  r1.name = "alpha";
+  r1.num_servers = 60;
+  r1.weeks = 4;
+  r1.seed = 1;
+  r2.name = "beta";
+  r2.num_servers = 80;
+  r2.weeks = 4;
+  r2.seed = 2;
+  SimulationOptions options;
+  options.regions = {r1, r2};
+  auto result = RunSimulation(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->regions.size(), 2u);
+  EXPECT_NE(result->dashboard_text.find("alpha"), std::string::npos);
+  EXPECT_NE(result->dashboard_text.find("beta"), std::string::npos);
+}
+
+TEST(SimulationSmallTest, MoreWeeksMoreRuns) {
+  RegionConfig region;
+  region.name = "longer";
+  region.num_servers = 40;
+  region.weeks = 6;
+  region.seed = 3;
+  SimulationOptions options;
+  options.regions = {region};
+  auto result = RunSimulation(options);
+  ASSERT_TRUE(result.ok());
+  // Pipeline runs at weeks 2,3,4 (schedules weeks 3,4,5).
+  EXPECT_EQ(result->regions[0].runs.size(), 3u);
+}
+
+TEST(SimulationSmallTest, SsaModelAlsoWorksEndToEnd) {
+  RegionConfig region;
+  region.name = "ssa-e2e";
+  region.num_servers = 25;
+  region.weeks = 4;
+  region.seed = 4;
+  SimulationOptions options;
+  options.regions = {region};
+  options.model_name = "ssa";
+  options.threads = 4;
+  auto result = RunSimulation(options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& run : result->regions[0].runs) {
+    EXPECT_TRUE(run.success) << run.failure;
+  }
+  EXPECT_GT(result->regions[0].backups_scheduled, 0);
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,120 @@
+#include "metrics/bucket_ratio.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+LoadSeries MakeSeries(std::vector<double> values, MinuteStamp start = 0) {
+  return std::move(LoadSeries::Make(start, 5, std::move(values)))
+      .ValueOrDie();
+}
+
+TEST(BucketRatioTest, AsymmetricBoundPerPoint) {
+  AccuracyConfig config;  // +10 / -5
+  EXPECT_TRUE(InBound(50.0, 50.0, config));
+  EXPECT_TRUE(InBound(60.0, 50.0, config));   // +10 exactly
+  EXPECT_FALSE(InBound(60.1, 50.0, config));  // just over
+  EXPECT_TRUE(InBound(45.0, 50.0, config));   // -5 exactly
+  EXPECT_FALSE(InBound(44.9, 50.0, config));  // under-prediction stricter
+}
+
+TEST(BucketRatioTest, PerfectPredictionIsOne) {
+  LoadSeries truth = MakeSeries({10, 20, 30, 40});
+  BucketRatioResult r = BucketRatio(truth, truth);
+  EXPECT_EQ(r.compared, 4);
+  EXPECT_EQ(r.in_bound, 4);
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+}
+
+TEST(BucketRatioTest, CountsOutOfBoundPoints) {
+  LoadSeries truth = MakeSeries({10, 10, 10, 10});
+  LoadSeries pred = MakeSeries({10, 25, 10, 4});  // +15 and -6 are out
+  BucketRatioResult r = BucketRatio(pred, truth);
+  EXPECT_EQ(r.compared, 4);
+  EXPECT_EQ(r.in_bound, 2);
+  EXPECT_DOUBLE_EQ(r.ratio, 0.5);
+}
+
+TEST(BucketRatioTest, SkipsMissingInEitherSeries) {
+  LoadSeries truth = MakeSeries({10, kMissingValue, 10, 10});
+  LoadSeries pred = MakeSeries({10, 10, kMissingValue, 10});
+  BucketRatioResult r = BucketRatio(pred, truth);
+  EXPECT_EQ(r.compared, 2);
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+}
+
+TEST(BucketRatioTest, UsesIntersectionOfRanges) {
+  LoadSeries truth = MakeSeries({10, 10, 10, 10}, 0);
+  LoadSeries pred = MakeSeries({10, 10}, 10);  // covers [10, 20)
+  BucketRatioResult r = BucketRatio(pred, truth);
+  EXPECT_EQ(r.compared, 2);
+}
+
+TEST(BucketRatioTest, DisjointRangesCompareNothing) {
+  LoadSeries truth = MakeSeries({10, 10}, 0);
+  LoadSeries pred = MakeSeries({10, 10}, 100);
+  BucketRatioResult r = BucketRatio(pred, truth);
+  EXPECT_EQ(r.compared, 0);
+  EXPECT_DOUBLE_EQ(r.ratio, 0.0);
+  EXPECT_FALSE(r.IsAccurate(AccuracyConfig{}));
+}
+
+TEST(BucketRatioTest, IntervalMismatchComparesNothing) {
+  LoadSeries truth = MakeSeries({10, 10});
+  auto pred15 = LoadSeries::Make(0, 15, {10.0});
+  BucketRatioResult r = BucketRatio(*pred15, truth);
+  EXPECT_EQ(r.compared, 0);
+}
+
+TEST(BucketRatioTest, RangeRestriction) {
+  LoadSeries truth = MakeSeries({10, 10, 10, 10});
+  LoadSeries pred = MakeSeries({99, 10, 10, 99});
+  BucketRatioResult r = BucketRatioInRange(pred, truth, 5, 15);
+  EXPECT_EQ(r.compared, 2);
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+}
+
+TEST(BucketRatioTest, Definition2Threshold) {
+  AccuracyConfig config;
+  // 20 points, 18 in bound = 90% -> accurate; 17 -> inaccurate.
+  std::vector<double> truth_v(20, 10.0);
+  std::vector<double> pred_18(20, 10.0);
+  pred_18[0] = pred_18[1] = 99.0;
+  std::vector<double> pred_17 = pred_18;
+  pred_17[2] = 99.0;
+  LoadSeries truth = MakeSeries(truth_v);
+  EXPECT_TRUE(IsAccuratePrediction(MakeSeries(pred_18), truth, config));
+  EXPECT_FALSE(IsAccuratePrediction(MakeSeries(pred_17), truth, config));
+}
+
+TEST(BucketRatioTest, PaperFigure2Semantics) {
+  // A prediction that looks "close enough" can still be inaccurate: 75%
+  // of points in bound is below the 90% bar.
+  std::vector<double> truth_v(100, 50.0);
+  std::vector<double> pred_v(100, 50.0);
+  for (int i = 0; i < 25; ++i) pred_v[static_cast<size_t>(i)] = 38.0;  // -12
+  BucketRatioResult r = BucketRatio(MakeSeries(pred_v), MakeSeries(truth_v));
+  EXPECT_DOUBLE_EQ(r.ratio, 0.75);
+  EXPECT_FALSE(r.IsAccurate(AccuracyConfig{}));
+}
+
+TEST(BucketRatioTest, CustomBoundsPluggable) {
+  // §3.1: "Other constants can be plugged in for other scenarios."
+  AccuracyConfig loose;
+  loose.over_bound = 50.0;
+  loose.under_bound = 50.0;
+  LoadSeries truth = MakeSeries({10, 10});
+  LoadSeries pred = MakeSeries({40, -20});
+  EXPECT_DOUBLE_EQ(BucketRatio(pred, truth, loose).ratio, 1.0);
+}
+
+TEST(BucketRatioTest, EmptySeries) {
+  LoadSeries empty;
+  LoadSeries truth = MakeSeries({1.0});
+  EXPECT_EQ(BucketRatio(empty, truth).compared, 0);
+  EXPECT_EQ(BucketRatio(truth, empty).compared, 0);
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,163 @@
+#include "metrics/classify.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace seagull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+constexpr int64_t kFourWeeks = 4 * kMinutesPerWeek;
+
+// Four weeks of synthetic load with configurable per-day shape.
+template <typename Fn>
+LoadSeries BuildLoad(Fn&& value_at_tick, int64_t weeks = 4) {
+  std::vector<double> values;
+  const int64_t n = weeks * 7 * 288;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    values.push_back(value_at_tick(i));
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+TEST(ClassifyTest, ShortLivedByLifespan) {
+  LoadSeries load = BuildLoad([](int64_t) { return 10.0; }, 1);
+  ClassificationResult r =
+      ClassifyServer(load, 0, 2 * kMinutesPerWeek, 0, kFourWeeks);
+  EXPECT_EQ(r.server_class, ServerClass::kShortLived);
+}
+
+TEST(ClassifyTest, StableFlatLoad) {
+  Rng rng(1);
+  LoadSeries load = BuildLoad([&rng](int64_t) {
+    return 20.0 + rng.Gaussian(0.0, 1.0);
+  });
+  ClassificationResult r = ClassifyServer(load, 0, kFourWeeks, 0, kFourWeeks);
+  EXPECT_EQ(r.server_class, ServerClass::kStable);
+  EXPECT_GT(r.stable_ratio, 0.95);
+}
+
+TEST(ClassifyTest, DailyPattern) {
+  Rng rng(2);
+  LoadSeries load = BuildLoad([&rng](int64_t i) {
+    double phase = static_cast<double>(i % 288) / 288.0;
+    return 20.0 + 30.0 * std::exp(-std::pow((phase - 0.4) * 10, 2)) +
+           rng.Gaussian(0.0, 1.0);
+  });
+  ClassificationResult r = ClassifyServer(load, 0, kFourWeeks, 0, kFourWeeks);
+  EXPECT_EQ(r.server_class, ServerClass::kDailyPattern);
+  EXPECT_GT(r.daily_worst_ratio, 0.9);
+  EXPECT_LT(r.stable_ratio, 0.9);  // the bump breaks the stable test
+}
+
+TEST(ClassifyTest, WeeklyPattern) {
+  Rng rng(3);
+  LoadSeries load = BuildLoad([&rng](int64_t i) {
+    int64_t day = i / 288;
+    bool weekend = (day % 7) >= 5;
+    double phase = static_cast<double>(i % 288) / 288.0;
+    double bump = weekend
+                      ? 0.0
+                      : 35.0 * std::exp(-std::pow((phase - 0.45) * 9, 2));
+    return 15.0 + bump + rng.Gaussian(0.0, 1.0);
+  });
+  ClassificationResult r = ClassifyServer(load, 0, kFourWeeks, 0, kFourWeeks);
+  // Friday -> Saturday breaks the daily test; week-over-week holds.
+  EXPECT_EQ(r.server_class, ServerClass::kWeeklyPattern);
+  EXPECT_LT(r.daily_worst_ratio, 0.9);
+  EXPECT_GT(r.weekly_worst_ratio, 0.9);
+}
+
+TEST(ClassifyTest, NoPatternRandomWalk) {
+  Rng rng(4);
+  double level = 30.0;
+  LoadSeries load = BuildLoad([&](int64_t i) {
+    if (i % 288 == 0) level = rng.Uniform(5.0, 60.0);  // daily regime jump
+    return level + rng.Gaussian(0.0, 2.0);
+  });
+  ClassificationResult r = ClassifyServer(load, 0, kFourWeeks, 0, kFourWeeks);
+  EXPECT_EQ(r.server_class, ServerClass::kNoPattern);
+}
+
+TEST(ClassifyTest, PatternMustHoldEveryDay) {
+  // A daily pattern that breaks for one day is not a daily pattern
+  // (Definition 5: "on each day during the whole time period").
+  Rng rng(5);
+  LoadSeries load = BuildLoad([&rng](int64_t i) {
+    int64_t day = i / 288;
+    double phase = static_cast<double>(i % 288) / 288.0;
+    double bump = 30.0 * std::exp(-std::pow((phase - 0.4) * 10, 2));
+    if (day == 10) bump = 0.0;  // one anomalous day
+    return 20.0 + bump + rng.Gaussian(0.0, 1.0);
+  });
+  ClassificationResult r = ClassifyServer(load, 0, kFourWeeks, 0, kFourWeeks);
+  EXPECT_NE(r.server_class, ServerClass::kDailyPattern);
+}
+
+TEST(ClassifyTest, StableTakesPrecedenceOverDaily) {
+  // A flat series trivially satisfies the daily test too, but stable is
+  // checked first (it subsumes the patterns, Figure 3).
+  LoadSeries load = BuildLoad([](int64_t) { return 25.0; });
+  ClassificationResult r = ClassifyServer(load, 0, kFourWeeks, 0, kFourWeeks);
+  EXPECT_EQ(r.server_class, ServerClass::kStable);
+}
+
+TEST(ClassifyTest, ObservationWindowRestricts) {
+  // Load that was patterned early but is only observed in its last flat
+  // week classifies from what is observed.
+  LoadSeries load = BuildLoad([](int64_t i) {
+    int64_t day = i / 288;
+    if (day < 21) {
+      double phase = static_cast<double>(i % 288) / 288.0;
+      return 20.0 + 30.0 * std::exp(-std::pow((phase - 0.4) * 10, 2));
+    }
+    return 20.0;
+  });
+  ClassificationResult r = ClassifyServer(
+      load, 0, kFourWeeks, 3 * kMinutesPerWeek, kFourWeeks);
+  EXPECT_EQ(r.server_class, ServerClass::kStable);
+}
+
+TEST(ClassifyTest, MissingDaysDoNotBreakPatternTest) {
+  Rng rng(6);
+  LoadSeries load = BuildLoad([&rng](int64_t i) {
+    double phase = static_cast<double>(i % 288) / 288.0;
+    return 20.0 + 30.0 * std::exp(-std::pow((phase - 0.4) * 10, 2)) +
+           rng.Gaussian(0.0, 1.0);
+  });
+  // Blank out one full day: days adjacent to the gap skip the daily test.
+  for (int64_t i = 12 * 288; i < 13 * 288; ++i) {
+    load.SetValue(i, kMissingValue);
+  }
+  ClassificationResult r = ClassifyServer(load, 0, kFourWeeks, 0, kFourWeeks);
+  EXPECT_EQ(r.server_class, ServerClass::kDailyPattern);
+}
+
+TEST(ClassCountsTest, AddAndFractions) {
+  ClassCounts counts;
+  counts.Add(ServerClass::kStable);
+  counts.Add(ServerClass::kStable);
+  counts.Add(ServerClass::kShortLived);
+  counts.Add(ServerClass::kNoPattern);
+  EXPECT_EQ(counts.total, 4);
+  EXPECT_DOUBLE_EQ(counts.Fraction(ServerClass::kStable), 0.5);
+  EXPECT_DOUBLE_EQ(counts.Fraction(ServerClass::kShortLived), 0.25);
+  EXPECT_DOUBLE_EQ(counts.Fraction(ServerClass::kDailyPattern), 0.0);
+  EXPECT_DOUBLE_EQ(ClassCounts{}.Fraction(ServerClass::kStable), 0.0);
+}
+
+TEST(ClassifyTest, NamesAllClasses) {
+  EXPECT_STREQ(ServerClassName(ServerClass::kShortLived), "short_lived");
+  EXPECT_STREQ(ServerClassName(ServerClass::kStable), "stable");
+  EXPECT_STREQ(ServerClassName(ServerClass::kDailyPattern), "daily_pattern");
+  EXPECT_STREQ(ServerClassName(ServerClass::kWeeklyPattern),
+               "weekly_pattern");
+  EXPECT_STREQ(ServerClassName(ServerClass::kNoPattern), "no_pattern");
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,152 @@
+#include "metrics/ll_window.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+// Builds a full day (288 ticks) with a given base load and a valley of
+// `valley_ticks` at `valley_start_tick` with the given load.
+LoadSeries DayWithValley(double base, int64_t valley_start_tick,
+                         int64_t valley_ticks, double valley_load,
+                         int64_t day_index = 0) {
+  std::vector<double> values(288, base);
+  for (int64_t i = 0; i < valley_ticks; ++i) {
+    values[static_cast<size_t>(valley_start_tick + i)] = valley_load;
+  }
+  return std::move(LoadSeries::Make(day_index * kMinutesPerDay, 5,
+                                    std::move(values)))
+      .ValueOrDie();
+}
+
+TEST(LowestLoadWindowTest, FindsTheValley) {
+  LoadSeries day = DayWithValley(50, 100, 12, 5);  // 1h valley at tick 100
+  WindowResult w = LowestLoadWindow(day, 0, 60);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.start, 100 * 5);
+  EXPECT_DOUBLE_EQ(w.average_load, 5.0);
+}
+
+TEST(LowestLoadWindowTest, RespectsBackupDuration) {
+  // Valley shorter than the backup: the best window must include some
+  // base-load ticks.
+  LoadSeries day = DayWithValley(50, 100, 6, 5);  // 30-min valley
+  WindowResult w = LowestLoadWindow(day, 0, 60);  // 1h backup
+  ASSERT_TRUE(w.found);
+  EXPECT_GT(w.average_load, 5.0);
+  EXPECT_LT(w.average_load, 50.0);
+}
+
+TEST(LowestLoadWindowTest, WorksOnNonZeroDay) {
+  LoadSeries day = DayWithValley(50, 30, 12, 2, /*day_index=*/5);
+  WindowResult w = LowestLoadWindow(day, 5, 60);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.start, 5 * kMinutesPerDay + 30 * 5);
+}
+
+TEST(LowestLoadWindowTest, NotFoundOffDay) {
+  LoadSeries day = DayWithValley(50, 0, 1, 5, 0);
+  EXPECT_FALSE(LowestLoadWindow(day, 3, 60).found);
+}
+
+TEST(WindowChosenCorrectlyTest, ExactMatchIsCorrect) {
+  LoadSeries day = DayWithValley(50, 100, 24, 5);
+  WindowResult true_w = LowestLoadWindow(day, 0, 60);
+  EXPECT_TRUE(IsWindowChosenCorrectly(day, true_w, true_w));
+}
+
+TEST(WindowChosenCorrectlyTest, Figure8NonOverlappingButClose) {
+  // Two valleys with nearly equal load: picking the "wrong" one is still
+  // correct because the true LL window is not significantly better.
+  std::vector<double> values(288, 50.0);
+  for (int64_t i = 40; i < 52; ++i) values[static_cast<size_t>(i)] = 6.0;
+  for (int64_t i = 200; i < 212; ++i) values[static_cast<size_t>(i)] = 5.0;
+  LoadSeries day =
+      std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+  WindowResult true_w = LowestLoadWindow(day, 0, 60);
+  EXPECT_EQ(true_w.start, 200 * 5);
+  WindowResult predicted;
+  predicted.found = true;
+  predicted.start = 40 * 5;
+  predicted.duration_minutes = 60;
+  EXPECT_TRUE(IsWindowChosenCorrectly(day, predicted, true_w));
+}
+
+TEST(WindowChosenCorrectlyTest, Figure9SignificantlyWorseWindow) {
+  // The predicted window sits on base load 50 while the true valley is 5:
+  // far outside the 10-point tolerance.
+  LoadSeries day = DayWithValley(50, 200, 24, 5);
+  WindowResult true_w = LowestLoadWindow(day, 0, 60);
+  WindowResult predicted;
+  predicted.found = true;
+  predicted.start = 0;
+  predicted.duration_minutes = 60;
+  EXPECT_FALSE(IsWindowChosenCorrectly(day, predicted, true_w));
+}
+
+TEST(WindowChosenCorrectlyTest, UnfoundWindowsIncorrect) {
+  LoadSeries day = DayWithValley(50, 0, 1, 5);
+  WindowResult found = LowestLoadWindow(day, 0, 60);
+  WindowResult not_found;
+  EXPECT_FALSE(IsWindowChosenCorrectly(day, not_found, found));
+  EXPECT_FALSE(IsWindowChosenCorrectly(day, found, not_found));
+}
+
+TEST(EvaluateLowLoadTest, PerfectForecastPassesBoth) {
+  LoadSeries truth = DayWithValley(50, 100, 24, 5);
+  LowLoadEvaluation eval = EvaluateLowLoad(truth, truth, 0, 60);
+  ASSERT_TRUE(eval.evaluable);
+  EXPECT_TRUE(eval.window_correct);
+  EXPECT_TRUE(eval.load_accurate);
+  EXPECT_DOUBLE_EQ(eval.window_bucket.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(eval.day_bucket.ratio, 1.0);
+}
+
+TEST(EvaluateLowLoadTest, Figure10WindowRightLoadWrong) {
+  // Predicted and true LL windows coincide, but the predicted load inside
+  // the window is far too low (under-prediction beyond -5).
+  LoadSeries truth = DayWithValley(50, 100, 24, 20);
+  LoadSeries predicted = DayWithValley(50, 100, 24, 5);
+  LowLoadEvaluation eval = EvaluateLowLoad(predicted, truth, 0, 60);
+  ASSERT_TRUE(eval.evaluable);
+  EXPECT_TRUE(eval.window_correct);
+  EXPECT_FALSE(eval.load_accurate);
+}
+
+TEST(EvaluateLowLoadTest, Figure9LoadRightWindowWrong) {
+  // Truth has its valley at tick 200; the forecast predicts the load well
+  // everywhere except it invents a deeper valley at tick 40, so the
+  // predicted LL window lands on base-load territory.
+  std::vector<double> truth_v(288, 50.0);
+  for (int64_t i = 200; i < 224; ++i) truth_v[static_cast<size_t>(i)] = 5.0;
+  std::vector<double> pred_v = truth_v;  // accurate at the chosen window...
+  for (int64_t i = 40; i < 64; ++i) pred_v[static_cast<size_t>(i)] = 2.0;
+  LoadSeries truth =
+      std::move(LoadSeries::Make(0, 5, std::move(truth_v))).ValueOrDie();
+  LoadSeries predicted =
+      std::move(LoadSeries::Make(0, 5, std::move(pred_v))).ValueOrDie();
+  LowLoadEvaluation eval = EvaluateLowLoad(predicted, truth, 0, 60);
+  ASSERT_TRUE(eval.evaluable);
+  EXPECT_FALSE(eval.window_correct);
+}
+
+TEST(EvaluateLowLoadTest, NotEvaluableWithoutData) {
+  LoadSeries truth = DayWithValley(50, 100, 24, 5);
+  LoadSeries empty;
+  LowLoadEvaluation eval = EvaluateLowLoad(empty, truth, 0, 60);
+  EXPECT_FALSE(eval.evaluable);
+  EXPECT_FALSE(eval.window_correct);
+}
+
+TEST(EvaluateLowLoadTest, OrthogonalMetricsBothFail) {
+  // Wrong window and wrong load.
+  LoadSeries truth = DayWithValley(50, 200, 24, 5);
+  LoadSeries predicted = DayWithValley(80, 40, 24, 30);
+  LowLoadEvaluation eval = EvaluateLowLoad(predicted, truth, 0, 60);
+  ASSERT_TRUE(eval.evaluable);
+  EXPECT_FALSE(eval.window_correct);
+  EXPECT_FALSE(eval.load_accurate);
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,121 @@
+#include "metrics/predictable.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+constexpr int64_t kFourWeeks = 4 * kMinutesPerWeek;
+
+// Four weeks of load with a nightly valley.
+LoadSeries NightlyValleyLoad() {
+  std::vector<double> values;
+  for (int64_t i = 0; i < 4 * 7 * 288; ++i) {
+    int64_t tick = i % 288;
+    values.push_back(tick < 48 ? 5.0 : 40.0);  // low before 04:00
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+// Forecaster that replays the true load (perfect oracle).
+DayForecaster Oracle(const LoadSeries& truth) {
+  return [&truth](int64_t day) -> Result<LoadSeries> {
+    return truth.SliceDay(day);
+  };
+}
+
+// Forecaster that always fails.
+DayForecaster Broken() {
+  return [](int64_t) -> Result<LoadSeries> {
+    return Status::Internal("no forecast");
+  };
+}
+
+TEST(PredictableTest, OraclePerfectForecastIsPredictable) {
+  LoadSeries truth = NightlyValleyLoad();
+  PredictabilityResult r = EvaluatePredictability(
+      Oracle(truth), truth, 0, kFourWeeks, /*target_week=*/3,
+      DayOfWeek::kWednesday, 60);
+  EXPECT_TRUE(r.long_lived);
+  EXPECT_TRUE(r.predictable);
+  ASSERT_EQ(r.evidence.size(), 3u);
+  for (const auto& ev : r.evidence) {
+    EXPECT_TRUE(ev.Good());
+  }
+}
+
+TEST(PredictableTest, EvidenceDaysAreTheBackupDays) {
+  LoadSeries truth = NightlyValleyLoad();
+  PredictabilityResult r = EvaluatePredictability(
+      Oracle(truth), truth, 0, kFourWeeks, 3, DayOfWeek::kFriday, 60);
+  ASSERT_EQ(r.evidence.size(), 3u);
+  EXPECT_EQ(r.evidence[0].day_index, 0 * 7 + 4);
+  EXPECT_EQ(r.evidence[1].day_index, 1 * 7 + 4);
+  EXPECT_EQ(r.evidence[2].day_index, 2 * 7 + 4);
+}
+
+TEST(PredictableTest, ShortLivedIsNotPredictable) {
+  LoadSeries truth = NightlyValleyLoad();
+  PredictabilityResult r = EvaluatePredictability(
+      Oracle(truth), truth, 0, 2 * kMinutesPerWeek, 3, DayOfWeek::kMonday,
+      60);
+  EXPECT_FALSE(r.long_lived);
+  EXPECT_FALSE(r.predictable);
+  EXPECT_TRUE(r.evidence.empty());
+}
+
+TEST(PredictableTest, LateCreationFailsTheGate) {
+  // Long lifespan but created after the evidence window started:
+  // "servers that did not exist ... for the last three weeks" (§2.3).
+  LoadSeries truth = NightlyValleyLoad();
+  PredictabilityResult r = EvaluatePredictability(
+      Oracle(truth), truth, kMinutesPerWeek, kMinutesPerWeek + 3 *
+      kMinutesPerWeek, 3, DayOfWeek::kMonday, 60);
+  EXPECT_FALSE(r.long_lived);
+}
+
+TEST(PredictableTest, BrokenForecasterIsUnpredictable) {
+  LoadSeries truth = NightlyValleyLoad();
+  PredictabilityResult r = EvaluatePredictability(
+      Broken(), truth, 0, kFourWeeks, 3, DayOfWeek::kMonday, 60);
+  EXPECT_TRUE(r.long_lived);
+  EXPECT_FALSE(r.predictable);
+  for (const auto& ev : r.evidence) {
+    EXPECT_FALSE(ev.evaluable);
+  }
+}
+
+TEST(PredictableTest, OneBadWeekSpoilsIt) {
+  LoadSeries truth = NightlyValleyLoad();
+  // Oracle everywhere except week 1's backup day, where the forecast
+  // points at the wrong valley.
+  DayForecaster mostly_oracle =
+      [&truth](int64_t day) -> Result<LoadSeries> {
+    if (day == 7 + 2) {  // week 1, Wednesday
+      std::vector<double> wrong(288, 40.0);
+      for (int64_t i = 200; i < 260; ++i) wrong[static_cast<size_t>(i)] = 0.0;
+      return LoadSeries::Make(day * kMinutesPerDay, 5, std::move(wrong));
+    }
+    return truth.SliceDay(day);
+  };
+  PredictabilityResult r = EvaluatePredictability(
+      mostly_oracle, truth, 0, kFourWeeks, 3, DayOfWeek::kWednesday, 60);
+  EXPECT_FALSE(r.predictable);
+  EXPECT_TRUE(r.evidence[0].Good());
+  EXPECT_FALSE(r.evidence[1].Good());
+  EXPECT_TRUE(r.evidence[2].Good());
+}
+
+TEST(PredictableTest, ConfigurableWeeks) {
+  LoadSeries truth = NightlyValleyLoad();
+  FleetConfig fleet;
+  fleet.long_lived_weeks = 2;
+  PredictabilityResult r = EvaluatePredictability(
+      Oracle(truth), truth, 0, kFourWeeks, 3, DayOfWeek::kMonday, 60,
+      AccuracyConfig{}, fleet);
+  EXPECT_EQ(r.evidence.size(), 2u);
+  EXPECT_TRUE(r.predictable);
+}
+
+}  // namespace
+}  // namespace seagull

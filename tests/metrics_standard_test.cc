@@ -1,0 +1,112 @@
+#include "metrics/standard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace seagull {
+namespace {
+
+LoadSeries MakeSeries(std::vector<double> values, int64_t interval = 15) {
+  return std::move(LoadSeries::Make(0, interval, std::move(values)))
+      .ValueOrDie();
+}
+
+TEST(StandardMetricsTest, MaeAndRmseBasics) {
+  LoadSeries truth = MakeSeries({10, 20, 30});
+  LoadSeries pred = MakeSeries({12, 18, 30});
+  EXPECT_NEAR(MeanAbsoluteError(pred, truth), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(RootMeanSquaredError(pred, truth), std::sqrt(8.0 / 3.0),
+              1e-12);
+}
+
+TEST(StandardMetricsTest, PerfectForecastIsZeroError) {
+  LoadSeries truth = MakeSeries({5, 10, 15, 20});
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(truth, truth), 0.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(truth, truth), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedRmse(truth, truth), 0.0);
+}
+
+TEST(StandardMetricsTest, MissingPairsExcluded) {
+  LoadSeries truth = MakeSeries({10, kMissingValue, 30});
+  LoadSeries pred = MakeSeries({12, 100, kMissingValue});
+  EXPECT_NEAR(MeanAbsoluteError(pred, truth), 2.0, 1e-12);
+}
+
+TEST(StandardMetricsTest, NothingComparableIsMissing) {
+  LoadSeries truth = MakeSeries({1, 2});
+  LoadSeries far = std::move(LoadSeries::Make(600, 15, {1.0})).ValueOrDie();
+  EXPECT_TRUE(IsMissing(MeanAbsoluteError(far, truth)));
+  EXPECT_TRUE(IsMissing(NormalizedRmse(far, truth)));
+  EXPECT_TRUE(IsMissing(MeanAbsoluteScaledError(far, truth)));
+}
+
+TEST(StandardMetricsTest, NrmsePaperProperty) {
+  // "A mean NRMSE of 1 is produced when the mean is predicted as the
+  // forecast" (Appendix A.2) — exactly true when the true mean equals
+  // its RMS deviation scale; verify the defining ratio directly.
+  Rng rng(5);
+  std::vector<double> truth_v;
+  for (int i = 0; i < 2000; ++i) {
+    truth_v.push_back(20.0 + rng.Gaussian(0.0, 20.0));
+  }
+  LoadSeries truth = MakeSeries(truth_v);
+  double mean = truth.Mean();
+  LoadSeries mean_forecast = MakeSeries(
+      std::vector<double>(truth_v.size(), mean));
+  double nrmse = NormalizedRmse(mean_forecast, truth);
+  // RMSE of the mean forecast is the true stddev; NRMSE = stddev/mean.
+  // With stddev ~= mean, this is ~1.
+  EXPECT_NEAR(nrmse, 1.0, 0.15);
+}
+
+TEST(StandardMetricsTest, NrmseZeroMeanIsMissing) {
+  LoadSeries truth = MakeSeries({0, 0, 0});
+  LoadSeries pred = MakeSeries({1, 1, 1});
+  EXPECT_TRUE(IsMissing(NormalizedRmse(pred, truth)));
+}
+
+TEST(StandardMetricsTest, MaseBelowOneBeatsNaive) {
+  // Truth is a steep ramp; one-step naive error is 10 per step. A
+  // forecast within 2 of truth scores MASE well under 1.
+  std::vector<double> truth_v, pred_v;
+  for (int i = 0; i < 50; ++i) {
+    truth_v.push_back(10.0 * i);
+    pred_v.push_back(10.0 * i + 2.0);
+  }
+  double mase =
+      MeanAbsoluteScaledError(MakeSeries(pred_v), MakeSeries(truth_v));
+  EXPECT_LT(mase, 1.0);
+  EXPECT_NEAR(mase, 0.2, 1e-9);
+}
+
+TEST(StandardMetricsTest, MaseAboveOneWorseThanNaive) {
+  // Truth is flat (naive error tiny is zero -> use slight wiggle),
+  // forecast is far off.
+  std::vector<double> truth_v, pred_v;
+  for (int i = 0; i < 50; ++i) {
+    truth_v.push_back(20.0 + (i % 2 == 0 ? 0.5 : -0.5));
+    pred_v.push_back(40.0);
+  }
+  double mase =
+      MeanAbsoluteScaledError(MakeSeries(pred_v), MakeSeries(truth_v));
+  EXPECT_GT(mase, 1.0);
+}
+
+TEST(StandardMetricsTest, MaseConstantTruthIsMissing) {
+  // Naive normalizing factor is zero for a constant series.
+  LoadSeries truth = MakeSeries({7, 7, 7, 7});
+  LoadSeries pred = MakeSeries({8, 8, 8, 8});
+  EXPECT_TRUE(IsMissing(MeanAbsoluteScaledError(pred, truth)));
+}
+
+TEST(StandardMetricsTest, IntervalMismatchComparesNothing) {
+  LoadSeries truth = MakeSeries({1, 2, 3}, 15);
+  LoadSeries pred = MakeSeries({1, 2, 3}, 5);
+  EXPECT_TRUE(IsMissing(MeanAbsoluteError(pred, truth)));
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,102 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace seagull {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(&pool, n, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, MatchesSequentialSum) {
+  ThreadPool pool(8);
+  const int64_t n = 5000;
+  std::vector<int64_t> values(n);
+  ParallelFor(&pool, n, [&](int64_t i) {
+    values[static_cast<size_t>(i)] = i * i;
+  });
+  int64_t parallel_sum = std::accumulate(values.begin(), values.end(),
+                                         int64_t{0});
+  int64_t expected = 0;
+  SequentialFor(n, [&](int64_t i) { expected += i * i; });
+  EXPECT_EQ(parallel_sum, expected);
+}
+
+TEST(ParallelForTest, HandlesEmptyAndSingle) {
+  ThreadPool pool(4);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(&pool, 1, [&](int64_t i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SmallNLargePool) {
+  ThreadPool pool(16);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 3, [&](int64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(SequentialForTest, InOrder) {
+  std::vector<int64_t> order;
+  SequentialFor(5, [&](int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace seagull

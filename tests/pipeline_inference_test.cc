@@ -1,0 +1,170 @@
+/// \file pipeline_inference_test.cc
+/// \brief Tests for the Inference module and the scheduler's
+/// stored-prediction path.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+#include "pipeline/inference.h"
+#include "pipeline/pipeline.h"
+#include "scheduling/backup_scheduler.h"
+#include "scheduling/simulation.h"
+#include "telemetry/emitter.h"
+
+namespace seagull {
+namespace {
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto lake = LakeStore::OpenTemporary("inference");
+    ASSERT_TRUE(lake.ok());
+    lake_ = std::make_unique<LakeStore>(std::move(lake).ValueUnsafe());
+    RegionConfig config;
+    config.name = "inf";
+    config.num_servers = 25;
+    config.weeks = 4;
+    config.seed = 21;
+    fleet_ = std::make_unique<Fleet>(Fleet::Generate(config));
+    ASSERT_TRUE(lake_->Put(LakeStore::TelemetryKey("inf", 2),
+                           ExtractWeekCsvText(*fleet_, 2))
+                    .ok());
+    ctx_.region = "inf";
+    ctx_.week = 2;
+    ctx_.lake = lake_.get();
+    ctx_.docs = &docs_;
+    Pipeline pipeline = Pipeline::Standard();
+    report_ = pipeline.Run(&ctx_);
+  }
+
+  std::unique_ptr<LakeStore> lake_;
+  std::unique_ptr<Fleet> fleet_;
+  DocStore docs_;
+  PipelineContext ctx_;
+  PipelineRunReport report_;
+};
+
+TEST_F(InferenceTest, StandardChainIncludesInference) {
+  ASSERT_TRUE(report_.success) << report_.failure;
+  EXPECT_GT(report_.MillisOf("inference"), 0.0);
+  EXPECT_GT(ctx_.stats["inference.predictions"], 0.0);
+}
+
+TEST_F(InferenceTest, PredictionsStoredPerServerDay) {
+  ASSERT_TRUE(report_.success);
+  Container* predictions = docs_.GetContainer(kPredictionsContainer);
+  // Up to 7 predictions per server with telemetry.
+  EXPECT_GT(predictions->Count(), 0);
+  EXPECT_LE(predictions->Count(),
+            static_cast<int64_t>(ctx_.servers.size()) * 7);
+  // Spot-check one document's shape.
+  auto docs = predictions->ReadPartition("inf");
+  ASSERT_FALSE(docs.empty());
+  const Json& body = docs[0].body;
+  EXPECT_TRUE(body["server_id"].is_string());
+  EXPECT_TRUE(body["window_start"].is_number());
+  EXPECT_TRUE(body["duration_minutes"].is_number());
+  // The predicted day falls in the scheduling week (week 3).
+  int64_t day = static_cast<int64_t>(body["day"].AsDouble());
+  EXPECT_GE(day, 21);
+  EXPECT_LT(day, 28);
+  // The window lies within its day.
+  MinuteStamp start =
+      static_cast<MinuteStamp>(body["window_start"].AsDouble());
+  EXPECT_EQ(DayIndex(start), day);
+}
+
+TEST_F(InferenceTest, SchedulerUsesStoredPrediction) {
+  ASSERT_TRUE(report_.success);
+  // Pick a predictable server with a stored prediction.
+  Container* predictions = docs_.GetContainer(kPredictionsContainer);
+  std::string server_id;
+  int64_t day = 0;
+  MinuteStamp stored_start = 0;
+  int64_t stored_duration = 0;
+  for (const auto& doc : predictions->ReadPartition("inf")) {
+    auto acc = docs_.GetContainer(kAccuracyContainer)
+                   ->Get("inf", StringPrintf(
+                                    "w0003:%s",
+                                    doc.body.GetString("server_id")
+                                        .ValueOr("")
+                                        .c_str()));
+    if (!acc.ok() || !acc->body.GetBool("predictable").ValueOr(false)) {
+      continue;
+    }
+    server_id = doc.body.GetString("server_id").ValueOr("");
+    day = static_cast<int64_t>(doc.body.GetNumber("day").ValueOr(0));
+    stored_start = static_cast<MinuteStamp>(
+        doc.body.GetNumber("window_start").ValueOr(0));
+    stored_duration = static_cast<int64_t>(
+        doc.body.GetNumber("duration_minutes").ValueOr(0));
+    break;
+  }
+  ASSERT_FALSE(server_id.empty()) << "no predictable server with prediction";
+
+  DueServer due;
+  due.server_id = server_id;
+  due.recent_load = LoadSeries();  // live path would fail
+  due.default_start = day * kMinutesPerDay;
+  due.default_end = due.default_start + stored_duration;
+  due.backup_duration_minutes = stored_duration;
+
+  ServiceFabricProperties properties;
+  BackupSchedulerOptions options;
+  options.prefer_stored_predictions = true;
+  BackupScheduler scheduler(&docs_, &properties, options);
+  auto schedules = scheduler.ScheduleDay("inf", day, {due});
+  ASSERT_EQ(schedules.size(), 1u);
+  EXPECT_EQ(schedules[0].decision, ScheduleDecision::kScheduledLowLoad);
+  EXPECT_EQ(schedules[0].window_start, stored_start);
+
+  // Without the option the live path runs — and fails here because the
+  // recent load is empty.
+  ServiceFabricProperties properties2;
+  BackupScheduler live_scheduler(&docs_, &properties2);
+  auto live = live_scheduler.ScheduleDay("inf", day, {due});
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].decision, ScheduleDecision::kDefaultForecastFailed);
+}
+
+TEST_F(InferenceTest, DurationMismatchFallsBackToLivePath) {
+  ASSERT_TRUE(report_.success);
+  Container* predictions = docs_.GetContainer(kPredictionsContainer);
+  auto docs = predictions->ReadPartition("inf");
+  ASSERT_FALSE(docs.empty());
+  std::string server_id = docs[0].body.GetString("server_id").ValueOr("");
+  int64_t day =
+      static_cast<int64_t>(docs[0].body.GetNumber("day").ValueOr(0));
+  // Mark predictable.
+  Document acc;
+  acc.partition_key = "inf";
+  acc.id = StringPrintf("w0003:%s", server_id.c_str());
+  acc.body = Json::MakeObject();
+  acc.body["predictable"] = true;
+  docs_.GetContainer(kAccuracyContainer)->Upsert(acc).Abort();
+
+  DueServer due;
+  due.server_id = server_id;
+  due.recent_load = LoadSeries();
+  due.default_start = day * kMinutesPerDay;
+  // A different duration than the stored prediction's.
+  due.backup_duration_minutes =
+      static_cast<int64_t>(
+          docs[0].body.GetNumber("duration_minutes").ValueOr(60)) +
+      kServerIntervalMinutes;
+  due.default_end = due.default_start + due.backup_duration_minutes;
+
+  ServiceFabricProperties properties;
+  BackupSchedulerOptions options;
+  options.prefer_stored_predictions = true;
+  BackupScheduler scheduler(&docs_, &properties, options);
+  auto schedules = scheduler.ScheduleDay("inf", day, {due});
+  ASSERT_EQ(schedules.size(), 1u);
+  // Stored prediction rejected; live path fails on empty recent load.
+  EXPECT_EQ(schedules[0].decision,
+            ScheduleDecision::kDefaultForecastFailed);
+}
+
+}  // namespace
+}  // namespace seagull

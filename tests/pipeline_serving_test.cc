@@ -1,0 +1,157 @@
+#include "pipeline/serving.h"
+
+#include <gtest/gtest.h>
+
+#include "forecast/persistent.h"
+
+namespace seagull {
+namespace {
+
+ModelEndpoint MakeEndpoint() {
+  PersistentForecast model(PersistentVariant::kPreviousDay);
+  Json body = Json::MakeObject();
+  body["family"] = "persistent_prev_day";
+  body["version"] = 7;
+  Json models = Json::MakeObject();
+  models[""] = std::move(model.Serialize()).ValueOrDie();
+  body["models"] = std::move(models);
+  return std::move(ModelEndpoint::FromVersionDoc(body)).ValueOrDie();
+}
+
+LoadSeries DayOfLoad() {
+  std::vector<double> values(288);
+  for (int64_t i = 0; i < 288; ++i) {
+    values[static_cast<size_t>(i)] = i < 48 ? 5.0 : 40.0;
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+TEST(SeriesWireTest, RoundTripWithMissing) {
+  LoadSeries s = DayOfLoad();
+  s.SetValue(10, kMissingValue);
+  Json doc = SeriesToJson(s);
+  auto back = SeriesFromJson(doc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->start(), s.start());
+  EXPECT_EQ(back->interval_minutes(), s.interval_minutes());
+  ASSERT_EQ(back->size(), s.size());
+  EXPECT_TRUE(back->MissingAt(10));
+  EXPECT_DOUBLE_EQ(back->ValueAt(100), 40.0);
+}
+
+TEST(SeriesWireTest, RejectsMalformed) {
+  Json bad = Json::MakeObject();
+  bad["start"] = 0;
+  EXPECT_FALSE(SeriesFromJson(bad).ok());  // no interval/values
+  bad["interval"] = 5;
+  bad["values"] = Json::MakeArray();
+  bad["values"].Append("text");
+  EXPECT_FALSE(SeriesFromJson(bad).ok());
+}
+
+TEST(ForecastRequestTest, RoundTrip) {
+  ForecastRequest req;
+  req.server_id = "srv-1";
+  req.start = kMinutesPerDay;
+  req.horizon_minutes = kMinutesPerDay;
+  req.recent = DayOfLoad();
+  auto back = ForecastRequest::FromJson(req.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->server_id, "srv-1");
+  EXPECT_EQ(back->start, kMinutesPerDay);
+  EXPECT_EQ(back->recent.size(), 288);
+}
+
+TEST(ForecastServiceTest, ServesForecast) {
+  ForecastService service(MakeEndpoint());
+  ForecastRequest req;
+  req.server_id = "srv-1";
+  req.start = kMinutesPerDay;
+  req.horizon_minutes = kMinutesPerDay;
+  req.recent = DayOfLoad();
+  std::string response_text = service.HandleRequest(req.ToJson().Dump());
+
+  auto response = Json::Parse(response_text);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE((*response)["ok"].AsBool());
+  EXPECT_EQ((*response)["model_version"].AsInt(), 7);
+  auto forecast = SeriesFromJson((*response)["forecast"]);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->size(), 288);
+  // Previous-day forecast replicates the valley.
+  EXPECT_DOUBLE_EQ(forecast->ValueAt(0), 5.0);
+  EXPECT_DOUBLE_EQ(forecast->ValueAt(100), 40.0);
+  EXPECT_EQ(service.requests_served(), 1);
+  EXPECT_EQ(service.requests_failed(), 0);
+}
+
+TEST(ForecastServiceTest, StructuredErrors) {
+  ForecastService service(MakeEndpoint());
+  // Not JSON.
+  auto r1 = Json::Parse(service.HandleRequest("not json at all"));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE((*r1)["ok"].AsBool());
+  EXPECT_EQ((*r1)["code"].AsString(), "Invalid");
+  // JSON but missing fields.
+  auto r2 = Json::Parse(service.HandleRequest("{}"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE((*r2)["ok"].AsBool());
+  // Valid shape but misaligned range -> model error surfaces.
+  ForecastRequest req;
+  req.server_id = "srv";
+  req.start = kMinutesPerDay + 2;
+  req.horizon_minutes = 60;
+  req.recent = DayOfLoad();
+  auto r3 = Json::Parse(service.HandleRequest(req.ToJson().Dump()));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE((*r3)["ok"].AsBool());
+  EXPECT_EQ(service.requests_served(), 0);
+  EXPECT_EQ(service.requests_failed(), 3);
+}
+
+TEST(ForecastServiceTest, NegativeHorizonRejected) {
+  ForecastService service(MakeEndpoint());
+  ForecastRequest req;
+  req.server_id = "srv";
+  req.start = 0;
+  req.horizon_minutes = 60;
+  req.recent = DayOfLoad();
+  Json doc = req.ToJson();
+  doc["horizon_minutes"] = -5;
+  auto response = Json::Parse(service.HandleRequest(doc.Dump()));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE((*response)["ok"].AsBool());
+}
+
+TEST(ForecastServiceTest, EndToEndThroughDeployedRegistry) {
+  // Deploy through the registry, load the active endpoint, serve.
+  DocStore docs;
+  PersistentForecast model;
+  Json body = Json::MakeObject();
+  body["family"] = "persistent_prev_day";
+  body["version"] = 1;
+  Json models = Json::MakeObject();
+  models[""] = std::move(model.Serialize()).ValueOrDie();
+  body["models"] = std::move(models);
+  Document doc;
+  doc.partition_key = "region";
+  doc.id = "v000001";
+  doc.body = std::move(body);
+  docs.GetContainer(kModelRegistryContainer)->Upsert(doc).Abort();
+  SetActiveVersion(&docs, "region", 1, "test").Abort();
+
+  auto endpoint = LoadActiveEndpoint(&docs, "region");
+  ASSERT_TRUE(endpoint.ok());
+  ForecastService service(std::move(endpoint).ValueUnsafe());
+  ForecastRequest req;
+  req.server_id = "any";
+  req.start = kMinutesPerDay;
+  req.horizon_minutes = 120;
+  req.recent = DayOfLoad();
+  auto response = Json::Parse(service.HandleRequest(req.ToJson().Dump()));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE((*response)["ok"].AsBool());
+}
+
+}  // namespace
+}  // namespace seagull

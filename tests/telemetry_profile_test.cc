@@ -1,0 +1,147 @@
+#include "telemetry/server_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/fleet.h"
+
+namespace seagull {
+namespace {
+
+TEST(ArchetypeMixTest, DefaultIsValid) {
+  ArchetypeMix mix;
+  EXPECT_TRUE(mix.IsValid());
+}
+
+TEST(ArchetypeMixTest, InvalidMixes) {
+  ArchetypeMix mix;
+  mix.stable = 0.9;  // now sums > 1
+  EXPECT_FALSE(mix.IsValid());
+  ArchetypeMix negative;
+  negative.short_lived = -0.1;
+  negative.stable = 0.956;
+  EXPECT_FALSE(negative.IsValid());
+}
+
+TEST(SampleProfileTest, Deterministic) {
+  ArchetypeMix mix;
+  Rng rng1(5), rng2(5);
+  ServerProfile a = SampleProfile("s1", mix, 4 * kMinutesPerWeek, &rng1);
+  ServerProfile b = SampleProfile("s1", mix, 4 * kMinutesPerWeek, &rng2);
+  EXPECT_EQ(a.archetype, b.archetype);
+  EXPECT_EQ(a.created_at, b.created_at);
+  EXPECT_EQ(a.deleted_at, b.deleted_at);
+  EXPECT_DOUBLE_EQ(a.base_load, b.base_load);
+  EXPECT_EQ(a.backup_duration_minutes, b.backup_duration_minutes);
+}
+
+TEST(SampleProfileTest, ShortLivedFractionApproximatesMix) {
+  ArchetypeMix mix;
+  Rng rng(17);
+  int short_lived = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    ServerProfile p = SampleProfile("s" + std::to_string(i), mix,
+                                    4 * kMinutesPerWeek, &rng);
+    if (p.IsShortLived()) ++short_lived;
+  }
+  EXPECT_NEAR(static_cast<double>(short_lived) / n, mix.short_lived, 0.03);
+}
+
+TEST(SampleProfileTest, ShortLivedServersFitHorizon) {
+  ArchetypeMix mix;
+  mix.short_lived = 1.0;
+  mix.stable = mix.daily = mix.weekly = mix.no_pattern = 0.0;
+  Rng rng(3);
+  const int64_t horizon = 4 * kMinutesPerWeek;
+  for (int i = 0; i < 200; ++i) {
+    ServerProfile p = SampleProfile("s" + std::to_string(i), mix, horizon,
+                                    &rng);
+    EXPECT_TRUE(p.IsShortLived());
+    EXPECT_GE(p.created_at, 0);
+    EXPECT_LE(p.deleted_at, horizon);
+    EXPECT_LT(p.LifespanMinutes(), 3 * kMinutesPerWeek);
+    EXPECT_EQ(p.created_at % kServerIntervalMinutes, 0);
+  }
+}
+
+TEST(SampleProfileTest, BackupDurationOnGridAndBounded) {
+  ArchetypeMix mix;
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    ServerProfile p = SampleProfile("s" + std::to_string(i), mix,
+                                    4 * kMinutesPerWeek, &rng);
+    EXPECT_EQ(p.backup_duration_minutes % kServerIntervalMinutes, 0);
+    EXPECT_GE(p.backup_duration_minutes, 30);
+    EXPECT_LE(p.backup_duration_minutes, 360);
+    EXPECT_GE(p.default_backup_start_minute, 0);
+    EXPECT_LT(p.default_backup_start_minute, kMinutesPerDay);
+  }
+}
+
+TEST(SampleProfileTest, SaturatingTailIsSmall) {
+  ArchetypeMix mix;
+  Rng rng(29);
+  int saturating = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ServerProfile p = SampleProfile("s" + std::to_string(i), mix,
+                                    4 * kMinutesPerWeek, &rng);
+    if (p.saturating) ++saturating;
+  }
+  // Paper: 3.7% of servers reach CPU capacity (Figure 13(b)).
+  EXPECT_NEAR(static_cast<double>(saturating) / n, 0.037, 0.01);
+}
+
+TEST(SampleProfileTest, WeeklyPatternHasWeekendScale) {
+  ArchetypeMix mix;
+  mix.short_lived = 0.0;
+  mix.stable = 0.0;
+  mix.daily = 0.0;
+  mix.weekly = 1.0;
+  mix.no_pattern = 0.0;
+  Rng rng(31);
+  ServerProfile p = SampleProfile("w1", mix, 4 * kMinutesPerWeek, &rng);
+  EXPECT_EQ(p.archetype, ServerArchetype::kWeeklyPattern);
+  // Weekend scales differ from weekday scales.
+  EXPECT_LT(p.day_scale[5], 0.5);
+  EXPECT_LT(p.day_scale[6], 0.5);
+  EXPECT_GT(p.day_scale[0], 0.5);
+}
+
+TEST(ArchetypeNameTest, AllNamed) {
+  EXPECT_STREQ(ServerArchetypeName(ServerArchetype::kStable), "stable");
+  EXPECT_STREQ(ServerArchetypeName(ServerArchetype::kDailyPattern), "daily");
+  EXPECT_STREQ(ServerArchetypeName(ServerArchetype::kWeeklyPattern),
+               "weekly");
+  EXPECT_STREQ(ServerArchetypeName(ServerArchetype::kNoPattern),
+               "no_pattern");
+}
+
+TEST(FleetTest, GenerateDeterministicAndNamed) {
+  RegionConfig config;
+  config.name = "test-region";
+  config.num_servers = 10;
+  config.seed = 99;
+  Fleet a = Fleet::Generate(config);
+  Fleet b = Fleet::Generate(config);
+  ASSERT_EQ(a.size(), 10);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.servers()[static_cast<size_t>(i)].server_id,
+              b.servers()[static_cast<size_t>(i)].server_id);
+    EXPECT_EQ(a.servers()[static_cast<size_t>(i)].seed,
+              b.servers()[static_cast<size_t>(i)].seed);
+  }
+  EXPECT_NE(a.Find("test-region-srv-00003"), nullptr);
+  EXPECT_EQ(a.Find("missing"), nullptr);
+}
+
+TEST(FleetTest, EvaluationRegionsScale) {
+  auto regions = MakeEvaluationRegions(1.0);
+  ASSERT_EQ(regions.size(), 4u);
+  EXPECT_LT(regions[0].num_servers, regions[3].num_servers);
+  auto scaled = MakeEvaluationRegions(0.5);
+  EXPECT_EQ(scaled[3].num_servers, regions[3].num_servers / 2);
+}
+
+}  // namespace
+}  // namespace seagull

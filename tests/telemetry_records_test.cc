@@ -1,0 +1,182 @@
+#include "telemetry/records.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/emitter.h"
+
+namespace seagull {
+namespace {
+
+std::vector<TelemetryRecord> SampleRecords() {
+  std::vector<TelemetryRecord> records;
+  for (int64_t t = 0; t < 30; t += 5) {
+    TelemetryRecord r;
+    r.server_id = "srv-a";
+    r.timestamp = t;
+    r.avg_cpu = 10.0 + static_cast<double>(t);
+    r.default_backup_start = 120;
+    r.default_backup_end = 180;
+    records.push_back(r);
+  }
+  TelemetryRecord b;
+  b.server_id = "srv-b";
+  b.timestamp = 10;
+  b.avg_cpu = 55.5;
+  b.default_backup_start = 600;
+  b.default_backup_end = 660;
+  records.push_back(b);
+  return records;
+}
+
+TEST(RecordsTest, CsvTableRoundTrip) {
+  auto records = SampleRecords();
+  CsvTable table = RecordsToCsv(records);
+  EXPECT_EQ(table.header.size(), 5u);
+  auto back = CsvToRecords(table);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), records.size());
+  EXPECT_EQ((*back)[0].server_id, "srv-a");
+  EXPECT_NEAR((*back)[2].avg_cpu, records[2].avg_cpu, 1e-4);
+  EXPECT_EQ((*back)[6].default_backup_start, 600);
+}
+
+TEST(RecordsTest, StreamingTextRoundTrip) {
+  auto records = SampleRecords();
+  std::string text = RecordsToCsvText(records);
+  auto back = ParseTelemetryCsv(text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i].server_id, records[i].server_id);
+    EXPECT_EQ((*back)[i].timestamp, records[i].timestamp);
+    EXPECT_NEAR((*back)[i].avg_cpu, records[i].avg_cpu, 1e-4);
+  }
+}
+
+TEST(RecordsTest, StreamingAndTableFormatsAgree) {
+  auto records = SampleRecords();
+  std::string streamed = RecordsToCsvText(records);
+  auto parsed_table = ParseCsv(streamed);
+  ASSERT_TRUE(parsed_table.ok());
+  auto via_table = CsvToRecords(*parsed_table);
+  ASSERT_TRUE(via_table.ok());
+  EXPECT_EQ(via_table->size(), records.size());
+}
+
+TEST(RecordsTest, ParseRejectsBadHeader) {
+  EXPECT_FALSE(ParseTelemetryCsv("a,b,c,d,e\n").ok());
+  EXPECT_FALSE(ParseTelemetryCsv("").ok());
+}
+
+TEST(RecordsTest, ParseRejectsWrongArity) {
+  std::string text = RecordsToCsvText({});
+  text += "srv,5,1.0,0\n";  // 4 fields
+  EXPECT_FALSE(ParseTelemetryCsv(text).ok());
+  std::string text2 = RecordsToCsvText({});
+  text2 += "srv,5,1.0,0,10,extra\n";
+  EXPECT_FALSE(ParseTelemetryCsv(text2).ok());
+}
+
+TEST(RecordsTest, ParseRejectsMalformedNumbers) {
+  std::string text = RecordsToCsvText({});
+  text += "srv,notanumber,1.0,0,10\n";
+  EXPECT_FALSE(ParseTelemetryCsv(text).ok());
+}
+
+TEST(RecordsTest, CsvToRecordsRejectsWrongColumns) {
+  CsvTable t;
+  t.header = {"server_id", "timestamp_minutes", "avg_cpu_pct", "x", "y"};
+  EXPECT_FALSE(CsvToRecords(t).ok());
+}
+
+TEST(RecordsTest, GroupByServerBuildsAlignedSeries) {
+  auto grouped = GroupByServer(SampleRecords());
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->size(), 2u);
+  const ServerTelemetry& a = (*grouped)[0];
+  EXPECT_EQ(a.server_id, "srv-a");
+  EXPECT_EQ(a.load.start(), 0);
+  EXPECT_EQ(a.load.size(), 6);
+  EXPECT_DOUBLE_EQ(a.load.ValueAt(0), 10.0);
+  EXPECT_EQ(a.default_backup_start, 120);
+  EXPECT_EQ(a.backup_duration_minutes(), 60);
+  const ServerTelemetry& b = (*grouped)[1];
+  EXPECT_EQ(b.load.size(), 1);
+}
+
+TEST(RecordsTest, GroupByServerHandlesGapsAndOrder) {
+  std::vector<TelemetryRecord> records;
+  for (int64_t t : {20, 0, 10}) {  // out of order, gap at 5 and 15
+    TelemetryRecord r;
+    r.server_id = "s";
+    r.timestamp = t;
+    r.avg_cpu = static_cast<double>(t);
+    r.default_backup_start = 0;
+    r.default_backup_end = 60;
+    records.push_back(r);
+  }
+  auto grouped = GroupByServer(records);
+  ASSERT_TRUE(grouped.ok());
+  const LoadSeries& load = (*grouped)[0].load;
+  EXPECT_EQ(load.size(), 5);
+  EXPECT_DOUBLE_EQ(load.ValueAtTime(0), 0.0);
+  EXPECT_TRUE(IsMissing(load.ValueAtTime(5)));
+  EXPECT_DOUBLE_EQ(load.ValueAtTime(20), 20.0);
+}
+
+TEST(RecordsTest, GroupByServerRejectsOffGrid) {
+  TelemetryRecord r;
+  r.server_id = "s";
+  r.timestamp = 7;
+  EXPECT_FALSE(GroupByServer({r}).ok());
+}
+
+TEST(EmitterTest, DefaultBackupWindowInsideDay) {
+  ServerProfile p;
+  p.backup_day = DayOfWeek::kWednesday;
+  p.default_backup_start_minute = 23 * 60;  // would overflow the day
+  p.backup_duration_minutes = 120;
+  MinuteStamp start = 0, end = 0;
+  DefaultBackupWindow(p, 1, &start, &end);
+  MinuteStamp day_start = kMinutesPerWeek + 2 * kMinutesPerDay;
+  EXPECT_GE(start, day_start);
+  EXPECT_LE(end, day_start + kMinutesPerDay);
+  EXPECT_EQ(end - start, 120);
+}
+
+TEST(EmitterTest, ExtractWeekEmitsOnlyPresentSamples) {
+  RegionConfig config;
+  config.name = "emit";
+  config.num_servers = 5;
+  config.weeks = 4;
+  config.seed = 7;
+  config.telemetry.missing_sample_rate = 0.1;
+  Fleet fleet = Fleet::Generate(config);
+  auto records = ExtractWeek(fleet, 3);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_GE(r.avg_cpu, 0.0);
+    EXPECT_LE(r.avg_cpu, 100.0);
+    EXPECT_EQ(r.timestamp % kServerIntervalMinutes, 0);
+    EXPECT_LT(r.timestamp, 4 * kMinutesPerWeek);
+    EXPECT_GT(r.default_backup_end, r.default_backup_start);
+  }
+}
+
+TEST(EmitterTest, ExtractedTextParsesAndGroups) {
+  RegionConfig config;
+  config.name = "emit2";
+  config.num_servers = 3;
+  config.weeks = 4;
+  Fleet fleet = Fleet::Generate(config);
+  std::string text = ExtractWeekCsvText(fleet, 3);
+  auto records = ParseTelemetryCsv(text);
+  ASSERT_TRUE(records.ok());
+  auto grouped = GroupByServer(*records);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_LE(grouped->size(), 3u);
+  EXPECT_GE(grouped->size(), 1u);
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,127 @@
+#include "telemetry/signals.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+ServerProfile Profile(uint64_t seed) {
+  ServerProfile p;
+  p.server_id = "sig";
+  p.archetype = ServerArchetype::kDailyPattern;
+  p.created_at = 0;
+  p.deleted_at = kMinutesPerWeek;
+  p.base_load = 15.0;
+  p.noise_sigma = 1.0;
+  p.bump_center = {10 * 60.0, 16 * 60.0};
+  p.bump_width = {100.0, 120.0};
+  p.bump_amplitude = {30.0, 20.0};
+  p.seed = seed;
+  return p;
+}
+
+TEST(SignalsTest, Names) {
+  EXPECT_STREQ(SignalKindName(SignalKind::kCpu), "cpu");
+  EXPECT_STREQ(SignalKindName(SignalKind::kMemory), "memory");
+  EXPECT_STREQ(SignalKindName(SignalKind::kIo), "io");
+  EXPECT_STREQ(SignalKindName(SignalKind::kConnections), "connections");
+}
+
+TEST(SignalsTest, CpuSignalMatchesGenerateLoad) {
+  ServerProfile p = Profile(1);
+  LoadSeries direct = GenerateLoad(p, 0, kMinutesPerDay);
+  LoadSeries via = GenerateSignal(p, SignalKind::kCpu, 0, kMinutesPerDay);
+  EXPECT_EQ(direct.values(), via.values());
+}
+
+TEST(SignalsTest, AllSignalsShareGridAndMissingness) {
+  ServerProfile p = Profile(2);
+  GeneratorOptions options;
+  options.missing_sample_rate = 0.1;
+  MultiSignalSeries s = GenerateAllSignals(p, 0, kMinutesPerDay, options);
+  ASSERT_EQ(s.cpu.size(), s.memory.size());
+  ASSERT_EQ(s.cpu.size(), s.io.size());
+  ASSERT_EQ(s.cpu.size(), s.connections.size());
+  for (int64_t i = 0; i < s.cpu.size(); ++i) {
+    EXPECT_EQ(s.cpu.MissingAt(i), s.memory.MissingAt(i)) << i;
+    EXPECT_EQ(s.cpu.MissingAt(i), s.io.MissingAt(i)) << i;
+    EXPECT_EQ(s.cpu.MissingAt(i), s.connections.MissingAt(i)) << i;
+  }
+}
+
+TEST(SignalsTest, Deterministic) {
+  ServerProfile p = Profile(3);
+  LoadSeries a = GenerateSignal(p, SignalKind::kIo, 0, kMinutesPerDay);
+  LoadSeries b = GenerateSignal(p, SignalKind::kIo, 0, kMinutesPerDay);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(SignalsTest, SignalsAreBounded) {
+  ServerProfile p = Profile(4);
+  MultiSignalSeries s = GenerateAllSignals(p, 0, kMinutesPerWeek);
+  for (int64_t i = 0; i < s.cpu.size(); ++i) {
+    EXPECT_GE(s.memory.ValueAt(i), 0.0);
+    EXPECT_LE(s.memory.ValueAt(i), 100.0);
+    EXPECT_GE(s.io.ValueAt(i), 0.0);
+    EXPECT_LE(s.io.ValueAt(i), 100.0);
+    EXPECT_GE(s.connections.ValueAt(i), 0.0);
+    // Connections are whole numbers.
+    EXPECT_DOUBLE_EQ(s.connections.ValueAt(i),
+                     std::round(s.connections.ValueAt(i)));
+  }
+}
+
+TEST(SignalsTest, CompanionSignalsCorrelateWithCpu) {
+  ServerProfile p = Profile(5);
+  MultiSignalSeries s = GenerateAllSignals(p, 0, kMinutesPerWeek);
+  CrossSignalFeatures f = ComputeCrossSignalFeatures(s);
+  // The daily bump drives all signals: positive correlation throughout
+  // (I/O is diluted by multiplicative noise and independent flush
+  // bursts, so its correlation is the weakest of the three).
+  EXPECT_GT(f.cpu_io_correlation, 0.25);
+  EXPECT_GT(f.cpu_connections_correlation, 0.8);
+  // Memory lags but still follows the daily shape.
+  EXPECT_GT(f.cpu_memory_correlation, 0.3);
+  EXPECT_GT(f.mean_memory, 10.0);
+  EXPECT_LT(f.mean_memory, 90.0);
+}
+
+TEST(SignalsTest, MemoryIsSmootherThanCpu) {
+  ServerProfile p = Profile(6);
+  MultiSignalSeries s = GenerateAllSignals(p, 0, kMinutesPerDay);
+  auto roughness = [](const LoadSeries& series) {
+    double sum = 0;
+    for (int64_t i = 1; i < series.size(); ++i) {
+      sum += std::fabs(series.ValueAt(i) - series.ValueAt(i - 1));
+    }
+    return sum;
+  };
+  EXPECT_LT(roughness(s.memory), 0.5 * roughness(s.cpu));
+}
+
+TEST(SignalsTest, CorrelationEdgeCases) {
+  LoadSeries empty;
+  LoadSeries flat =
+      std::move(LoadSeries::Make(0, 5, {5, 5, 5, 5})).ValueOrDie();
+  LoadSeries ramp =
+      std::move(LoadSeries::Make(0, 5, {1, 2, 3, 4})).ValueOrDie();
+  EXPECT_DOUBLE_EQ(SignalCorrelation(empty, ramp), 0.0);
+  EXPECT_DOUBLE_EQ(SignalCorrelation(flat, ramp), 0.0);  // zero variance
+  EXPECT_NEAR(SignalCorrelation(ramp, ramp), 1.0, 1e-9);
+  // Anti-correlated series.
+  LoadSeries anti =
+      std::move(LoadSeries::Make(0, 5, {4, 3, 2, 1})).ValueOrDie();
+  EXPECT_NEAR(SignalCorrelation(ramp, anti), -1.0, 1e-9);
+}
+
+TEST(SignalsTest, GetBySignalKind) {
+  ServerProfile p = Profile(7);
+  MultiSignalSeries s = GenerateAllSignals(p, 0, kMinutesPerDay);
+  EXPECT_EQ(&s.Get(SignalKind::kCpu), &s.cpu);
+  EXPECT_EQ(&s.Get(SignalKind::kMemory), &s.memory);
+  EXPECT_EQ(&s.Get(SignalKind::kIo), &s.io);
+  EXPECT_EQ(&s.Get(SignalKind::kConnections), &s.connections);
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,94 @@
+#include "timeseries/window.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+LoadSeries MakeSeries(std::vector<double> values) {
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+TEST(WindowTest, FindsObviousValley) {
+  // Valley of 0s at indices 4..5.
+  LoadSeries s = MakeSeries({9, 9, 9, 9, 0, 0, 9, 9});
+  WindowResult w = FindMinAverageWindow(s, 10);  // 2 ticks
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.start, 20);
+  EXPECT_DOUBLE_EQ(w.average_load, 0.0);
+  EXPECT_EQ(w.end(), 30);
+}
+
+TEST(WindowTest, TieResolvesToEarliest) {
+  LoadSeries s = MakeSeries({1, 1, 5, 1, 1});
+  WindowResult w = FindMinAverageWindow(s, 10);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.start, 0);
+}
+
+TEST(WindowTest, WholeSeriesWindow) {
+  LoadSeries s = MakeSeries({1, 2, 3});
+  WindowResult w = FindMinAverageWindow(s, 15);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.start, 0);
+  EXPECT_DOUBLE_EQ(w.average_load, 2.0);
+}
+
+TEST(WindowTest, WindowLongerThanSeriesNotFound) {
+  LoadSeries s = MakeSeries({1, 2});
+  EXPECT_FALSE(FindMinAverageWindow(s, 15).found);
+}
+
+TEST(WindowTest, ZeroOrMisalignedDurationNotFound) {
+  LoadSeries s = MakeSeries({1, 2, 3});
+  EXPECT_FALSE(FindMinAverageWindow(s, 0).found);
+  EXPECT_FALSE(FindMinAverageWindow(s, 7).found);  // not multiple of 5
+}
+
+TEST(WindowTest, MissingSamplesSkipWindowByDefault) {
+  LoadSeries s = MakeSeries({9, kMissingValue, 0, 0, 9});
+  // Default max_missing_fraction=0: windows containing index 1 skipped.
+  WindowResult w = FindMinAverageWindow(s, 10);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.start, 10);  // the {0,0} window
+}
+
+TEST(WindowTest, MissingToleranceAllowsPartialWindows) {
+  LoadSeries s = MakeSeries({0, kMissingValue, 9, 9});
+  WindowResult strict = FindMinAverageWindow(s, 10, 0.0);
+  ASSERT_TRUE(strict.found);
+  EXPECT_EQ(strict.start, 10);  // only complete window is {9,9}
+  WindowResult loose = FindMinAverageWindow(s, 10, 0.5);
+  ASSERT_TRUE(loose.found);
+  EXPECT_EQ(loose.start, 0);  // {0,missing} averages to 0 over present
+  EXPECT_DOUBLE_EQ(loose.average_load, 0.0);
+}
+
+TEST(WindowTest, RangeRestriction) {
+  LoadSeries s = MakeSeries({0, 0, 9, 9, 1, 1, 9});
+  WindowResult w = FindMinAverageWindowInRange(s, 10, 35, 10);
+  ASSERT_TRUE(w.found);
+  EXPECT_GE(w.start, 10);
+  EXPECT_LE(w.end(), 35);
+  EXPECT_DOUBLE_EQ(w.average_load, 1.0);  // {1,1}, the best inside range
+}
+
+TEST(WindowTest, RangeOutsideSeriesNotFound) {
+  LoadSeries s = MakeSeries({1, 2});
+  EXPECT_FALSE(FindMinAverageWindowInRange(s, 100, 200, 10).found);
+}
+
+TEST(WindowTest, WindowAverage) {
+  LoadSeries s = MakeSeries({2, 4, 6});
+  EXPECT_DOUBLE_EQ(WindowAverage(s, 0, 10), 3.0);
+  EXPECT_DOUBLE_EQ(WindowAverage(s, 5, 10), 5.0);
+  EXPECT_TRUE(IsMissing(WindowAverage(s, 100, 10)));
+}
+
+TEST(WindowTest, AllMissingSeriesNotFound) {
+  auto s = LoadSeries::MakeEmpty(0, 5, 10);
+  EXPECT_FALSE(FindMinAverageWindow(*s, 10).found);
+}
+
+}  // namespace
+}  // namespace seagull

@@ -1,0 +1,31 @@
+/// \file umbrella_test.cc
+/// \brief Compile-level check that the umbrella header exposes the whole
+/// public API in one include.
+
+#include "seagull.h"
+
+#include <gtest/gtest.h>
+
+namespace seagull {
+namespace {
+
+TEST(UmbrellaTest, EverySubsystemReachable) {
+  // Touch one symbol from each subsystem.
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_TRUE(LoadSeries::MakeEmpty(0, 5, 1).ok());
+  EXPECT_TRUE(ArchetypeMix{}.IsValid());
+  EXPECT_FALSE(ModelFactory::Global().Names().empty());
+  AccuracyConfig accuracy;
+  EXPECT_DOUBLE_EQ(accuracy.over_bound, 10.0);
+  FleetConfig fleet;
+  EXPECT_EQ(fleet.long_lived_weeks, 3);
+  DocStore docs;
+  EXPECT_TRUE(docs.ContainerNames().empty());
+  ServiceFabricProperties properties;
+  EXPECT_EQ(properties.Count(), 0);
+  SqlFleetConfig sql;
+  EXPECT_GT(sql.stable_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace seagull

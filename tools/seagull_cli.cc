@@ -1,0 +1,372 @@
+/// \file seagull_cli.cc
+/// \brief `seagull` — operational command line for the Seagull stores.
+///
+/// Drives the same library code the simulation uses, but against
+/// persistent state on disk (a lake directory and a document-store JSON
+/// snapshot), the way an operator would:
+///
+///   seagull generate  --lake DIR --region NAME [--servers N] [--weeks W] [--seed S]
+///   seagull pipeline  --lake DIR --docs FILE --region NAME --week K
+///                     [--model FAMILY] [--threads N] [--all-days]
+///   seagull schedule  --lake DIR --docs FILE --region NAME --day D
+///   seagull dashboard --docs FILE
+///   seagull incidents --docs FILE --region NAME
+///   seagull advise    --lake DIR --docs FILE --region NAME --server ID
+///                     --day D --start HH:MM [--duration MIN]
+///
+/// `generate` plays the role of Azure telemetry + Load Extraction;
+/// everything else is the production path.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+#include "pipeline/dashboard.h"
+#include "pipeline/incidents.h"
+#include "pipeline/scheduler.h"
+#include "scheduling/backup_scheduler.h"
+#include "scheduling/window_advisor.h"
+#include "telemetry/emitter.h"
+
+using namespace seagull;
+
+namespace {
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // boolean flag
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseInt64(it->second).ValueOr(fallback);
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Fails fast when a required flag is absent.
+  Result<std::string> Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return Status::Invalid("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<DocStore*> OpenDocs(const std::string& path) {
+  static DocStore docs;  // one store per process invocation
+  if (!path.empty()) {
+    Status st = docs.LoadFromFile(path);
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  return &docs;
+}
+
+/// Reads the latest telemetry for one region from the lake and groups it
+/// per server (the online components' view of "recent load").
+Result<std::vector<ServerTelemetry>> LoadTelemetry(const LakeStore& lake,
+                                                   const std::string& region,
+                                                   int64_t up_to_week) {
+  for (int64_t w = up_to_week; w >= 0; --w) {
+    std::string key = LakeStore::TelemetryKey(region, w);
+    if (!lake.Exists(key)) continue;
+    SEAGULL_ASSIGN_OR_RETURN(std::string text, lake.Get(key));
+    SEAGULL_ASSIGN_OR_RETURN(auto records, ParseTelemetryCsv(text));
+    return GroupByServer(records);
+  }
+  return Status::NotFound("no telemetry for region " + region);
+}
+
+int CmdGenerate(const Args& args) {
+  auto lake_dir = args.Require("lake");
+  auto region_name = args.Require("region");
+  if (!lake_dir.ok()) return Fail(lake_dir.status());
+  if (!region_name.ok()) return Fail(region_name.status());
+
+  RegionConfig config;
+  config.name = *region_name;
+  config.num_servers = static_cast<int>(args.GetInt("servers", 200));
+  config.weeks = static_cast<int>(args.GetInt("weeks", 5));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  auto lake = LakeStore::Open(*lake_dir);
+  if (!lake.ok()) return Fail(lake.status());
+  Fleet fleet = Fleet::Generate(config);
+  for (int64_t w = 0; w < config.weeks; ++w) {
+    std::string key = LakeStore::TelemetryKey(config.name, w);
+    Status st = lake->Put(key, ExtractWeekCsvText(fleet, w));
+    if (!st.ok()) return Fail(st);
+    auto size = lake->SizeOf(key);
+    std::printf("wrote %s (%.1f MB)\n", key.c_str(),
+                static_cast<double>(size.ValueOr(0)) / (1024.0 * 1024.0));
+  }
+  std::printf("generated %d servers x %d weeks for region %s\n",
+              config.num_servers, config.weeks, config.name.c_str());
+  return 0;
+}
+
+int CmdPipeline(const Args& args) {
+  auto lake_dir = args.Require("lake");
+  auto docs_path = args.Require("docs");
+  auto region = args.Require("region");
+  if (!lake_dir.ok()) return Fail(lake_dir.status());
+  if (!docs_path.ok()) return Fail(docs_path.status());
+  if (!region.ok()) return Fail(region.status());
+  int64_t week = args.GetInt("week", -1);
+  if (week < 0) return Fail(Status::Invalid("missing required flag --week"));
+
+  auto lake = LakeStore::Open(*lake_dir);
+  if (!lake.ok()) return Fail(lake.status());
+  auto docs = OpenDocs(*docs_path);
+  if (!docs.ok()) return Fail(docs.status());
+
+  Pipeline pipeline = Pipeline::Standard();
+  PipelineScheduler scheduler(&pipeline, &*lake, *docs);
+
+  PipelineContext config;
+  config.model_name = args.Get("model", "persistent_prev_day");
+  std::unique_ptr<ThreadPool> pool;
+  int64_t threads = args.GetInt("threads", 0);
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(static_cast<int>(threads));
+    config.pool = pool.get();
+  }
+
+  auto run = scheduler.RunIfDue(*region, week, config);
+  if (run.report.timings.empty()) {
+    std::printf("region %s not due at week %lld (already ran)\n",
+                region->c_str(), static_cast<long long>(week));
+  } else {
+    std::printf("pipeline %s week %lld: %s (%.1f ms)\n", region->c_str(),
+                static_cast<long long>(week),
+                run.report.success ? "ok" : "FAILED",
+                run.report.TotalMillis());
+    for (const auto& t : run.report.timings) {
+      std::printf("  %-12s %10.1f ms %s\n", t.module.c_str(), t.millis,
+                  t.ok ? "" : "FAILED");
+    }
+    for (const auto& alert : run.alerts) {
+      std::printf("ALERT [%s] %s\n", alert.rule.c_str(),
+                  alert.message.c_str());
+    }
+  }
+  Status st = (*docs)->SaveToFile(*docs_path);
+  if (!st.ok()) return Fail(st);
+  return run.report.success ? 0 : 1;
+}
+
+int CmdSchedule(const Args& args) {
+  auto lake_dir = args.Require("lake");
+  auto docs_path = args.Require("docs");
+  auto region = args.Require("region");
+  if (!lake_dir.ok()) return Fail(lake_dir.status());
+  if (!docs_path.ok()) return Fail(docs_path.status());
+  if (!region.ok()) return Fail(region.status());
+  int64_t day = args.GetInt("day", -1);
+  if (day < 0) return Fail(Status::Invalid("missing required flag --day"));
+
+  auto lake = LakeStore::Open(*lake_dir);
+  if (!lake.ok()) return Fail(lake.status());
+  auto docs = OpenDocs(*docs_path);
+  if (!docs.ok()) return Fail(docs.status());
+
+  auto telemetry = LoadTelemetry(*lake, *region, day / 7);
+  if (!telemetry.ok()) return Fail(telemetry.status());
+
+  // Servers due on `day`: default window falls on that weekday.
+  std::vector<DueServer> due;
+  for (const auto& st : *telemetry) {
+    if (DayOfWeekOf(st.default_backup_start) !=
+        DayOfWeekOf(day * kMinutesPerDay)) {
+      continue;
+    }
+    DueServer d;
+    d.server_id = st.server_id;
+    d.recent_load = st.load.Slice(st.load.start(), day * kMinutesPerDay);
+    // Rebase the default window onto this day.
+    d.default_start = day * kMinutesPerDay +
+                      MinuteOfDay(st.default_backup_start);
+    d.default_end = d.default_start + st.backup_duration_minutes();
+    d.backup_duration_minutes = st.backup_duration_minutes();
+    due.push_back(std::move(d));
+  }
+
+  ServiceFabricProperties properties;
+  BackupScheduler backup_scheduler(*docs, &properties);
+  auto schedules = backup_scheduler.ScheduleDay(*region, day, due);
+  std::printf("%-24s %-24s %-8s %s\n", "server", "decision", "window",
+              "moved");
+  for (const auto& s : schedules) {
+    std::printf("%-24s %-24s %-8s %s\n", s.server_id.c_str(),
+                ScheduleDecisionName(s.decision),
+                FormatTimeOfDay(MinuteOfDay(s.window_start)).c_str(),
+                s.moved() ? "yes" : "");
+  }
+  std::printf("%zu servers due, %lld moved to low-load windows\n",
+              schedules.size(),
+              static_cast<long long>(std::count_if(
+                  schedules.begin(), schedules.end(),
+                  [](const ScheduledBackup& s) { return s.moved(); })));
+  return 0;
+}
+
+int CmdDashboard(const Args& args) {
+  auto docs_path = args.Require("docs");
+  if (!docs_path.ok()) return Fail(docs_path.status());
+  auto docs = OpenDocs(*docs_path);
+  if (!docs.ok()) return Fail(docs.status());
+  Dashboard dashboard(*docs);
+  std::printf("%s", dashboard.Render().c_str());
+  return 0;
+}
+
+int CmdIncidents(const Args& args) {
+  auto docs_path = args.Require("docs");
+  auto region = args.Require("region");
+  if (!docs_path.ok()) return Fail(docs_path.status());
+  if (!region.ok()) return Fail(region.status());
+  auto docs = OpenDocs(*docs_path);
+  if (!docs.ok()) return Fail(docs.status());
+  IncidentManager manager(*docs);
+  auto history = manager.History(*region);
+  if (history.empty()) {
+    std::printf("no incidents for region %s\n", region->c_str());
+    return 0;
+  }
+  for (const auto& doc : history) {
+    std::printf("[%s] week %lld %s: %s\n",
+                doc.body.GetString("severity").ValueOr("?").c_str(),
+                static_cast<long long>(
+                    doc.body.GetNumber("week").ValueOr(-1)),
+                doc.body.GetString("module").ValueOr("?").c_str(),
+                doc.body.GetString("message").ValueOr("").c_str());
+  }
+  return 0;
+}
+
+int CmdAdvise(const Args& args) {
+  auto lake_dir = args.Require("lake");
+  auto docs_path = args.Require("docs");
+  auto region = args.Require("region");
+  auto server = args.Require("server");
+  auto start_str = args.Require("start");
+  if (!lake_dir.ok()) return Fail(lake_dir.status());
+  if (!docs_path.ok()) return Fail(docs_path.status());
+  if (!region.ok()) return Fail(region.status());
+  if (!server.ok()) return Fail(server.status());
+  if (!start_str.ok()) return Fail(start_str.status());
+  int64_t day = args.GetInt("day", -1);
+  if (day < 0) return Fail(Status::Invalid("missing required flag --day"));
+  int64_t duration = args.GetInt("duration", 60);
+
+  // Parse HH:MM.
+  auto parts = SplitString(*start_str, ':');
+  if (parts.size() != 2) {
+    return Fail(Status::Invalid("--start must be HH:MM"));
+  }
+  auto hh = ParseInt64(parts[0]);
+  auto mm = ParseInt64(parts[1]);
+  if (!hh.ok() || !mm.ok()) return Fail(Status::Invalid("bad --start"));
+  MinuteStamp customer_start = day * kMinutesPerDay + *hh * 60 + *mm;
+
+  auto lake = LakeStore::Open(*lake_dir);
+  if (!lake.ok()) return Fail(lake.status());
+  auto docs = OpenDocs(*docs_path);
+  if (!docs.ok()) return Fail(docs.status());
+  auto endpoint = LoadActiveEndpoint(*docs, *region);
+  if (!endpoint.ok()) return Fail(endpoint.status());
+
+  auto telemetry = LoadTelemetry(*lake, *region, day / 7);
+  if (!telemetry.ok()) return Fail(telemetry.status());
+  const ServerTelemetry* found = nullptr;
+  for (const auto& st : *telemetry) {
+    if (st.server_id == *server) found = &st;
+  }
+  if (found == nullptr) {
+    return Fail(Status::NotFound("no telemetry for server " + *server));
+  }
+  LoadSeries recent =
+      found->load.Slice(found->load.start(), day * kMinutesPerDay);
+  auto advice = AdviseCustomerWindow(*endpoint, *server, recent,
+                                     customer_start, duration);
+  if (!advice.ok()) return Fail(advice.status());
+  std::printf("customer window %s (+%lldmin): predicted load %.1f%%\n",
+              start_str->c_str(), static_cast<long long>(duration),
+              advice->customer_window_load);
+  if (advice->customer_window_ok) {
+    std::printf("verdict: fine — within tolerance of the predicted "
+                "lowest-load window\n");
+  } else {
+    std::printf("verdict: suggest %s instead (predicted %.1f%%, saves "
+                "%.1f points)\n",
+                FormatTimeOfDay(MinuteOfDay(advice->suggested.start))
+                    .c_str(),
+                advice->suggested.average_load, advice->predicted_saving);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: seagull <command> [flags]\n"
+      "commands:\n"
+      "  generate  --lake DIR --region NAME [--servers N] [--weeks W] "
+      "[--seed S]\n"
+      "  pipeline  --lake DIR --docs FILE --region NAME --week K "
+      "[--model FAMILY] [--threads N]\n"
+      "  schedule  --lake DIR --docs FILE --region NAME --day D\n"
+      "  dashboard --docs FILE\n"
+      "  incidents --docs FILE --region NAME\n"
+      "  advise    --lake DIR --docs FILE --region NAME --server ID "
+      "--day D --start HH:MM [--duration MIN]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  Args args(argc, argv);
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "pipeline") return CmdPipeline(args);
+  if (command == "schedule") return CmdSchedule(args);
+  if (command == "dashboard") return CmdDashboard(args);
+  if (command == "incidents") return CmdIncidents(args);
+  if (command == "advise") return CmdAdvise(args);
+  Usage();
+  return 2;
+}
