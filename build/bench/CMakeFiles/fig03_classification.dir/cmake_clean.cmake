@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_classification.dir/fig03_classification.cc.o"
+  "CMakeFiles/fig03_classification.dir/fig03_classification.cc.o.d"
+  "fig03_classification"
+  "fig03_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

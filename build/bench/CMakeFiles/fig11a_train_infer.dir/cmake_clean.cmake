@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_train_infer.dir/fig11a_train_infer.cc.o"
+  "CMakeFiles/fig11a_train_infer.dir/fig11a_train_infer.cc.o.d"
+  "fig11a_train_infer"
+  "fig11a_train_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_train_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11bcd_accuracy.dir/fig11bcd_accuracy.cc.o"
+  "CMakeFiles/fig11bcd_accuracy.dir/fig11bcd_accuracy.cc.o.d"
+  "fig11bcd_accuracy"
+  "fig11bcd_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11bcd_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_components.dir/fig12a_components.cc.o"
+  "CMakeFiles/fig12a_components.dir/fig12a_components.cc.o.d"
+  "fig12a_components"
+  "fig12a_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

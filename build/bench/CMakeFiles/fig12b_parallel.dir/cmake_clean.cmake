@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_parallel.dir/fig12b_parallel.cc.o"
+  "CMakeFiles/fig12b_parallel.dir/fig12b_parallel.cc.o.d"
+  "fig12b_parallel"
+  "fig12b_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

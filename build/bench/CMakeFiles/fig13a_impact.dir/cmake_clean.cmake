@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_impact.dir/fig13a_impact.cc.o"
+  "CMakeFiles/fig13a_impact.dir/fig13a_impact.cc.o.d"
+  "fig13a_impact"
+  "fig13a_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

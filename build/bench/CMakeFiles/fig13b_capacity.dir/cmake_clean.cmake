@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_capacity.dir/fig13b_capacity.cc.o"
+  "CMakeFiles/fig13b_capacity.dir/fig13b_capacity.cc.o.d"
+  "fig13b_capacity"
+  "fig13b_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

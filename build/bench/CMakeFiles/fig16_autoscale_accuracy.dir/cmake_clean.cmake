@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_autoscale_accuracy.dir/fig16_autoscale_accuracy.cc.o"
+  "CMakeFiles/fig16_autoscale_accuracy.dir/fig16_autoscale_accuracy.cc.o.d"
+  "fig16_autoscale_accuracy"
+  "fig16_autoscale_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_autoscale_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

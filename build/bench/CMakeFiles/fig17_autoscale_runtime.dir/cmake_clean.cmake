@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_autoscale_runtime.dir/fig17_autoscale_runtime.cc.o"
+  "CMakeFiles/fig17_autoscale_runtime.dir/fig17_autoscale_runtime.cc.o.d"
+  "fig17_autoscale_runtime"
+  "fig17_autoscale_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_autoscale_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec532_persistent.dir/sec532_persistent.cc.o"
+  "CMakeFiles/sec532_persistent.dir/sec532_persistent.cc.o.d"
+  "sec532_persistent"
+  "sec532_persistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec532_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_scenario.dir/autoscale_scenario.cpp.o"
+  "CMakeFiles/autoscale_scenario.dir/autoscale_scenario.cpp.o.d"
+  "autoscale_scenario"
+  "autoscale_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_scheduling.dir/backup_scheduling.cpp.o"
+  "CMakeFiles/backup_scheduling.dir/backup_scheduling.cpp.o.d"
+  "backup_scheduling"
+  "backup_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

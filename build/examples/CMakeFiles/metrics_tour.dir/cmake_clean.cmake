@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tour.dir/metrics_tour.cpp.o"
+  "CMakeFiles/metrics_tour.dir/metrics_tour.cpp.o.d"
+  "metrics_tour"
+  "metrics_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operations_tour.dir/operations_tour.cpp.o"
+  "CMakeFiles/operations_tour.dir/operations_tour.cpp.o.d"
+  "operations_tour"
+  "operations_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operations_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_trace.dir/real_trace.cpp.o"
+  "CMakeFiles/real_trace.dir/real_trace.cpp.o.d"
+  "real_trace"
+  "real_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

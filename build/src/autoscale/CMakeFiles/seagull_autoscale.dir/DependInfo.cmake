@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoscale/classify.cc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/classify.cc.o" "gcc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/classify.cc.o.d"
+  "/root/repo/src/autoscale/eval.cc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/eval.cc.o" "gcc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/eval.cc.o.d"
+  "/root/repo/src/autoscale/overbooking.cc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/overbooking.cc.o" "gcc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/overbooking.cc.o.d"
+  "/root/repo/src/autoscale/policy.cc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/policy.cc.o" "gcc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/policy.cc.o.d"
+  "/root/repo/src/autoscale/sql_fleet.cc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/sql_fleet.cc.o" "gcc" "src/autoscale/CMakeFiles/seagull_autoscale.dir/sql_fleet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/seagull_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/seagull_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/seagull_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/seagull_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_autoscale.dir/classify.cc.o"
+  "CMakeFiles/seagull_autoscale.dir/classify.cc.o.d"
+  "CMakeFiles/seagull_autoscale.dir/eval.cc.o"
+  "CMakeFiles/seagull_autoscale.dir/eval.cc.o.d"
+  "CMakeFiles/seagull_autoscale.dir/overbooking.cc.o"
+  "CMakeFiles/seagull_autoscale.dir/overbooking.cc.o.d"
+  "CMakeFiles/seagull_autoscale.dir/policy.cc.o"
+  "CMakeFiles/seagull_autoscale.dir/policy.cc.o.d"
+  "CMakeFiles/seagull_autoscale.dir/sql_fleet.cc.o"
+  "CMakeFiles/seagull_autoscale.dir/sql_fleet.cc.o.d"
+  "libseagull_autoscale.a"
+  "libseagull_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_common.dir/csv.cc.o"
+  "CMakeFiles/seagull_common.dir/csv.cc.o.d"
+  "CMakeFiles/seagull_common.dir/json.cc.o"
+  "CMakeFiles/seagull_common.dir/json.cc.o.d"
+  "CMakeFiles/seagull_common.dir/logging.cc.o"
+  "CMakeFiles/seagull_common.dir/logging.cc.o.d"
+  "CMakeFiles/seagull_common.dir/random.cc.o"
+  "CMakeFiles/seagull_common.dir/random.cc.o.d"
+  "CMakeFiles/seagull_common.dir/status.cc.o"
+  "CMakeFiles/seagull_common.dir/status.cc.o.d"
+  "CMakeFiles/seagull_common.dir/strings.cc.o"
+  "CMakeFiles/seagull_common.dir/strings.cc.o.d"
+  "CMakeFiles/seagull_common.dir/time.cc.o"
+  "CMakeFiles/seagull_common.dir/time.cc.o.d"
+  "libseagull_common.a"
+  "libseagull_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

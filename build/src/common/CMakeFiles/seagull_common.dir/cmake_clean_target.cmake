@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseagull_common.a"
+)

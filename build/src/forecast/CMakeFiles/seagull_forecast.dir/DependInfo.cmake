@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/additive.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/additive.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/additive.cc.o.d"
+  "/root/repo/src/forecast/arima.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/arima.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/arima.cc.o.d"
+  "/root/repo/src/forecast/feedforward.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/feedforward.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/feedforward.cc.o.d"
+  "/root/repo/src/forecast/linalg.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/linalg.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/linalg.cc.o.d"
+  "/root/repo/src/forecast/model.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/model.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/model.cc.o.d"
+  "/root/repo/src/forecast/persistent.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/persistent.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/persistent.cc.o.d"
+  "/root/repo/src/forecast/routed.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/routed.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/routed.cc.o.d"
+  "/root/repo/src/forecast/ssa.cc" "src/forecast/CMakeFiles/seagull_forecast.dir/ssa.cc.o" "gcc" "src/forecast/CMakeFiles/seagull_forecast.dir/ssa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/seagull_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/seagull_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_forecast.dir/additive.cc.o"
+  "CMakeFiles/seagull_forecast.dir/additive.cc.o.d"
+  "CMakeFiles/seagull_forecast.dir/arima.cc.o"
+  "CMakeFiles/seagull_forecast.dir/arima.cc.o.d"
+  "CMakeFiles/seagull_forecast.dir/feedforward.cc.o"
+  "CMakeFiles/seagull_forecast.dir/feedforward.cc.o.d"
+  "CMakeFiles/seagull_forecast.dir/linalg.cc.o"
+  "CMakeFiles/seagull_forecast.dir/linalg.cc.o.d"
+  "CMakeFiles/seagull_forecast.dir/model.cc.o"
+  "CMakeFiles/seagull_forecast.dir/model.cc.o.d"
+  "CMakeFiles/seagull_forecast.dir/persistent.cc.o"
+  "CMakeFiles/seagull_forecast.dir/persistent.cc.o.d"
+  "CMakeFiles/seagull_forecast.dir/routed.cc.o"
+  "CMakeFiles/seagull_forecast.dir/routed.cc.o.d"
+  "CMakeFiles/seagull_forecast.dir/ssa.cc.o"
+  "CMakeFiles/seagull_forecast.dir/ssa.cc.o.d"
+  "libseagull_forecast.a"
+  "libseagull_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

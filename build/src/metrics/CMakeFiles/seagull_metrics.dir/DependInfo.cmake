@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/bucket_ratio.cc" "src/metrics/CMakeFiles/seagull_metrics.dir/bucket_ratio.cc.o" "gcc" "src/metrics/CMakeFiles/seagull_metrics.dir/bucket_ratio.cc.o.d"
+  "/root/repo/src/metrics/classify.cc" "src/metrics/CMakeFiles/seagull_metrics.dir/classify.cc.o" "gcc" "src/metrics/CMakeFiles/seagull_metrics.dir/classify.cc.o.d"
+  "/root/repo/src/metrics/ll_window.cc" "src/metrics/CMakeFiles/seagull_metrics.dir/ll_window.cc.o" "gcc" "src/metrics/CMakeFiles/seagull_metrics.dir/ll_window.cc.o.d"
+  "/root/repo/src/metrics/predictable.cc" "src/metrics/CMakeFiles/seagull_metrics.dir/predictable.cc.o" "gcc" "src/metrics/CMakeFiles/seagull_metrics.dir/predictable.cc.o.d"
+  "/root/repo/src/metrics/standard.cc" "src/metrics/CMakeFiles/seagull_metrics.dir/standard.cc.o" "gcc" "src/metrics/CMakeFiles/seagull_metrics.dir/standard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/seagull_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_metrics.dir/bucket_ratio.cc.o"
+  "CMakeFiles/seagull_metrics.dir/bucket_ratio.cc.o.d"
+  "CMakeFiles/seagull_metrics.dir/classify.cc.o"
+  "CMakeFiles/seagull_metrics.dir/classify.cc.o.d"
+  "CMakeFiles/seagull_metrics.dir/ll_window.cc.o"
+  "CMakeFiles/seagull_metrics.dir/ll_window.cc.o.d"
+  "CMakeFiles/seagull_metrics.dir/predictable.cc.o"
+  "CMakeFiles/seagull_metrics.dir/predictable.cc.o.d"
+  "CMakeFiles/seagull_metrics.dir/standard.cc.o"
+  "CMakeFiles/seagull_metrics.dir/standard.cc.o.d"
+  "libseagull_metrics.a"
+  "libseagull_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/seagull_parallel.dir/thread_pool.cc.o.d"
+  "libseagull_parallel.a"
+  "libseagull_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/accuracy.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/accuracy.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/accuracy.cc.o.d"
+  "/root/repo/src/pipeline/dashboard.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/dashboard.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/dashboard.cc.o.d"
+  "/root/repo/src/pipeline/deployment.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/deployment.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/deployment.cc.o.d"
+  "/root/repo/src/pipeline/features.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/features.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/features.cc.o.d"
+  "/root/repo/src/pipeline/incidents.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/incidents.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/incidents.cc.o.d"
+  "/root/repo/src/pipeline/inference.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/inference.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/inference.cc.o.d"
+  "/root/repo/src/pipeline/ingestion.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/ingestion.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/ingestion.cc.o.d"
+  "/root/repo/src/pipeline/pipeline.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/pipeline.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/pipeline.cc.o.d"
+  "/root/repo/src/pipeline/scheduler.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/scheduler.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/scheduler.cc.o.d"
+  "/root/repo/src/pipeline/serving.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/serving.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/serving.cc.o.d"
+  "/root/repo/src/pipeline/tracking.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/tracking.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/tracking.cc.o.d"
+  "/root/repo/src/pipeline/training.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/training.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/training.cc.o.d"
+  "/root/repo/src/pipeline/validation.cc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/validation.cc.o" "gcc" "src/pipeline/CMakeFiles/seagull_pipeline.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/seagull_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/seagull_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/seagull_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/seagull_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/seagull_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/seagull_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_pipeline.dir/accuracy.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/accuracy.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/dashboard.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/dashboard.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/deployment.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/deployment.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/features.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/features.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/incidents.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/incidents.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/inference.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/inference.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/ingestion.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/ingestion.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/scheduler.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/scheduler.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/serving.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/serving.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/tracking.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/tracking.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/training.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/training.cc.o.d"
+  "CMakeFiles/seagull_pipeline.dir/validation.cc.o"
+  "CMakeFiles/seagull_pipeline.dir/validation.cc.o.d"
+  "libseagull_pipeline.a"
+  "libseagull_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

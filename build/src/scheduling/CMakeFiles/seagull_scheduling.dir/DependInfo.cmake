@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/backup_engine.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/backup_engine.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/backup_engine.cc.o.d"
+  "/root/repo/src/scheduling/backup_scheduler.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/backup_scheduler.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/backup_scheduler.cc.o.d"
+  "/root/repo/src/scheduling/backup_service.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/backup_service.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/backup_service.cc.o.d"
+  "/root/repo/src/scheduling/day_optimizer.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/day_optimizer.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/day_optimizer.cc.o.d"
+  "/root/repo/src/scheduling/impact.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/impact.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/impact.cc.o.d"
+  "/root/repo/src/scheduling/model_eval.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/model_eval.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/model_eval.cc.o.d"
+  "/root/repo/src/scheduling/service_fabric.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/service_fabric.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/service_fabric.cc.o.d"
+  "/root/repo/src/scheduling/simulation.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/simulation.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/simulation.cc.o.d"
+  "/root/repo/src/scheduling/window_advisor.cc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/window_advisor.cc.o" "gcc" "src/scheduling/CMakeFiles/seagull_scheduling.dir/window_advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/seagull_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/seagull_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/seagull_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/seagull_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/seagull_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/seagull_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/seagull_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

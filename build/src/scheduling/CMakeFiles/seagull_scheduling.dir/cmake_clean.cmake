@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_scheduling.dir/backup_engine.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/backup_engine.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/backup_scheduler.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/backup_scheduler.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/backup_service.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/backup_service.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/day_optimizer.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/day_optimizer.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/impact.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/impact.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/model_eval.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/model_eval.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/service_fabric.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/service_fabric.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/simulation.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/simulation.cc.o.d"
+  "CMakeFiles/seagull_scheduling.dir/window_advisor.cc.o"
+  "CMakeFiles/seagull_scheduling.dir/window_advisor.cc.o.d"
+  "libseagull_scheduling.a"
+  "libseagull_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

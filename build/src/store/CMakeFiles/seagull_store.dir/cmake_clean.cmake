@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_store.dir/doc_store.cc.o"
+  "CMakeFiles/seagull_store.dir/doc_store.cc.o.d"
+  "CMakeFiles/seagull_store.dir/lake_store.cc.o"
+  "CMakeFiles/seagull_store.dir/lake_store.cc.o.d"
+  "libseagull_store.a"
+  "libseagull_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/azure_trace.cc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/azure_trace.cc.o" "gcc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/azure_trace.cc.o.d"
+  "/root/repo/src/telemetry/emitter.cc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/emitter.cc.o" "gcc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/emitter.cc.o.d"
+  "/root/repo/src/telemetry/fleet.cc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/fleet.cc.o" "gcc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/fleet.cc.o.d"
+  "/root/repo/src/telemetry/load_generator.cc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/load_generator.cc.o" "gcc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/load_generator.cc.o.d"
+  "/root/repo/src/telemetry/records.cc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/records.cc.o" "gcc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/records.cc.o.d"
+  "/root/repo/src/telemetry/server_profile.cc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/server_profile.cc.o" "gcc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/server_profile.cc.o.d"
+  "/root/repo/src/telemetry/signals.cc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/signals.cc.o" "gcc" "src/telemetry/CMakeFiles/seagull_telemetry.dir/signals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/seagull_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

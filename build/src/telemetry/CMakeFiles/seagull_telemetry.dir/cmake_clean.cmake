@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_telemetry.dir/azure_trace.cc.o"
+  "CMakeFiles/seagull_telemetry.dir/azure_trace.cc.o.d"
+  "CMakeFiles/seagull_telemetry.dir/emitter.cc.o"
+  "CMakeFiles/seagull_telemetry.dir/emitter.cc.o.d"
+  "CMakeFiles/seagull_telemetry.dir/fleet.cc.o"
+  "CMakeFiles/seagull_telemetry.dir/fleet.cc.o.d"
+  "CMakeFiles/seagull_telemetry.dir/load_generator.cc.o"
+  "CMakeFiles/seagull_telemetry.dir/load_generator.cc.o.d"
+  "CMakeFiles/seagull_telemetry.dir/records.cc.o"
+  "CMakeFiles/seagull_telemetry.dir/records.cc.o.d"
+  "CMakeFiles/seagull_telemetry.dir/server_profile.cc.o"
+  "CMakeFiles/seagull_telemetry.dir/server_profile.cc.o.d"
+  "CMakeFiles/seagull_telemetry.dir/signals.cc.o"
+  "CMakeFiles/seagull_telemetry.dir/signals.cc.o.d"
+  "libseagull_telemetry.a"
+  "libseagull_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

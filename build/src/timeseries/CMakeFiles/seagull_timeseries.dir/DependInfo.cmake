@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/resample.cc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/resample.cc.o" "gcc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/resample.cc.o.d"
+  "/root/repo/src/timeseries/series.cc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/series.cc.o" "gcc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/series.cc.o.d"
+  "/root/repo/src/timeseries/stats.cc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/stats.cc.o" "gcc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/stats.cc.o.d"
+  "/root/repo/src/timeseries/window.cc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/window.cc.o" "gcc" "src/timeseries/CMakeFiles/seagull_timeseries.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_timeseries.dir/resample.cc.o"
+  "CMakeFiles/seagull_timeseries.dir/resample.cc.o.d"
+  "CMakeFiles/seagull_timeseries.dir/series.cc.o"
+  "CMakeFiles/seagull_timeseries.dir/series.cc.o.d"
+  "CMakeFiles/seagull_timeseries.dir/stats.cc.o"
+  "CMakeFiles/seagull_timeseries.dir/stats.cc.o.d"
+  "CMakeFiles/seagull_timeseries.dir/window.cc.o"
+  "CMakeFiles/seagull_timeseries.dir/window.cc.o.d"
+  "libseagull_timeseries.a"
+  "libseagull_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

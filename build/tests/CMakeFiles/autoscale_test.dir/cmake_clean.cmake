@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_test.dir/autoscale_test.cc.o"
+  "CMakeFiles/autoscale_test.dir/autoscale_test.cc.o.d"
+  "autoscale_test"
+  "autoscale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azure_trace_test.dir/azure_trace_test.cc.o"
+  "CMakeFiles/azure_trace_test.dir/azure_trace_test.cc.o.d"
+  "azure_trace_test"
+  "azure_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azure_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

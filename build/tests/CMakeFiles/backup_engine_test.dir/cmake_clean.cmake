@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_engine_test.dir/backup_engine_test.cc.o"
+  "CMakeFiles/backup_engine_test.dir/backup_engine_test.cc.o.d"
+  "backup_engine_test"
+  "backup_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

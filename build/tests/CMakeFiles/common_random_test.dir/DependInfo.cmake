@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_random_test.cc" "tests/CMakeFiles/common_random_test.dir/common_random_test.cc.o" "gcc" "tests/CMakeFiles/common_random_test.dir/common_random_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheduling/CMakeFiles/seagull_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/seagull_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/seagull_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/seagull_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/autoscale/CMakeFiles/seagull_autoscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/seagull_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/seagull_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/seagull_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/seagull_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seagull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_additive_test.dir/forecast_additive_test.cc.o"
+  "CMakeFiles/forecast_additive_test.dir/forecast_additive_test.cc.o.d"
+  "forecast_additive_test"
+  "forecast_additive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_additive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

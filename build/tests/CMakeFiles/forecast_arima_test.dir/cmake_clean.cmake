@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_arima_test.dir/forecast_arima_test.cc.o"
+  "CMakeFiles/forecast_arima_test.dir/forecast_arima_test.cc.o.d"
+  "forecast_arima_test"
+  "forecast_arima_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_arima_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

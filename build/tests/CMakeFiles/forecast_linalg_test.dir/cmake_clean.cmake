@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_linalg_test.dir/forecast_linalg_test.cc.o"
+  "CMakeFiles/forecast_linalg_test.dir/forecast_linalg_test.cc.o.d"
+  "forecast_linalg_test"
+  "forecast_linalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

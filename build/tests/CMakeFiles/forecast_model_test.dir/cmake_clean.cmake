@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_model_test.dir/forecast_model_test.cc.o"
+  "CMakeFiles/forecast_model_test.dir/forecast_model_test.cc.o.d"
+  "forecast_model_test"
+  "forecast_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_persistent_test.dir/forecast_persistent_test.cc.o"
+  "CMakeFiles/forecast_persistent_test.dir/forecast_persistent_test.cc.o.d"
+  "forecast_persistent_test"
+  "forecast_persistent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_persistent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

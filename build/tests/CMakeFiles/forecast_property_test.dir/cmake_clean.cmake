@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_property_test.dir/forecast_property_test.cc.o"
+  "CMakeFiles/forecast_property_test.dir/forecast_property_test.cc.o.d"
+  "forecast_property_test"
+  "forecast_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

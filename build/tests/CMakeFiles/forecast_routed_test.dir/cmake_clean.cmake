@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_routed_test.dir/forecast_routed_test.cc.o"
+  "CMakeFiles/forecast_routed_test.dir/forecast_routed_test.cc.o.d"
+  "forecast_routed_test"
+  "forecast_routed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_routed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_ssa_test.dir/forecast_ssa_test.cc.o"
+  "CMakeFiles/forecast_ssa_test.dir/forecast_ssa_test.cc.o.d"
+  "forecast_ssa_test"
+  "forecast_ssa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_ssa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_bucket_test.dir/metrics_bucket_test.cc.o"
+  "CMakeFiles/metrics_bucket_test.dir/metrics_bucket_test.cc.o.d"
+  "metrics_bucket_test"
+  "metrics_bucket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_classify_test.dir/metrics_classify_test.cc.o"
+  "CMakeFiles/metrics_classify_test.dir/metrics_classify_test.cc.o.d"
+  "metrics_classify_test"
+  "metrics_classify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

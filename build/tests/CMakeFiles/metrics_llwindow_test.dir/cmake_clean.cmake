@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_llwindow_test.dir/metrics_llwindow_test.cc.o"
+  "CMakeFiles/metrics_llwindow_test.dir/metrics_llwindow_test.cc.o.d"
+  "metrics_llwindow_test"
+  "metrics_llwindow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_llwindow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

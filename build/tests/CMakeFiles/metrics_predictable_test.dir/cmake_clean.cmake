@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_predictable_test.dir/metrics_predictable_test.cc.o"
+  "CMakeFiles/metrics_predictable_test.dir/metrics_predictable_test.cc.o.d"
+  "metrics_predictable_test"
+  "metrics_predictable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_predictable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_standard_test.dir/metrics_standard_test.cc.o"
+  "CMakeFiles/metrics_standard_test.dir/metrics_standard_test.cc.o.d"
+  "metrics_standard_test"
+  "metrics_standard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_standard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_inference_test.dir/pipeline_inference_test.cc.o"
+  "CMakeFiles/pipeline_inference_test.dir/pipeline_inference_test.cc.o.d"
+  "pipeline_inference_test"
+  "pipeline_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

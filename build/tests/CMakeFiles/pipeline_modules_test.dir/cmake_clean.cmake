@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_modules_test.dir/pipeline_modules_test.cc.o"
+  "CMakeFiles/pipeline_modules_test.dir/pipeline_modules_test.cc.o.d"
+  "pipeline_modules_test"
+  "pipeline_modules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_serving_test.dir/pipeline_serving_test.cc.o"
+  "CMakeFiles/pipeline_serving_test.dir/pipeline_serving_test.cc.o.d"
+  "pipeline_serving_test"
+  "pipeline_serving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_serving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

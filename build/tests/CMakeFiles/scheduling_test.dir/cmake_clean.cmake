@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_test.dir/scheduling_test.cc.o"
+  "CMakeFiles/scheduling_test.dir/scheduling_test.cc.o.d"
+  "scheduling_test"
+  "scheduling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_doc_test.dir/store_doc_test.cc.o"
+  "CMakeFiles/store_doc_test.dir/store_doc_test.cc.o.d"
+  "store_doc_test"
+  "store_doc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_doc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_profile_test.dir/telemetry_profile_test.cc.o"
+  "CMakeFiles/telemetry_profile_test.dir/telemetry_profile_test.cc.o.d"
+  "telemetry_profile_test"
+  "telemetry_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

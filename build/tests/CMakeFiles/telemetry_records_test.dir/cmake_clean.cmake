@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_records_test.dir/telemetry_records_test.cc.o"
+  "CMakeFiles/telemetry_records_test.dir/telemetry_records_test.cc.o.d"
+  "telemetry_records_test"
+  "telemetry_records_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_records_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_signals_test.dir/telemetry_signals_test.cc.o"
+  "CMakeFiles/telemetry_signals_test.dir/telemetry_signals_test.cc.o.d"
+  "telemetry_signals_test"
+  "telemetry_signals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_signals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

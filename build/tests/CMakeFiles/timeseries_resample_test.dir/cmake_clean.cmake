@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_resample_test.dir/timeseries_resample_test.cc.o"
+  "CMakeFiles/timeseries_resample_test.dir/timeseries_resample_test.cc.o.d"
+  "timeseries_resample_test"
+  "timeseries_resample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_resample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_series_test.dir/timeseries_series_test.cc.o"
+  "CMakeFiles/timeseries_series_test.dir/timeseries_series_test.cc.o.d"
+  "timeseries_series_test"
+  "timeseries_series_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

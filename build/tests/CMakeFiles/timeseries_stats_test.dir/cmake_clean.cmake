@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_stats_test.dir/timeseries_stats_test.cc.o"
+  "CMakeFiles/timeseries_stats_test.dir/timeseries_stats_test.cc.o.d"
+  "timeseries_stats_test"
+  "timeseries_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_window_test.dir/timeseries_window_test.cc.o"
+  "CMakeFiles/timeseries_window_test.dir/timeseries_window_test.cc.o.d"
+  "timeseries_window_test"
+  "timeseries_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seagull_cli.dir/seagull_cli.cc.o"
+  "CMakeFiles/seagull_cli.dir/seagull_cli.cc.o.d"
+  "seagull"
+  "seagull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seagull_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
