@@ -9,13 +9,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "pipeline/accuracy.h"
 #include "pipeline/features.h"
+#include "pipeline/fleet_runner.h"
+#include "pipeline/inference.h"
 #include "pipeline/ingestion.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/training.h"
@@ -110,6 +115,111 @@ BENCHMARK(BM_AllDays_Sequential)->Arg(50)->Arg(200)->Arg(800)
 BENCHMARK(BM_AllDays_Parallel)->Arg(50)->Arg(200)->Arg(800)
     ->Unit(benchmark::kMillisecond);
 
+namespace {
+
+/// Fleet-level comparison (the Dask partition-per-server analog run
+/// across whole regions): executes the same fixed-seed fleet with
+/// jobs=1 and jobs=N through FleetRunner, checks the outputs are
+/// byte-identical, and records the wall-clock trajectory in
+/// BENCH_parallel.json for future PRs to regress against.
+void RunFleetComparison() {
+  constexpr int kRegions = 6;
+  constexpr int kServers = 60;
+  constexpr int64_t kWeek = 3;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const int par_jobs =
+      static_cast<int>(cores < 2 ? 2 : (cores > 8 ? 8 : cores));
+
+  auto lake = LakeStore::OpenTemporary("fig12b_fleet");
+  lake.status().Abort();
+  std::vector<FleetJob> jobs;
+  for (int r = 0; r < kRegions; ++r) {
+    std::string region = "fleet-" + std::to_string(r);
+    Fleet fleet = ProductionFleet(region, kServers,
+                                  1200 + static_cast<uint64_t>(r));
+    lake->Put(LakeStore::TelemetryKey(region, kWeek),
+              ExtractWeekCsvText(fleet, kWeek))
+        .Abort();
+    jobs.push_back({region, kWeek});
+  }
+
+  auto run = [&](int n_jobs, DocStore* docs) {
+    FleetOptions options;
+    options.jobs = n_jobs;
+    FleetRunner runner(&*lake, docs, options);
+    PipelineContext config;
+    FleetRunResult result = runner.Run(jobs, config);
+    if (result.FailureCount() != 0) {
+      std::fprintf(stderr, "fleet run failed (%lld failures)\n",
+                   static_cast<long long>(result.FailureCount()));
+      std::abort();
+    }
+    return result;
+  };
+
+  DocStore seq_docs, par_docs;
+  FleetRunResult seq = run(1, &seq_docs);
+  FleetRunResult par = run(par_jobs, &par_docs);
+
+  // Determinism gate: the parallel run must reproduce the sequential
+  // run's data outputs exactly (tests/fleet_determinism_test.cc covers
+  // the full snapshot; this is the in-bench spot check).
+  auto dump = [](DocStore* docs, const char* container) {
+    Json arr = Json::MakeArray();
+    for (const auto& doc : docs->GetContainer(container)->Query(
+             [](const Document&) { return true; })) {
+      Json d = Json::MakeObject();
+      d["pk"] = doc.partition_key;
+      d["id"] = doc.id;
+      d["body"] = doc.body;
+      arr.Append(std::move(d));
+    }
+    return arr.Dump();
+  };
+  const bool deterministic =
+      dump(&seq_docs, kPredictionsContainer) ==
+          dump(&par_docs, kPredictionsContainer) &&
+      dump(&seq_docs, kAccuracyContainer) ==
+          dump(&par_docs, kAccuracyContainer);
+
+  const double speedup =
+      par.wall_millis > 0.0 ? seq.wall_millis / par.wall_millis : 0.0;
+  PrintHeader("Fleet engine",
+              "whole-region pipelines, sequential vs parallel");
+  std::printf("%-28s %10.1f ms\n", "sequential (jobs=1)", seq.wall_millis);
+  std::printf("%-28s %10.1f ms  (jobs=%d)\n", "parallel", par.wall_millis,
+              par_jobs);
+  std::printf("%-28s %10.2fx\n", "speedup", speedup);
+  std::printf("%-28s %10s\n", "outputs identical",
+              deterministic ? "yes" : "NO (BUG)");
+
+  Json out = Json::MakeObject();
+  out["benchmark"] = "fleet_parallel";
+  out["hardware_threads"] = static_cast<int64_t>(cores);
+  out["regions"] = kRegions;
+  out["servers_per_region"] = kServers;
+  out["jobs_parallel"] = par_jobs;
+  out["sequential_ms"] = seq.wall_millis;
+  out["parallel_ms"] = par.wall_millis;
+  out["speedup"] = speedup;
+  out["deterministic"] = deterministic;
+  out["note"] =
+      "speedup is bounded by hardware_threads; the >=2x target applies "
+      "on >=4 cores";
+  std::FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (f != nullptr) {
+    std::string text = out.DumpPretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_parallel.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_parallel.json\n");
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   unsigned cores = std::thread::hardware_concurrency();
   std::printf(
@@ -119,6 +229,7 @@ int main(int argc, char** argv) {
       "parallel speedup requires multiple cores — on a single-core host "
       "the parallel rows only measure dispatch overhead.\n",
       cores);
+  RunFleetComparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -22,6 +22,18 @@ namespace seagull {
 /// number of times. `Forecast` additionally receives the most recent
 /// telemetry so that autoregressive models (and the persistent-forecast
 /// heuristics, which have no parameters at all) can condition on it.
+///
+/// Thread-safety contract (enforced by the fleet execution engine):
+/// `Forecast` and `Serialize` are const and MUST be safe to call from
+/// many threads on one instance — heuristic families deploy a single
+/// fleet-wide model that every per-server worker queries concurrently.
+/// Implementations must not lazily mutate state in const methods; any
+/// randomness must come from an RNG constructed locally per call and
+/// seeded from configuration (never from global or time-based state),
+/// which is also what makes parallel runs bit-identical to sequential
+/// ones (tests/fleet_determinism_test.cc). `Fit` and `Deserialize` are
+/// the only mutating phase and are called from exactly one thread per
+/// instance.
 class ForecastModel {
  public:
   virtual ~ForecastModel() = default;
@@ -57,6 +69,11 @@ class ForecastModel {
 /// re-instantiates them; the tracking module stores (name, version,
 /// params) documents and falls back to the previous known-good version
 /// when accuracy regresses (§1).
+///
+/// `Global()` is initialized once (thread-safe magic static); after
+/// that, `Create`/`Restore`/`Names` are const reads and safe to call
+/// concurrently from pool workers. `Register` is not synchronized —
+/// custom families must be registered before parallel execution starts.
 class ModelFactory {
  public:
   using Constructor = std::function<std::unique_ptr<ForecastModel>()>;

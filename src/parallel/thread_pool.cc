@@ -1,7 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 
 namespace seagull {
 
@@ -10,9 +10,13 @@ ThreadPool::ThreadPool(int num_threads) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 4;
   }
+  shards_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -29,64 +33,201 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   auto packaged =
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> fut = packaged->get_future();
+  const size_t shard =
+      submit_cursor_.fetch_add(1) %
+      shards_.size();
+  // Count before publishing so `queued_` never under-reports: a task
+  // visible in a shard always has its count already registered.
+  queued_.fetch_add(1);
   {
+    std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    shards_[shard]->tasks.emplace_back([packaged] { (*packaged)(); });
+  }
+  {
+    // Empty critical section pairs with the sleep path: a worker that
+    // saw no work re-checks `queued_` under `mu_` before sleeping.
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.emplace_back([packaged] { (*packaged)(); });
   }
   cv_.notify_one();
   return fut;
 }
 
-void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+bool ThreadPool::TryAcquire(int home, std::function<void()>* task) {
+  const int n = static_cast<int>(shards_.size());
+  for (int i = 0; i < n; ++i) {
+    Shard& shard = *shards_[static_cast<size_t>((home + i) % n)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.tasks.empty()) continue;
+    if (i == 0) {  // own shard: FIFO
+      *task = std::move(shard.tasks.front());
+      shard.tasks.pop_front();
+    } else {  // steal from the back to reduce contention with the owner
+      *task = std::move(shard.tasks.back());
+      shard.tasks.pop_back();
+    }
+    // active_ rises before queued_ falls so (queued_ + active_) never
+    // dips to zero while a task is in hand (WaitIdle's predicate).
+    active_.fetch_add(1);
+    queued_.fetch_sub(1);
+    return true;
+  }
+  return false;
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  const int home = static_cast<int>(
+      submit_cursor_.load() % shards_.size());
+  if (!TryAcquire(home, &task)) return false;
+  task();  // packaged_task: exceptions land in the submitter's future
+  if (active_.fetch_sub(1) == 1 &&
+      queued_.load() == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::HelpWhileWaiting(std::future<void>& fut) {
+  using namespace std::chrono_literals;
+  while (fut.wait_for(0s) != std::future_status::ready) {
+    if (!RunOneTask()) fut.wait_for(200us);
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return queued_.load() == 0 &&
+           active_.load() == 0;
+  });
+}
+
+void ThreadPool::WorkerLoop(int home_shard) {
   while (true) {
     std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+    if (TryAcquire(home_shard, &task)) {
+      task();
+      if (active_.fetch_sub(1) == 1 &&
+          queued_.load() == 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return stop_ || queued_.load() > 0;
+    });
+    if (stop_ && queued_.load() == 0) return;
+  }
+}
+
+namespace {
+
+/// Shared state of one chunked loop. Kept alive by shared_ptr so helper
+/// tasks that start after the caller has already returned (possible when
+/// the queue is deep) find only an exhausted cursor, never freed memory.
+struct LoopState {
+  std::function<void(int64_t, int64_t)> body;
+  int64_t n = 0;
+  int64_t grain = 1;
+  CancellationToken* cancel = nullptr;
+  std::atomic<int64_t> cursor{0};
+  /// Participants currently inside the claim loop. The caller's final
+  /// wait on busy_ == 0 is what guarantees no chunk body can still be
+  /// running (or start) once ParallelForChunked returns.
+  std::atomic<int64_t> busy{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::exception_ptr first_error;
+  std::condition_variable done_cv;
+};
+
+void RunChunks(const std::shared_ptr<LoopState>& state) {
+  state->busy.fetch_add(1);
+  while (!state->failed.load() &&
+         !(state->cancel != nullptr && state->cancel->cancelled())) {
+    const int64_t begin =
+        state->cursor.fetch_add(state->grain);
+    if (begin >= state->n) break;
+    const int64_t end = std::min(begin + state->grain, state->n);
+    try {
+      state->body(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->first_error == nullptr) {
+        state->first_error = std::current_exception();
+      }
+      state->failed.store(true);
+    }
+  }
+  state->busy.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+  }
+  state->done_cv.notify_all();
+}
+
+}  // namespace
+
+void ParallelForChunked(
+    ThreadPool* pool, int64_t n, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body,
+    CancellationToken* cancel) {
+  if (n <= 0) return;
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  if (grain <= 0) {
+    grain = std::max<int64_t>(1, n / (static_cast<int64_t>(threads) * 8));
+  }
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  if (threads <= 1 || num_chunks == 1) {
+    // Sequential path: same chunking, exception, and cancellation
+    // semantics without dispatch.
+    for (int64_t begin = 0; begin < n; begin += grain) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      body(begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->body = body;
+  state->n = n;
+  state->grain = grain;
+  state->cancel = cancel;
+
+  const int64_t helpers =
+      std::min<int64_t>(threads, num_chunks - 1);  // caller takes a share
+  for (int64_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { RunChunks(state); });
+  }
+  RunChunks(state);
+
+  // Foreclose any chunk claims by helpers that have not started yet
+  // (relevant when the loop stopped early on failure or cancellation);
+  // claims already made are covered by the busy counter below.
+  state->cursor.store(n);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] {
+      return state->busy.load() == 0;
+    });
+    if (state->first_error != nullptr) {
+      std::rethrow_exception(state->first_error);
     }
   }
 }
 
 void ParallelFor(ThreadPool* pool, int64_t n,
-                 const std::function<void(int64_t)>& fn) {
-  if (n <= 0) return;
-  const int threads = pool->num_threads();
-  if (threads <= 1 || n == 1) {
-    SequentialFor(n, fn);
-    return;
-  }
-  auto cursor = std::make_shared<std::atomic<int64_t>>(0);
-  // Chunk size balances dispatch overhead against load imbalance.
-  const int64_t chunk =
-      std::max<int64_t>(1, n / (static_cast<int64_t>(threads) * 8));
-  std::vector<std::future<void>> futs;
-  futs.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    futs.push_back(pool->Submit([cursor, chunk, n, &fn] {
-      while (true) {
-        int64_t begin = cursor->fetch_add(chunk);
-        if (begin >= n) return;
-        int64_t end = std::min(begin + chunk, n);
+                 const std::function<void(int64_t)>& fn,
+                 CancellationToken* cancel) {
+  ParallelForChunked(
+      pool, n, /*grain=*/0,
+      [&fn](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) fn(i);
-      }
-    }));
-  }
-  for (auto& f : futs) f.get();
+      },
+      cancel);
 }
 
 void SequentialFor(int64_t n, const std::function<void(int64_t)>& fn) {

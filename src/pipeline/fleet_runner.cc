@@ -1,0 +1,75 @@
+#include "pipeline/fleet_runner.h"
+
+#include <chrono>
+#include <memory>
+
+namespace seagull {
+
+int64_t FleetRunResult::SuccessCount() const {
+  int64_t n = 0;
+  for (const auto& run : runs) {
+    if (run.report.success) ++n;
+  }
+  return n;
+}
+
+int64_t FleetRunResult::FailureCount() const {
+  return static_cast<int64_t>(runs.size()) - SuccessCount();
+}
+
+std::vector<Alert> FleetRunResult::AllAlerts() const {
+  std::vector<Alert> alerts;
+  for (const auto& run : runs) {
+    alerts.insert(alerts.end(), run.alerts.begin(), run.alerts.end());
+  }
+  return alerts;
+}
+
+FleetRunner::FleetRunner(const LakeStore* lake, DocStore* docs,
+                         FleetOptions options, PipelineFactory factory)
+    : lake_(lake), docs_(docs), options_(options),
+      factory_(std::move(factory)) {}
+
+FleetRunResult FleetRunner::Run(const std::vector<FleetJob>& jobs,
+                                const PipelineContext& config_template) {
+  FleetRunResult result;
+  result.jobs = options_.jobs < 1 ? 1 : options_.jobs;
+  result.runs.resize(jobs.size());
+
+  // One pool serves both levels: region jobs fan out here, and each
+  // pipeline's per-server loops nest into the same workers via
+  // `ctx.pool`. With jobs <= 1 no pool exists and every module falls
+  // back to `SequentialFor` — the determinism reference.
+  std::unique_ptr<ThreadPool> pool;
+  if (result.jobs > 1) pool = std::make_unique<ThreadPool>(result.jobs);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto run_job = [&](int64_t i) {
+    const FleetJob& job = jobs[static_cast<size_t>(i)];
+    // Fresh pipeline + scheduler per job: modules keep per-run state and
+    // must not be shared across concurrently executing regions.
+    Pipeline pipeline = factory_();
+    PipelineScheduler scheduler(&pipeline, lake_, docs_,
+                                options_.period_weeks);
+    PipelineContext config = config_template;
+    if (pool != nullptr) config.pool = pool.get();
+    result.runs[static_cast<size_t>(i)] =
+        scheduler.RunIfDue(job.region, job.week, config);
+  };
+  const int64_t n = static_cast<int64_t>(jobs.size());
+  if (pool != nullptr) {
+    // Grain 1: a chunk is one whole region pipeline.
+    ParallelForChunked(pool.get(), n, /*grain=*/1,
+                       [&](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) run_job(i);
+                       });
+  } else {
+    SequentialFor(n, run_job);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_millis =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+}  // namespace seagull

@@ -1,45 +1,87 @@
 #!/bin/sh
 # Smoke test for the `seagull` CLI: generate -> pipeline -> schedule ->
-# dashboard -> incidents -> advise against a scratch lake + doc store.
-set -eu
+# dashboard -> incidents -> advise against a scratch lake + doc store,
+# plus a multi-region --jobs fleet run.
+#
+# This script must carry the executable bit: ctest invokes it directly,
+# and a non-executable script fails as BAD_COMMAND with no output (the
+# original seed failure mode). The checks below make every other failure
+# mode loud instead of silent.
+set -u
 
+die() {
+  echo "cli_smoke_test FAILED: $*" >&2
+  for f in generate.out pipeline.out pipeline2.out fleet.out \
+           schedule.out dashboard.out incidents.out advise.out; do
+    if [ -f "$f" ]; then
+      echo "--- $f ---" >&2
+      cat "$f" >&2
+    fi
+  done
+  exit 1
+}
+
+run() {
+  step="$1"
+  shift
+  "$@" || die "step '$step' exited $? (command: $*)"
+}
+
+[ "$#" -ge 1 ] || die "usage: cli_smoke_test.sh /path/to/seagull_cli"
 CLI="$1"
-WORK="$(mktemp -d)"
+[ -e "$CLI" ] || die "CLI binary does not exist: $CLI"
+[ -x "$CLI" ] || die "CLI binary is not executable: $CLI"
+
+WORK="$(mktemp -d)" || die "mktemp failed"
 trap 'rm -rf "$WORK"' EXIT
-cd "$WORK"
+cd "$WORK" || die "cd $WORK failed"
 
-"$CLI" generate --lake lake --region smoke --servers 25 --weeks 5 --seed 5 \
-  > generate.out
-grep -q "generated 25 servers" generate.out
+run generate "$CLI" generate --lake lake --region smoke --servers 25 \
+  --weeks 5 --seed 5 > generate.out
+grep -q "generated 25 servers" generate.out || die "generate output wrong"
 
-"$CLI" pipeline --lake lake --docs docs.json --region smoke --week 3 \
-  > pipeline.out
-grep -q "pipeline smoke week 3: ok" pipeline.out
-test -f docs.json
+run pipeline "$CLI" pipeline --lake lake --docs docs.json --region smoke \
+  --week 3 > pipeline.out
+grep -q "pipeline smoke week 3: ok" pipeline.out || die "pipeline not ok"
+[ -f docs.json ] || die "docs.json was not written"
 
 # Re-running the same week is a no-op (the scheduler's cadence).
-"$CLI" pipeline --lake lake --docs docs.json --region smoke --week 3 \
-  > pipeline2.out
-grep -q "not due" pipeline2.out
+run pipeline-rerun "$CLI" pipeline --lake lake --docs docs.json \
+  --region smoke --week 3 > pipeline2.out
+grep -q "not due" pipeline2.out || die "rerun was not a cadence no-op"
+
+# Fleet mode: two more regions run concurrently through --jobs.
+run generate-f1 "$CLI" generate --lake lake --region fleet-a --servers 15 \
+  --weeks 5 --seed 6 > /dev/null
+run generate-f2 "$CLI" generate --lake lake --region fleet-b --servers 15 \
+  --weeks 5 --seed 7 > /dev/null
+run fleet "$CLI" pipeline --lake lake --docs docs.json \
+  --region fleet-a,fleet-b --week 3 --jobs 2 > fleet.out
+grep -q "pipeline fleet-a week 3: ok" fleet.out || die "fleet-a not ok"
+grep -q "pipeline fleet-b week 3: ok" fleet.out || die "fleet-b not ok"
+grep -q "fleet: 2 regions, 2 ok" fleet.out || die "fleet summary wrong"
 
 # Day 28 = first day of week 4, the scheduled week.
-"$CLI" schedule --lake lake --docs docs.json --region smoke --day 28 \
-  > schedule.out
-grep -q "servers due" schedule.out
+run schedule "$CLI" schedule --lake lake --docs docs.json --region smoke \
+  --day 28 > schedule.out
+grep -q "servers due" schedule.out || die "schedule output wrong"
 
-"$CLI" dashboard --docs docs.json > dashboard.out
-grep -q "smoke" dashboard.out
+run dashboard "$CLI" dashboard --docs docs.json > dashboard.out
+grep -q "smoke" dashboard.out || die "dashboard missing region"
 
-"$CLI" incidents --docs docs.json --region smoke > incidents.out
+run incidents "$CLI" incidents --docs docs.json --region smoke \
+  > incidents.out
 
 # Advise on any server that has telemetry.
 SERVER="smoke-srv-00000"
 "$CLI" advise --lake lake --docs docs.json --region smoke \
   --server "$SERVER" --day 28 --start 12:00 --duration 60 > advise.out \
-  || grep -q "no telemetry" advise.out
+  || grep -q "no telemetry" advise.out || die "advise failed"
 
 # Unknown command and missing flags fail with non-zero status.
-if "$CLI" bogus > /dev/null 2>&1; then exit 1; fi
-if "$CLI" pipeline --region smoke > /dev/null 2>&1; then exit 1; fi
+if "$CLI" bogus > /dev/null 2>&1; then die "bogus command succeeded"; fi
+if "$CLI" pipeline --region smoke > /dev/null 2>&1; then
+  die "pipeline without required flags succeeded"
+fi
 
 echo "cli smoke test ok"

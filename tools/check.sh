@@ -1,0 +1,60 @@
+#!/bin/sh
+# tools/check.sh — the repository's one-command verification gate.
+#
+# Builds and tests two configurations:
+#   1. Release        — what the benchmarks and CLI ship as.
+#   2. tsan+ubsan     — -fsanitize=thread,undefined, which is what makes
+#                       the parallel test layer (parallel_stress_test,
+#                       fleet_determinism_test) an actual data-race gate
+#                       rather than a convention.
+#
+# Usage:
+#   tools/check.sh            # both configurations
+#   tools/check.sh release    # Release only
+#   tools/check.sh sanitize   # sanitizer build only
+#
+# Exits non-zero on the first build or test failure.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${1:-all}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  name="$1"
+  build_dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$build_dir" -S "$ROOT" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  echo "=== [$name] OK ==="
+}
+
+case "$MODE" in
+  release|all)
+    run_config release "$ROOT/build-release" \
+      -DCMAKE_BUILD_TYPE=Release
+    ;;
+esac
+
+case "$MODE" in
+  sanitize|all)
+    run_config tsan+ubsan "$ROOT/build-sanitize" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
+    ;;
+esac
+
+case "$MODE" in
+  release|sanitize|all) ;;
+  *)
+    echo "usage: tools/check.sh [release|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: all requested configurations passed"

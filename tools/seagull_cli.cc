@@ -6,9 +6,10 @@
 /// snapshot), the way an operator would:
 ///
 ///   seagull generate  --lake DIR --region NAME [--servers N] [--weeks W] [--seed S]
-///   seagull pipeline  --lake DIR --docs FILE --region NAME --week K
-///                     [--model FAMILY] [--threads N] [--all-days]
-///   seagull schedule  --lake DIR --docs FILE --region NAME --day D
+///   seagull pipeline  --lake DIR --docs FILE --region NAME[,NAME...] --week K
+///                     [--model FAMILY] [--threads N] [--jobs N] [--all-days]
+///   seagull schedule  --lake DIR --docs FILE --region NAME[,NAME...] --day D
+///                     [--jobs N]
 ///   seagull dashboard --docs FILE
 ///   seagull incidents --docs FILE --region NAME
 ///   seagull advise    --lake DIR --docs FILE --region NAME --server ID
@@ -25,6 +26,7 @@
 
 #include "common/strings.h"
 #include "pipeline/dashboard.h"
+#include "pipeline/fleet_runner.h"
 #include "pipeline/incidents.h"
 #include "pipeline/scheduler.h"
 #include "scheduling/backup_scheduler.h"
@@ -150,9 +152,6 @@ int CmdPipeline(const Args& args) {
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
 
-  Pipeline pipeline = Pipeline::Standard();
-  PipelineScheduler scheduler(&pipeline, &*lake, *docs);
-
   PipelineContext config;
   config.model_name = args.Get("model", "persistent_prev_day");
   std::unique_ptr<ThreadPool> pool;
@@ -162,12 +161,26 @@ int CmdPipeline(const Args& args) {
     config.pool = pool.get();
   }
 
-  auto run = scheduler.RunIfDue(*region, week, config);
-  if (run.report.timings.empty()) {
-    std::printf("region %s not due at week %lld (already ran)\n",
-                region->c_str(), static_cast<long long>(week));
-  } else {
-    std::printf("pipeline %s week %lld: %s (%.1f ms)\n", region->c_str(),
+  // Fan regions across the fleet engine: --jobs N pipelines run
+  // concurrently; jobs=1 is the sequential reference.
+  std::vector<std::string> regions = SplitString(*region, ',');
+  FleetOptions fleet_options;
+  fleet_options.jobs = static_cast<int>(args.GetInt("jobs", 1));
+  FleetRunner runner(&*lake, *docs, fleet_options);
+  std::vector<FleetJob> fleet_jobs;
+  for (const auto& r : regions) fleet_jobs.push_back({r, week});
+  FleetRunResult fleet = runner.Run(fleet_jobs, config);
+
+  bool all_ok = true;
+  for (size_t i = 0; i < fleet.runs.size(); ++i) {
+    const auto& run = fleet.runs[i];
+    const std::string& r = regions[i];
+    if (run.report.timings.empty()) {
+      std::printf("region %s not due at week %lld (already ran)\n",
+                  r.c_str(), static_cast<long long>(week));
+      continue;
+    }
+    std::printf("pipeline %s week %lld: %s (%.1f ms)\n", r.c_str(),
                 static_cast<long long>(week),
                 run.report.success ? "ok" : "FAILED",
                 run.report.TotalMillis());
@@ -179,10 +192,19 @@ int CmdPipeline(const Args& args) {
       std::printf("ALERT [%s] %s\n", alert.rule.c_str(),
                   alert.message.c_str());
     }
+    all_ok = all_ok && run.report.success;
+  }
+  if (regions.size() > 1) {
+    std::printf("fleet: %lld regions, %lld ok, %lld failed, %d jobs, "
+                "%.1f ms wall\n",
+                static_cast<long long>(fleet.runs.size()),
+                static_cast<long long>(fleet.SuccessCount()),
+                static_cast<long long>(fleet.FailureCount()), fleet.jobs,
+                fleet.wall_millis);
   }
   Status st = (*docs)->SaveToFile(*docs_path);
   if (!st.ok()) return Fail(st);
-  return run.report.success ? 0 : 1;
+  return all_ok ? 0 : 1;
 }
 
 int CmdSchedule(const Args& args) {
@@ -200,43 +222,81 @@ int CmdSchedule(const Args& args) {
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
 
-  auto telemetry = LoadTelemetry(*lake, *region, day / 7);
-  if (!telemetry.ok()) return Fail(telemetry.status());
+  // One region's daily pass, rendered to a string so multi-region runs
+  // can print in region order regardless of completion order.
+  auto schedule_region =
+      [&](const std::string& r) -> Result<std::string> {
+    SEAGULL_ASSIGN_OR_RETURN(auto telemetry,
+                             LoadTelemetry(*lake, r, day / 7));
 
-  // Servers due on `day`: default window falls on that weekday.
-  std::vector<DueServer> due;
-  for (const auto& st : *telemetry) {
-    if (DayOfWeekOf(st.default_backup_start) !=
-        DayOfWeekOf(day * kMinutesPerDay)) {
-      continue;
+    // Servers due on `day`: default window falls on that weekday.
+    std::vector<DueServer> due;
+    for (const auto& st : telemetry) {
+      if (DayOfWeekOf(st.default_backup_start) !=
+          DayOfWeekOf(day * kMinutesPerDay)) {
+        continue;
+      }
+      DueServer d;
+      d.server_id = st.server_id;
+      d.recent_load = st.load.Slice(st.load.start(), day * kMinutesPerDay);
+      // Rebase the default window onto this day.
+      d.default_start = day * kMinutesPerDay +
+                        MinuteOfDay(st.default_backup_start);
+      d.default_end = d.default_start + st.backup_duration_minutes();
+      d.backup_duration_minutes = st.backup_duration_minutes();
+      due.push_back(std::move(d));
     }
-    DueServer d;
-    d.server_id = st.server_id;
-    d.recent_load = st.load.Slice(st.load.start(), day * kMinutesPerDay);
-    // Rebase the default window onto this day.
-    d.default_start = day * kMinutesPerDay +
-                      MinuteOfDay(st.default_backup_start);
-    d.default_end = d.default_start + st.backup_duration_minutes();
-    d.backup_duration_minutes = st.backup_duration_minutes();
-    due.push_back(std::move(d));
-  }
 
-  ServiceFabricProperties properties;
-  BackupScheduler backup_scheduler(*docs, &properties);
-  auto schedules = backup_scheduler.ScheduleDay(*region, day, due);
-  std::printf("%-24s %-24s %-8s %s\n", "server", "decision", "window",
-              "moved");
-  for (const auto& s : schedules) {
-    std::printf("%-24s %-24s %-8s %s\n", s.server_id.c_str(),
-                ScheduleDecisionName(s.decision),
-                FormatTimeOfDay(MinuteOfDay(s.window_start)).c_str(),
-                s.moved() ? "yes" : "");
+    ServiceFabricProperties properties;
+    BackupScheduler backup_scheduler(*docs, &properties);
+    auto schedules = backup_scheduler.ScheduleDay(r, day, due);
+    std::string out;
+    out += StringPrintf("%-24s %-24s %-8s %s\n", "server", "decision",
+                        "window", "moved");
+    for (const auto& s : schedules) {
+      out += StringPrintf("%-24s %-24s %-8s %s\n", s.server_id.c_str(),
+                          ScheduleDecisionName(s.decision),
+                          FormatTimeOfDay(MinuteOfDay(s.window_start))
+                              .c_str(),
+                          s.moved() ? "yes" : "");
+    }
+    out += StringPrintf("%zu servers due, %lld moved to low-load "
+                        "windows\n",
+                        schedules.size(),
+                        static_cast<long long>(std::count_if(
+                            schedules.begin(), schedules.end(),
+                            [](const ScheduledBackup& s) {
+                              return s.moved();
+                            })));
+    return out;
+  };
+
+  std::vector<std::string> regions = SplitString(*region, ',');
+  const int jobs = static_cast<int>(args.GetInt("jobs", 1));
+  std::vector<Result<std::string>> rendered(
+      regions.size(), Result<std::string>(std::string()));
+  auto work = [&](int64_t i) {
+    rendered[static_cast<size_t>(i)] =
+        schedule_region(regions[static_cast<size_t>(i)]);
+  };
+  const int64_t n = static_cast<int64_t>(regions.size());
+  if (jobs > 1 && n > 1) {
+    ThreadPool pool(jobs);
+    ParallelForChunked(&pool, n, /*grain=*/1,
+                       [&](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) work(i);
+                       });
+  } else {
+    SequentialFor(n, work);
   }
-  std::printf("%zu servers due, %lld moved to low-load windows\n",
-              schedules.size(),
-              static_cast<long long>(std::count_if(
-                  schedules.begin(), schedules.end(),
-                  [](const ScheduledBackup& s) { return s.moved(); })));
+  for (size_t i = 0; i < regions.size(); ++i) {
+    if (!rendered[i].ok()) return Fail(rendered[i].status());
+    if (regions.size() > 1) {
+      std::printf("--- region %s day %lld ---\n", regions[i].c_str(),
+                  static_cast<long long>(day));
+    }
+    std::printf("%s", rendered[i]->c_str());
+  }
   return 0;
 }
 
@@ -343,9 +403,10 @@ void Usage() {
       "commands:\n"
       "  generate  --lake DIR --region NAME [--servers N] [--weeks W] "
       "[--seed S]\n"
-      "  pipeline  --lake DIR --docs FILE --region NAME --week K "
-      "[--model FAMILY] [--threads N]\n"
-      "  schedule  --lake DIR --docs FILE --region NAME --day D\n"
+      "  pipeline  --lake DIR --docs FILE --region NAME[,NAME...] "
+      "--week K [--model FAMILY] [--threads N] [--jobs N]\n"
+      "  schedule  --lake DIR --docs FILE --region NAME[,NAME...] "
+      "--day D [--jobs N]\n"
       "  dashboard --docs FILE\n"
       "  incidents --docs FILE --region NAME\n"
       "  advise    --lake DIR --docs FILE --region NAME --server ID "
