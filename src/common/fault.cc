@@ -1,0 +1,118 @@
+#include "common/fault.h"
+
+#include "common/random.h"
+
+namespace seagull {
+
+namespace {
+
+/// SplitMix64 finalizer — mixes the seed, the (point, key) hash, and
+/// the per-key attempt index into one well-distributed word.
+uint64_t MixFault(uint64_t seed, uint64_t key_hash, uint64_t attempt) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (key_hash + 1) +
+               0xbf58476d1ce4e5b9ULL * (attempt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Configure(const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  point_rates_.clear();
+  outages_.clear();
+  hits_.clear();
+  injected_.clear();
+  calls_.clear();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultRegistry::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  config_ = FaultConfig{};
+  point_rates_.clear();
+  outages_.clear();
+  hits_.clear();
+  injected_.clear();
+  calls_.clear();
+}
+
+bool FaultRegistry::enabled() const {
+  return enabled_.load(std::memory_order_acquire);
+}
+
+void FaultRegistry::SetPointRate(const std::string& point, double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  point_rates_[point] = rate;
+}
+
+void FaultRegistry::AddOutage(const std::string& point,
+                              const std::string& key_substring,
+                              int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outages_.push_back({point, key_substring, count});
+}
+
+Status FaultRegistry::Inject(const std::string& point,
+                             const std::string& op_key) {
+  if (!enabled_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return Status::OK();
+  ++calls_[point];
+  for (Outage& outage : outages_) {
+    if (outage.remaining == 0 || outage.point != point) continue;
+    if (!outage.key_substring.empty() &&
+        op_key.find(outage.key_substring) == std::string::npos) {
+      continue;
+    }
+    if (outage.remaining > 0) --outage.remaining;
+    ++injected_[point];
+    return Status::IOError("injected outage at " + point + " [" + op_key +
+                           "]");
+  }
+  auto rate_it = point_rates_.find(point);
+  const double rate =
+      rate_it != point_rates_.end() ? rate_it->second : config_.rate;
+  if (rate <= 0.0) return Status::OK();
+  const std::string hit_key = point + '\x1f' + op_key;
+  const int64_t attempt = hits_[hit_key]++;
+  const uint64_t h = MixFault(config_.seed, Rng::HashString(hit_key),
+                              static_cast<uint64_t>(attempt));
+  // 53 high bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < rate) {
+    ++injected_[point];
+    return Status::IOError("injected fault at " + point + " [" + op_key +
+                           "]");
+  }
+  return Status::OK();
+}
+
+int64_t FaultRegistry::InjectedCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = injected_.find(point);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+int64_t FaultRegistry::CallCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = calls_.find(point);
+  return it == calls_.end() ? 0 : it->second;
+}
+
+int64_t FaultRegistry::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [point, n] : injected_) total += n;
+  return total;
+}
+
+}  // namespace seagull

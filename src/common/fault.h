@@ -1,0 +1,126 @@
+/// \file fault.h
+/// \brief Deterministic fault-injection substrate.
+///
+/// Azure's production stores fail transiently: blob reads time out,
+/// Cosmos upserts get throttled, whole regions go dark (§2.2 incident
+/// management). The reproduction exercises those paths through a
+/// process-wide `FaultRegistry` of *named injection points* compiled
+/// into the store layer (`lake.get`, `doc.upsert`, ...). Each
+/// instrumented call asks the registry whether to fail; the decision is
+/// a pure function of (seed, point, operation key, per-key attempt
+/// index), never of wall clock or thread interleaving, so a fixed fault
+/// seed produces the same faults at `--jobs 1` and `--jobs 8` — the
+/// chaos tests compare the resulting document stores byte for byte.
+///
+/// The registry is disabled by default (one relaxed atomic load per
+/// instrumented call). Tests enable it through `ScopedFaultInjection`,
+/// the CLI through `--fault-rate` / `--fault-seed`.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seagull {
+
+/// \brief Global knobs of the fault substrate.
+struct FaultConfig {
+  /// Seed of every probabilistic decision; two runs with the same seed
+  /// (and the same sequence of per-key calls) inject identical faults.
+  uint64_t seed = 0;
+  /// Default per-call failure probability at every injection point.
+  double rate = 0.0;
+};
+
+/// \brief Process-wide registry of named fault-injection points.
+///
+/// Thread-safe. Decisions depend only on configuration and on a hit
+/// counter scoped to (point, operation key); as long as any one key is
+/// exercised by a deterministic sequence of calls (which the store
+/// partitioning guarantees — regions touch only their own keys), the
+/// injected fault set is independent of thread schedule.
+class FaultRegistry {
+ public:
+  /// The singleton the instrumented stores consult.
+  static FaultRegistry& Global();
+
+  /// Enables injection with `config`, clearing all prior state.
+  void Configure(const FaultConfig& config);
+
+  /// Disables injection and clears rates, outages, and counters.
+  void Disable();
+
+  bool enabled() const;
+
+  /// Overrides the failure probability of one point (else `config.rate`).
+  void SetPointRate(const std::string& point, double rate);
+
+  /// Forces failures: the next `count` calls at `point` whose operation
+  /// key contains `key_substring` fail unconditionally (an empty
+  /// substring matches every key; `count < 0` means fail forever — a
+  /// region-sized outage that exhausts retries).
+  void AddOutage(const std::string& point, const std::string& key_substring,
+                 int64_t count);
+
+  /// The instrumented call: OK to proceed, or the injected error
+  /// (`IOError`, the retryable-transient code) to propagate.
+  Status Inject(const std::string& point, const std::string& op_key);
+
+  /// \name Counters for test assertions.
+  /// @{
+  /// Faults fired at one point since `Configure`.
+  int64_t InjectedCount(const std::string& point) const;
+  /// Calls evaluated at one point since `Configure`.
+  int64_t CallCount(const std::string& point) const;
+  /// Faults fired across all points.
+  int64_t TotalInjected() const;
+  /// @}
+
+ private:
+  struct Outage {
+    std::string point;
+    std::string key_substring;
+    int64_t remaining = 0;  ///< < 0 = unlimited
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  FaultConfig config_;
+  std::map<std::string, double> point_rates_;
+  std::vector<Outage> outages_;
+  std::map<std::string, int64_t> hits_;  ///< per (point, op key)
+  std::map<std::string, int64_t> injected_;
+  std::map<std::string, int64_t> calls_;
+};
+
+/// \brief RAII enablement of the global registry for one test scope.
+///
+/// Configures `FaultRegistry::Global()` on construction and disables +
+/// clears it on destruction, so chaos suites cannot leak faults into
+/// later tests.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config) {
+    FaultRegistry::Global().Configure(config);
+  }
+  ~ScopedFaultInjection() { FaultRegistry::Global().Disable(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultRegistry& registry() { return FaultRegistry::Global(); }
+};
+
+}  // namespace seagull
+
+/// Instruments one fallible operation: propagates an injected fault to
+/// the caller, else falls through.
+#define SEAGULL_FAULT_POINT(point, op_key)                        \
+  SEAGULL_RETURN_NOT_OK(                                          \
+      ::seagull::FaultRegistry::Global().Inject((point), (op_key)))

@@ -15,6 +15,8 @@ Status Dashboard::Record(const PipelineContext& ctx,
   doc.body["success"] = report.success;
   doc.body["total_millis"] = report.TotalMillis();
   doc.body["incidents"] = report.incident_count;
+  doc.body["retries"] = report.retries;
+  doc.body["quarantined"] = report.retries_exhausted;
   Json timings = Json::MakeObject();
   for (const auto& t : report.timings) timings[t.module] = t.millis;
   doc.body["timings"] = std::move(timings);
@@ -36,6 +38,9 @@ std::vector<Dashboard::RegionSummary> Dashboard::Summarize() const {
     s.avg_total_millis += doc.body.GetNumber("total_millis").ValueOr(0.0);
     s.incidents +=
         static_cast<int64_t>(doc.body.GetNumber("incidents").ValueOr(0.0));
+    s.retries +=
+        static_cast<int64_t>(doc.body.GetNumber("retries").ValueOr(0.0));
+    if (doc.body.GetBool("quarantined").ValueOr(false)) ++s.quarantines;
     int64_t week =
         static_cast<int64_t>(doc.body.GetNumber("week").ValueOr(0.0));
     if (week >= last_week[doc.partition_key]) {
@@ -56,15 +61,19 @@ std::vector<Dashboard::RegionSummary> Dashboard::Summarize() const {
 
 std::string Dashboard::Render() const {
   std::string out;
-  out += StringPrintf("%-12s %6s %6s %12s %12s %10s\n", "region", "runs",
-                      "fails", "avg_ms", "predictable", "incidents");
+  out += StringPrintf("%-12s %6s %6s %12s %12s %10s %8s %6s\n", "region",
+                      "runs", "fails", "avg_ms", "predictable", "incidents",
+                      "retries", "quar");
   for (const auto& s : Summarize()) {
-    out += StringPrintf("%-12s %6lld %6lld %12.1f %11.1f%% %10lld\n",
+    out += StringPrintf("%-12s %6lld %6lld %12.1f %11.1f%% %10lld %8lld "
+                        "%6lld\n",
                         s.region.c_str(), static_cast<long long>(s.runs),
                         static_cast<long long>(s.failures),
                         s.avg_total_millis,
                         100.0 * s.last_predictable_fraction,
-                        static_cast<long long>(s.incidents));
+                        static_cast<long long>(s.incidents),
+                        static_cast<long long>(s.retries),
+                        static_cast<long long>(s.quarantines));
   }
   return out;
 }

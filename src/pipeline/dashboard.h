@@ -28,6 +28,10 @@ class Dashboard {
     double avg_total_millis = 0.0;
     double last_predictable_fraction = 0.0;
     int64_t incidents = 0;
+    /// Transient-failure retries spent across all recorded runs.
+    int64_t retries = 0;
+    /// Recorded runs that exhausted retries (quarantined by the fleet).
+    int64_t quarantines = 0;
   };
 
   /// Summaries for every region with at least one recorded run.

@@ -3,6 +3,10 @@
 #include <chrono>
 #include <memory>
 
+#include "common/logging.h"
+#include "common/strings.h"
+#include "pipeline/incidents.h"
+
 namespace seagull {
 
 int64_t FleetRunResult::SuccessCount() const {
@@ -15,6 +19,12 @@ int64_t FleetRunResult::SuccessCount() const {
 
 int64_t FleetRunResult::FailureCount() const {
   return static_cast<int64_t>(runs.size()) - SuccessCount();
+}
+
+int64_t FleetRunResult::TotalRetries() const {
+  int64_t n = 0;
+  for (const auto& run : runs) n += run.report.retries;
+  return n;
 }
 
 std::vector<Alert> FleetRunResult::AllAlerts() const {
@@ -50,7 +60,7 @@ FleetRunResult FleetRunner::Run(const std::vector<FleetJob>& jobs,
     // must not be shared across concurrently executing regions.
     Pipeline pipeline = factory_();
     PipelineScheduler scheduler(&pipeline, lake_, docs_,
-                                options_.period_weeks);
+                                options_.period_weeks, options_.retry);
     PipelineContext config = config_template;
     if (pool != nullptr) config.pool = pool.get();
     result.runs[static_cast<size_t>(i)] =
@@ -69,6 +79,37 @@ FleetRunResult FleetRunner::Run(const std::vector<FleetJob>& jobs,
   const auto end = std::chrono::steady_clock::now();
   result.wall_millis =
       std::chrono::duration<double, std::milli>(end - start).count();
+
+  // Quarantine pass — sequential, in job order, so the incident docs it
+  // writes are deterministic regardless of how the runs interleaved.
+  Container* incidents = docs_->GetContainer(kIncidentContainer);
+  for (size_t i = 0; i < result.runs.size(); ++i) {
+    auto& run = result.runs[i];
+    const PipelineRunReport& report = run.report;
+    if (report.success || !report.retries_exhausted) continue;
+    result.quarantined.push_back({report.region, report.week,
+                                  report.failure});
+    Document doc;
+    doc.partition_key = report.region;
+    doc.id = StringPrintf("w%04lld:quarantine",
+                          static_cast<long long>(report.week));
+    doc.body = Json::MakeObject();
+    doc.body["week"] = report.week;
+    doc.body["module"] = "fleet";
+    doc.body["severity"] = IncidentSeverityName(IncidentSeverity::kError);
+    doc.body["message"] =
+        "region quarantined after exhausting retries: " + report.failure;
+    RetryOutcome persisted =
+        RunWithRetry(options_.retry, report.region + "/quarantine",
+                     [&] { return incidents->Upsert(doc); });
+    if (!persisted.status.ok()) {
+      SEAGULL_LOG_ERROR("dropping quarantine incident for %s: %s",
+                        report.region.c_str(),
+                        persisted.status.ToString().c_str());
+    }
+    run.alerts.push_back({report.region, report.week, "region_quarantined",
+                          "pipeline exhausted retries: " + report.failure});
+  }
   return result;
 }
 

@@ -42,16 +42,34 @@ struct FleetOptions {
   int jobs = 1;
   /// Scheduler cadence passed through to `PipelineScheduler`.
   int64_t period_weeks = 1;
+  /// Transient-failure policy for every region's modules and
+  /// record-keeping (see `PipelineScheduler`).
+  RetryPolicy retry;
+};
+
+/// \brief One region removed from the healthy fleet this run: its
+/// pipeline kept failing on transient errors after the retry budget.
+struct QuarantinedRegion {
+  std::string region;
+  int64_t week = 0;
+  std::string reason;  ///< the exhausted module's failure text
 };
 
 /// \brief Aggregated outcome of one fleet execution, in job order.
 struct FleetRunResult {
   std::vector<PipelineScheduler::ScheduledRun> runs;
+  /// Regions whose runs exhausted retries, in job order. Quarantine is
+  /// graceful degradation, not fleet failure: every other region's run
+  /// (and its backup scheduling inputs) completes normally, and a
+  /// `region_quarantined` incident + alert is recorded for on-call.
+  std::vector<QuarantinedRegion> quarantined;
   double wall_millis = 0.0;
   int jobs = 1;
 
   int64_t SuccessCount() const;
   int64_t FailureCount() const;
+  /// Transient-failure retries spent across every run.
+  int64_t TotalRetries() const;
   /// Alerts of every run, concatenated in job order.
   std::vector<Alert> AllAlerts() const;
 };

@@ -1,5 +1,6 @@
 #include "pipeline/incidents.h"
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace seagull {
@@ -33,7 +34,14 @@ std::vector<Alert> IncidentManager::Process(const PipelineContext& ctx,
     doc.body["module"] = incident.module;
     doc.body["severity"] = IncidentSeverityName(incident.severity);
     doc.body["message"] = incident.message;
-    container->Upsert(std::move(doc)).Abort();
+    RetryOutcome persisted = RunWithRetry(
+        retry_, ctx.region + "/incident/" + doc.id,
+        [&] { return container->Upsert(doc); });
+    if (!persisted.status.ok()) {
+      SEAGULL_LOG_ERROR("dropping incident %s/%s: %s", ctx.region.c_str(),
+                        doc.id.c_str(),
+                        persisted.status.ToString().c_str());
+    }
 
     if (incident.severity == IncidentSeverity::kWarning) ++warnings;
     if (incident.severity == IncidentSeverity::kError &&

@@ -37,8 +37,13 @@ struct IncidentRules {
 /// \brief Processes the incidents of finished runs.
 class IncidentManager {
  public:
-  explicit IncidentManager(DocStore* docs, IncidentRules rules = {})
-      : docs_(docs), rules_(rules) {}
+  /// `retry` absorbs transient document-store faults while persisting;
+  /// an incident whose write exhausts retries is dropped with an error
+  /// log (never a crash) — mirroring production, where the telemetry
+  /// path must not take down the pipeline it reports on.
+  explicit IncidentManager(DocStore* docs, IncidentRules rules = {},
+                           RetryPolicy retry = {})
+      : docs_(docs), rules_(rules), retry_(retry) {}
 
   /// Persists the run's incidents and returns the alerts its rules fire.
   std::vector<Alert> Process(const PipelineContext& ctx,
@@ -50,6 +55,7 @@ class IncidentManager {
  private:
   DocStore* docs_;
   IncidentRules rules_;
+  RetryPolicy retry_;
   int64_t sequence_ = 0;
 };
 

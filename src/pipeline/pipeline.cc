@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "pipeline/accuracy.h"
 #include "pipeline/deployment.h"
 #include "pipeline/features.h"
@@ -33,21 +34,40 @@ Pipeline& Pipeline::Add(std::unique_ptr<PipelineModule> module) {
 }
 
 PipelineRunReport Pipeline::Run(PipelineContext* ctx) const {
+  return Run(ctx, RetryPolicy{});
+}
+
+PipelineRunReport Pipeline::Run(PipelineContext* ctx,
+                                const RetryPolicy& retry) const {
   PipelineRunReport report;
   report.region = ctx->region;
   report.week = ctx->week;
   report.success = true;
   for (const auto& module : modules_) {
+    const std::string op_key =
+        ctx->region + '/' + std::to_string(ctx->week) + '/' + module->name();
     auto start = std::chrono::steady_clock::now();
-    Status st = module->Run(ctx);
+    RetryOutcome outcome = RunWithRetry(
+        retry, op_key, [&] { return module->Run(ctx); },
+        [&](int attempt, const Status& status) {
+          ctx->AddIncident(
+              IncidentSeverity::kWarning, module->name(),
+              StringPrintf("transient failure on attempt %d/%d, retrying: %s",
+                           attempt, retry.max_attempts,
+                           status.ToString().c_str()));
+        });
     auto end = std::chrono::steady_clock::now();
+    const Status& st = outcome.status;
     ModuleTiming timing;
     timing.module = module->name();
     timing.millis =
         std::chrono::duration<double, std::milli>(end - start).count();
     timing.ok = st.ok();
+    timing.attempts = outcome.attempts;
+    report.retries += outcome.retries();
     report.timings.push_back(timing);
     if (!st.ok()) {
+      report.retries_exhausted = outcome.exhausted;
       // Record the failure unless the module already raised an error
       // incident about itself (avoids duplicate alerts).
       bool already_reported = false;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "pipeline/context.h"
 
 namespace seagull {
@@ -28,8 +29,9 @@ class PipelineModule {
 /// \brief Wall-clock record of one module execution.
 struct ModuleTiming {
   std::string module;
-  double millis = 0.0;
+  double millis = 0.0;  ///< total across every attempt
   bool ok = false;
+  int64_t attempts = 1;  ///< 1 = succeeded (or failed fatally) first try
 };
 
 /// \brief Outcome of one pipeline run.
@@ -40,6 +42,12 @@ struct PipelineRunReport {
   std::string failure;  ///< first failing module's status text
   std::vector<ModuleTiming> timings;
   int64_t incident_count = 0;
+  /// Module re-executions spent on transient (retryable) failures.
+  int64_t retries = 0;
+  /// True when the run failed on a *retryable* status after the retry
+  /// policy's budget was spent — the fleet runner quarantines such
+  /// regions instead of treating them as data bugs.
+  bool retries_exhausted = false;
 
   double TotalMillis() const;
   /// Milliseconds spent in a module; 0 if it did not run.
@@ -52,7 +60,16 @@ class Pipeline {
   Pipeline& Add(std::unique_ptr<PipelineModule> module);
 
   /// Runs all modules in order, stopping at the first failure.
+  /// Equivalent to `Run(ctx, RetryPolicy{})`.
   PipelineRunReport Run(PipelineContext* ctx) const;
+
+  /// Runs all modules in order; a module failing with a retryable
+  /// status (see `IsRetryableStatus`) is re-executed under `retry`,
+  /// each retry recorded as a warning incident. Modules must therefore
+  /// be idempotent: they assign (not append) their context outputs and
+  /// their document writes are keyed upserts. Stops at the first
+  /// non-retryable or retry-exhausted failure.
+  PipelineRunReport Run(PipelineContext* ctx, const RetryPolicy& retry) const;
 
   /// The standard Seagull chain: ingestion → validation → feature
   /// extraction → training → deployment → accuracy evaluation.

@@ -39,11 +39,21 @@ PipelineScheduler::ScheduledRun PipelineScheduler::RunIfDue(
   ctx.pool = config_template.pool;
   ctx.lake = lake_;
   ctx.docs = docs_;
-  out.report = pipeline_->Run(&ctx);
+  out.report = pipeline_->Run(&ctx, retry_);
 
+  // Record-keeping must not crash the scheduler: a transient store
+  // fault is retried, and a persistent one degrades to an incident
+  // (the region stays due, so the next cadence catches up).
   Dashboard dashboard(docs_);
-  dashboard.Record(ctx, out.report).Abort();
-  IncidentManager incidents(docs_);
+  RetryOutcome recorded = RunWithRetry(
+      retry_, region + "/dashboard.record",
+      [&] { return dashboard.Record(ctx, out.report); });
+  if (!recorded.status.ok()) {
+    ctx.AddIncident(IncidentSeverity::kError, "dashboard",
+                    "failed to record run report: " +
+                        recorded.status.ToString());
+  }
+  IncidentManager incidents(docs_, IncidentRules{}, retry_);
   out.alerts = incidents.Process(ctx, out.report);
   return out;
 }

@@ -17,10 +17,14 @@ class PipelineScheduler {
   /// `period_weeks` follows `FleetConfig::pipeline_period_weeks` —
   /// "servers are due for full backup at least once a week. Thus, the
   /// load extraction query runs once a week per region" (§2.2).
+  /// `retry` governs transient-failure handling for the pipeline's
+  /// modules and for the scheduler's own post-run record-keeping
+  /// (dashboard + incident persistence).
   PipelineScheduler(const Pipeline* pipeline, const LakeStore* lake,
-                    DocStore* docs, int64_t period_weeks = 1)
+                    DocStore* docs, int64_t period_weeks = 1,
+                    RetryPolicy retry = {})
       : pipeline_(pipeline), lake_(lake), docs_(docs),
-        period_weeks_(period_weeks) {}
+        period_weeks_(period_weeks), retry_(retry) {}
 
   /// Last week a region ran successfully; -1 before the first run.
   int64_t LastSuccessfulWeek(const std::string& region) const;
@@ -46,6 +50,7 @@ class PipelineScheduler {
   const LakeStore* lake_;
   DocStore* docs_;
   int64_t period_weeks_;
+  RetryPolicy retry_;
 };
 
 }  // namespace seagull

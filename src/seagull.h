@@ -9,10 +9,12 @@
 // Foundations.
 #include "common/config.h"    // IWYU pragma: export
 #include "common/csv.h"       // IWYU pragma: export
+#include "common/fault.h"     // IWYU pragma: export
 #include "common/json.h"      // IWYU pragma: export
 #include "common/logging.h"   // IWYU pragma: export
 #include "common/random.h"    // IWYU pragma: export
 #include "common/result.h"    // IWYU pragma: export
+#include "common/retry.h"     // IWYU pragma: export
 #include "common/status.h"    // IWYU pragma: export
 #include "common/strings.h"   // IWYU pragma: export
 #include "common/time.h"      // IWYU pragma: export
@@ -33,8 +35,9 @@
 #include "telemetry/signals.h"         // IWYU pragma: export
 
 // Storage.
-#include "store/doc_store.h"   // IWYU pragma: export
-#include "store/lake_store.h"  // IWYU pragma: export
+#include "store/doc_store.h"        // IWYU pragma: export
+#include "store/lake_store.h"       // IWYU pragma: export
+#include "store/resilient_store.h"  // IWYU pragma: export
 
 // Parallelism.
 #include "parallel/thread_pool.h"  // IWYU pragma: export

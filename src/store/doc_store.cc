@@ -4,9 +4,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace seagull {
 
 Status Container::Upsert(Document doc) {
+  SEAGULL_FAULT_POINT("doc.upsert",
+                      name_ + '/' + doc.partition_key + '/' + doc.id);
   std::lock_guard<std::mutex> lock(mu_);
   Key key{doc.partition_key, doc.id};
   docs_[key] = std::move(doc);
@@ -14,6 +18,8 @@ Status Container::Upsert(Document doc) {
 }
 
 Status Container::Insert(Document doc) {
+  SEAGULL_FAULT_POINT("doc.insert",
+                      name_ + '/' + doc.partition_key + '/' + doc.id);
   std::lock_guard<std::mutex> lock(mu_);
   Key key{doc.partition_key, doc.id};
   auto [it, inserted] = docs_.emplace(key, std::move(doc));
@@ -27,6 +33,7 @@ Status Container::Insert(Document doc) {
 
 Result<Document> Container::Get(const std::string& partition_key,
                                 const std::string& id) const {
+  SEAGULL_FAULT_POINT("doc.get", name_ + '/' + partition_key + '/' + id);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = docs_.find({partition_key, id});
   if (it == docs_.end()) {
@@ -63,6 +70,12 @@ std::vector<Document> Container::Query(
     if (pred(doc)) out.push_back(doc);
   }
   return out;
+}
+
+Result<std::vector<Document>> Container::QueryChecked(
+    const std::function<bool(const Document&)>& pred) const {
+  SEAGULL_FAULT_POINT("doc.query", name_);
+  return Query(pred);
 }
 
 int64_t Container::Count() const {

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace fs = std::filesystem;
@@ -40,6 +41,7 @@ Result<std::string> LakeStore::ResolvePath(const std::string& key) const {
 
 Status LakeStore::Put(const std::string& key,
                       const std::string& content) const {
+  SEAGULL_FAULT_POINT("lake.put", key);
   SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
   fs::path p(path);
   std::error_code ec;
@@ -55,6 +57,7 @@ Status LakeStore::Put(const std::string& key,
 }
 
 Result<std::string> LakeStore::Get(const std::string& key) const {
+  SEAGULL_FAULT_POINT("lake.get", key);
   SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("no such blob: " + key);
@@ -80,6 +83,7 @@ Status LakeStore::Delete(const std::string& key) const {
 
 Result<std::vector<std::string>> LakeStore::List(
     const std::string& prefix) const {
+  SEAGULL_FAULT_POINT("lake.list", prefix);
   std::vector<std::string> keys;
   fs::path root(root_);
   std::error_code ec;

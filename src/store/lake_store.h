@@ -17,6 +17,11 @@
 namespace seagull {
 
 /// \brief Hierarchical blob storage rooted at a local directory.
+///
+/// `Put`, `Get`, and `List` are instrumented with fault-injection
+/// points (`lake.put`, `lake.get`, `lake.list` — see common/fault.h)
+/// so chaos tests and the CLI's `--fault-rate` can exercise transient
+/// blob failures deterministically.
 class LakeStore {
  public:
   /// Creates (if needed) and opens a store rooted at `root_dir`.

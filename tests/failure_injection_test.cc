@@ -2,12 +2,16 @@
 /// \brief Failure-path coverage: corrupted inputs, broken registry state,
 /// and degraded telemetry must degrade gracefully — errors surface as
 /// statuses and incidents, the scheduler falls back to default windows,
-/// and nothing crashes.
+/// and nothing crashes. Infrastructure failures (store outages, transient
+/// I/O errors) are driven through `FaultRegistry`; corrupted-input cases
+/// stay hand-crafted because they model bad *data*, not bad I/O.
 
 #include <gtest/gtest.h>
 
 #include <fstream>
 
+#include "common/fault.h"
+#include "common/retry.h"
 #include "pipeline/scheduler.h"
 #include "scheduling/backup_scheduler.h"
 #include "scheduling/simulation.h"
@@ -82,21 +86,66 @@ TEST_F(FailureTest, TruncatedCsvFailsCleanly) {
 }
 
 TEST_F(FailureTest, FailedRunKeepsRegionDueForCatchUp) {
-  ASSERT_TRUE(
-      lake_->Put(LakeStore::TelemetryKey("fail", 2), "broken").ok());
-  Pipeline pipeline = Pipeline::Standard();
-  PipelineScheduler scheduler(&pipeline, lake_.get(), &docs_);
-  PipelineContext config;
-  auto run = scheduler.RunIfDue("fail", 2, config);
-  EXPECT_FALSE(run.report.success);
-  EXPECT_FALSE(run.alerts.empty());
-  // Fix the data; the region is still due and now succeeds.
+  // The data is fine; the telemetry store is down. The run must fail
+  // without consuming the region's cadence slot.
   ASSERT_TRUE(lake_->Put(LakeStore::TelemetryKey("fail", 2),
                          ExtractWeekCsvText(*fleet_, 2))
                   .ok());
+  Pipeline pipeline = Pipeline::Standard();
+  PipelineScheduler scheduler(&pipeline, lake_.get(), &docs_);
+  PipelineContext config;
+  {
+    ScopedFaultInjection fault({/*seed=*/1, /*rate=*/0.0});
+    fault.registry().AddOutage("lake.get", "telemetry/fail", /*count=*/-1);
+    auto run = scheduler.RunIfDue("fail", 2, config);
+    EXPECT_FALSE(run.report.success);
+    EXPECT_FALSE(run.alerts.empty());
+  }
+  // The outage clears; the region is still due and now succeeds.
   EXPECT_TRUE(scheduler.IsDue("fail", 2));
   auto retry = scheduler.RunIfDue("fail", 2, config);
   EXPECT_TRUE(retry.report.success) << retry.report.failure;
+}
+
+TEST_F(FailureTest, TransientStoreFaultRecoveredByRetry) {
+  ASSERT_TRUE(lake_->Put(LakeStore::TelemetryKey("fail", 2),
+                         ExtractWeekCsvText(*fleet_, 2))
+                  .ok());
+  ScopedFaultInjection fault({/*seed=*/1, /*rate=*/0.0});
+  fault.registry().AddOutage("lake.get", "telemetry/fail", /*count=*/2);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_millis = 0.0;
+  Pipeline pipeline = Pipeline::Standard();
+  PipelineScheduler scheduler(&pipeline, lake_.get(), &docs_,
+                              /*period_weeks=*/1, retry);
+  PipelineContext config;
+  auto run = scheduler.RunIfDue("fail", 2, config);
+  EXPECT_TRUE(run.report.success) << run.report.failure;
+  EXPECT_EQ(run.report.retries, 2);
+  EXPECT_FALSE(run.report.retries_exhausted);
+}
+
+TEST_F(FailureTest, ExhaustedRetriesMarkTheRunForQuarantine) {
+  ASSERT_TRUE(lake_->Put(LakeStore::TelemetryKey("fail", 2),
+                         ExtractWeekCsvText(*fleet_, 2))
+                  .ok());
+  ScopedFaultInjection fault({/*seed=*/1, /*rate=*/0.0});
+  fault.registry().AddOutage("lake.get", "telemetry/fail", /*count=*/-1);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_millis = 0.0;
+  Pipeline pipeline = Pipeline::Standard();
+  PipelineScheduler scheduler(&pipeline, lake_.get(), &docs_,
+                              /*period_weeks=*/1, retry);
+  PipelineContext config;
+  auto run = scheduler.RunIfDue("fail", 2, config);
+  EXPECT_FALSE(run.report.success);
+  // `retries_exhausted` is what FleetRunner keys quarantine on: it
+  // distinguishes a persistent infrastructure outage from a data bug
+  // (which fails fast without retrying).
+  EXPECT_TRUE(run.report.retries_exhausted);
+  EXPECT_EQ(run.report.retries, 2);
 }
 
 TEST_F(FailureTest, UnknownModelFamilyFailsTraining) {

@@ -13,8 +13,11 @@
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/fault.h"
 
 namespace seagull {
 namespace {
@@ -182,6 +185,69 @@ TEST(ThreadPoolStressTest, ParallelForMatchesSequentialReduction) {
   int64_t expected = 0;
   SequentialFor(kN, [&](int64_t i) { expected += i * 3; });
   EXPECT_EQ(parallel_sum, expected);
+}
+
+TEST(ThreadPoolStressTest, InjectedFaultMidChunkedLoopPropagates) {
+  // Drive the loop-body failure through the fault registry instead of a
+  // hard-coded index: the registry decides which task dies, the loop
+  // converts the injected Status into the exception the pool must carry
+  // back to the caller.
+  ThreadPool pool(4);
+  ScopedFaultInjection fault({/*seed=*/1, /*rate=*/0.0});
+  fault.registry().AddOutage("stress.task", "chunk", /*count=*/1);
+  std::atomic<int64_t> visited{0};
+  constexpr int64_t kN = 100000;
+  EXPECT_THROW(
+      ParallelForChunked(&pool, kN, /*grain=*/16,
+                         [&](int64_t begin, int64_t end) {
+                           Status st = FaultRegistry::Global().Inject(
+                               "stress.task", "chunk");
+                           if (!st.ok()) {
+                             throw std::runtime_error(st.ToString());
+                           }
+                           for (int64_t i = begin; i < end; ++i) {
+                             visited.fetch_add(1);
+                           }
+                         }),
+      std::runtime_error);
+  EXPECT_EQ(fault.registry().InjectedCount("stress.task"), 1);
+  // The faulted chunk's indices were skipped.
+  EXPECT_LT(visited.load(), kN);
+
+  // The pool is reusable after the failed loop: workers survived, the
+  // queue drained, and a clean loop covers every index exactly once.
+  std::atomic<int64_t> clean{0};
+  ParallelForChunked(&pool, 5000, /*grain=*/16,
+                     [&](int64_t begin, int64_t end) {
+                       clean.fetch_add(end - begin);
+                     });
+  EXPECT_EQ(clean.load(), 5000);
+}
+
+TEST(ThreadPoolStressTest, RepeatedInjectedFaultsNeverWedgeThePool) {
+  // Several consecutive loops each lose a different chunk to an injected
+  // fault; every failure must propagate and the pool must stay usable.
+  ThreadPool pool(4);
+  ScopedFaultInjection fault({/*seed=*/3, /*rate=*/0.0});
+  for (int round = 0; round < 5; ++round) {
+    const std::string key = "round-" + std::to_string(round);
+    fault.registry().AddOutage("stress.round", key, /*count=*/1);
+    EXPECT_THROW(
+        ParallelForChunked(&pool, 20000, /*grain=*/8,
+                           [&](int64_t begin, int64_t) {
+                             Status st = FaultRegistry::Global().Inject(
+                                 "stress.round", key);
+                             if (!st.ok()) {
+                               throw std::runtime_error(st.ToString());
+                             }
+                             (void)begin;
+                           }),
+        std::runtime_error);
+  }
+  EXPECT_EQ(fault.registry().InjectedCount("stress.round"), 5);
+  std::atomic<int64_t> total{0};
+  ParallelFor(&pool, 1000, [&](int64_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 1000);
 }
 
 TEST(ThreadPoolStressTest, RunOneTaskDrainsQueue) {

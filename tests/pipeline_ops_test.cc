@@ -67,6 +67,72 @@ TEST(PipelineRunnerTest, StopsAtFirstFailure) {
   EXPECT_EQ(ctx.incidents[0].severity, IncidentSeverity::kError);
 }
 
+/// A module that fails with a retryable status a fixed number of times.
+class FlakyModule final : public PipelineModule {
+ public:
+  explicit FlakyModule(int failures) : failures_(failures) {}
+  std::string name() const override { return "flaky"; }
+  Status Run(PipelineContext*) override {
+    if (failures_-- > 0) return Status::IOError("transient outage");
+    return Status::OK();
+  }
+
+ private:
+  int failures_;
+};
+
+RetryPolicy FastRetry(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.base_backoff_millis = 0.0;
+  return policy;
+}
+
+TEST(PipelineRunnerTest, RetriesTransientModuleFailures) {
+  int calls = 0;
+  Pipeline p;
+  p.Add(std::make_unique<FlakyModule>(2))
+      .Add(std::make_unique<CountingModule>(&calls));
+  PipelineContext ctx;
+  ctx.region = "r";
+  PipelineRunReport report = p.Run(&ctx, FastRetry(4));
+  EXPECT_TRUE(report.success) << report.failure;
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(report.retries, 2);
+  EXPECT_FALSE(report.retries_exhausted);
+  ASSERT_EQ(report.timings.size(), 2u);
+  EXPECT_EQ(report.timings[0].attempts, 3);
+  EXPECT_EQ(report.timings[1].attempts, 1);
+  // Each retry left a warning incident for the run's audit trail.
+  int warnings = 0;
+  for (const auto& incident : ctx.incidents) {
+    if (incident.severity == IncidentSeverity::kWarning) ++warnings;
+  }
+  EXPECT_EQ(warnings, 2);
+}
+
+TEST(PipelineRunnerTest, NonRetryableModuleFailureFailsFast) {
+  Pipeline p;
+  p.Add(std::make_unique<FailingModule>());  // Internal: not retryable
+  PipelineContext ctx;
+  PipelineRunReport report = p.Run(&ctx, FastRetry(5));
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.retries, 0);
+  EXPECT_FALSE(report.retries_exhausted);
+  ASSERT_EQ(report.timings.size(), 1u);
+  EXPECT_EQ(report.timings[0].attempts, 1);
+}
+
+TEST(PipelineRunnerTest, ExhaustedRetriesAreFlaggedForQuarantine) {
+  Pipeline p;
+  p.Add(std::make_unique<FlakyModule>(100));
+  PipelineContext ctx;
+  PipelineRunReport report = p.Run(&ctx, FastRetry(3));
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.retries, 2);
+  EXPECT_TRUE(report.retries_exhausted);
+}
+
 TEST(IncidentManagerTest, PersistsAndAlerts) {
   DocStore docs;
   IncidentManager manager(&docs);
@@ -137,6 +203,34 @@ TEST(DashboardTest, RecordsAndSummarizes) {
   EXPECT_NEAR(summaries[0].last_predictable_fraction, 0.7, 1e-9);
   std::string text = dashboard.Render();
   EXPECT_NE(text.find("west"), std::string::npos);
+}
+
+TEST(DashboardTest, CountsRetriesAndQuarantinedRuns) {
+  DocStore docs;
+  Dashboard dashboard(&docs);
+  for (int week = 0; week < 3; ++week) {
+    PipelineContext ctx;
+    ctx.region = "east";
+    ctx.week = week;
+    PipelineRunReport report;
+    report.region = "east";
+    report.week = week;
+    report.retries = week;        // 0 + 1 + 2 = 3 total
+    if (week == 2) {              // one run exhausted its budget
+      report.success = false;
+      report.retries_exhausted = true;
+    } else {
+      report.success = true;
+    }
+    ASSERT_TRUE(dashboard.Record(ctx, report).ok());
+  }
+  auto summaries = dashboard.Summarize();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].retries, 3);
+  EXPECT_EQ(summaries[0].quarantines, 1);
+  std::string text = dashboard.Render();
+  EXPECT_NE(text.find("retries"), std::string::npos);
+  EXPECT_NE(text.find("quar"), std::string::npos);
 }
 
 TEST(TrackingTest, RecordsStatsAndFallsBackOnRegression) {

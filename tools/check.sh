@@ -11,7 +11,11 @@
 # Usage:
 #   tools/check.sh            # both configurations
 #   tools/check.sh release    # Release only
-#   tools/check.sh sanitize   # sanitizer build only
+#   tools/check.sh sanitize   # sanitizer build, full suite
+#   tools/check.sh chaos      # fault-injection tests (ctest -L chaos)
+#                             # under tsan+ubsan: races in the retry /
+#                             # quarantine paths only show up while
+#                             # faults are actually firing
 #
 # Exits non-zero on the first build or test failure.
 set -eu
@@ -20,39 +24,53 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 MODE="${1:-all}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# run_config <name> <build_dir> <ctest label or ''> [cmake args...]
 run_config() {
   name="$1"
   build_dir="$2"
-  shift 2
+  label="$3"
+  shift 3
   echo "=== [$name] configure ==="
   cmake -B "$build_dir" -S "$ROOT" "$@"
   echo "=== [$name] build ==="
   cmake --build "$build_dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
-  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  if [ -n "$label" ]; then
+    (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" -L "$label")
+  else
+    (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  fi
   echo "=== [$name] OK ==="
+}
+
+sanitize_config() {
+  label="$1"
+  run_config tsan+ubsan "$ROOT/build-sanitize" "$label" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
 }
 
 case "$MODE" in
   release|all)
-    run_config release "$ROOT/build-release" \
+    run_config release "$ROOT/build-release" "" \
       -DCMAKE_BUILD_TYPE=Release
     ;;
 esac
 
 case "$MODE" in
   sanitize|all)
-    run_config tsan+ubsan "$ROOT/build-sanitize" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=all" \
-      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
+    sanitize_config ""
+    ;;
+  chaos)
+    sanitize_config chaos
     ;;
 esac
 
 case "$MODE" in
-  release|sanitize|all) ;;
+  release|sanitize|chaos|all) ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|chaos|all]" >&2
     exit 2
     ;;
 esac

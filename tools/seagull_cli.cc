@@ -8,8 +8,14 @@
 ///   seagull generate  --lake DIR --region NAME [--servers N] [--weeks W] [--seed S]
 ///   seagull pipeline  --lake DIR --docs FILE --region NAME[,NAME...] --week K
 ///                     [--model FAMILY] [--threads N] [--jobs N] [--all-days]
+///                     [--retries N] [--fault-rate P --fault-seed S]
 ///   seagull schedule  --lake DIR --docs FILE --region NAME[,NAME...] --day D
 ///                     [--jobs N]
+///
+/// `--fault-rate`/`--fault-seed` enable the deterministic fault
+/// substrate (common/fault.h) on the store layer — the operational
+/// rehearsal for transient Azure failures. Regions that exhaust
+/// `--retries` are quarantined, not fatal.
 ///   seagull dashboard --docs FILE
 ///   seagull incidents --docs FILE --region NAME
 ///   seagull advise    --lake DIR --docs FILE --region NAME --server ID
@@ -24,6 +30,7 @@
 #include <map>
 #include <string>
 
+#include "common/fault.h"
 #include "common/strings.h"
 #include "pipeline/dashboard.h"
 #include "pipeline/fleet_runner.h"
@@ -31,6 +38,7 @@
 #include "pipeline/scheduler.h"
 #include "scheduling/backup_scheduler.h"
 #include "scheduling/window_advisor.h"
+#include "store/resilient_store.h"
 #include "telemetry/emitter.h"
 
 using namespace seagull;
@@ -65,6 +73,12 @@ class Args {
     return ParseInt64(it->second).ValueOr(fallback);
   }
 
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseDouble(it->second).ValueOr(fallback);
+  }
+
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
   /// Fails fast when a required flag is absent.
@@ -95,18 +109,43 @@ Result<DocStore*> OpenDocs(const std::string& path) {
 }
 
 /// Reads the latest telemetry for one region from the lake and groups it
-/// per server (the online components' view of "recent load").
-Result<std::vector<ServerTelemetry>> LoadTelemetry(const LakeStore& lake,
+/// per server (the online components' view of "recent load"). Goes
+/// through `ResilientStore` so transient blob faults are retried the way
+/// the production reader would.
+Result<std::vector<ServerTelemetry>> LoadTelemetry(const ResilientStore& store,
                                                    const std::string& region,
                                                    int64_t up_to_week) {
   for (int64_t w = up_to_week; w >= 0; --w) {
     std::string key = LakeStore::TelemetryKey(region, w);
-    if (!lake.Exists(key)) continue;
-    SEAGULL_ASSIGN_OR_RETURN(std::string text, lake.Get(key));
-    SEAGULL_ASSIGN_OR_RETURN(auto records, ParseTelemetryCsv(text));
+    auto text = store.LakeGet(key);
+    if (text.status().IsNotFound()) continue;
+    if (!text.ok()) return text.status();
+    SEAGULL_ASSIGN_OR_RETURN(auto records, ParseTelemetryCsv(*text));
     return GroupByServer(records);
   }
   return Status::NotFound("no telemetry for region " + region);
+}
+
+/// Parses `--retries` / `--fault-rate` / `--fault-seed`: returns the
+/// retry policy and, when a fault rate is given, enables the global
+/// fault registry for this invocation.
+RetryPolicy ConfigureResilience(const Args& args) {
+  RetryPolicy retry;
+  retry.max_attempts =
+      static_cast<int>(args.GetInt("retries", retry.max_attempts));
+  retry.jitter_seed = static_cast<uint64_t>(args.GetInt("fault-seed", 0));
+  const double fault_rate = args.GetDouble("fault-rate", 0.0);
+  if (fault_rate > 0.0) {
+    FaultConfig faults;
+    faults.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 0));
+    faults.rate = fault_rate;
+    FaultRegistry::Global().Configure(faults);
+    std::fprintf(stderr,
+                 "fault injection enabled: rate %.4f seed %llu\n",
+                 fault_rate,
+                 static_cast<unsigned long long>(faults.seed));
+  }
+  return retry;
 }
 
 int CmdGenerate(const Args& args) {
@@ -151,6 +190,9 @@ int CmdPipeline(const Args& args) {
   if (!lake.ok()) return Fail(lake.status());
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
+  // After the snapshot load: the rehearsal faults the pipeline's store
+  // traffic, not the CLI's own bootstrap.
+  RetryPolicy retry = ConfigureResilience(args);
 
   PipelineContext config;
   config.model_name = args.Get("model", "persistent_prev_day");
@@ -166,6 +208,7 @@ int CmdPipeline(const Args& args) {
   std::vector<std::string> regions = SplitString(*region, ',');
   FleetOptions fleet_options;
   fleet_options.jobs = static_cast<int>(args.GetInt("jobs", 1));
+  fleet_options.retry = retry;
   FleetRunner runner(&*lake, *docs, fleet_options);
   std::vector<FleetJob> fleet_jobs;
   for (const auto& r : regions) fleet_jobs.push_back({r, week});
@@ -194,16 +237,26 @@ int CmdPipeline(const Args& args) {
     }
     all_ok = all_ok && run.report.success;
   }
-  if (regions.size() > 1) {
-    std::printf("fleet: %lld regions, %lld ok, %lld failed, %d jobs, "
-                "%.1f ms wall\n",
+  for (const auto& q : fleet.quarantined) {
+    std::printf("QUARANTINED %s week %lld: %s\n", q.region.c_str(),
+                static_cast<long long>(q.week), q.reason.c_str());
+  }
+  if (regions.size() > 1 || fleet.TotalRetries() > 0) {
+    std::printf("fleet: %lld regions, %lld ok, %lld failed, %lld "
+                "quarantined, %lld retries, %d jobs, %.1f ms wall\n",
                 static_cast<long long>(fleet.runs.size()),
                 static_cast<long long>(fleet.SuccessCount()),
-                static_cast<long long>(fleet.FailureCount()), fleet.jobs,
+                static_cast<long long>(fleet.FailureCount()),
+                static_cast<long long>(fleet.quarantined.size()),
+                static_cast<long long>(fleet.TotalRetries()), fleet.jobs,
                 fleet.wall_millis);
   }
+  // The post-run snapshot save must not be chaos-faulted.
+  FaultRegistry::Global().Disable();
   Status st = (*docs)->SaveToFile(*docs_path);
   if (!st.ok()) return Fail(st);
+  // A quarantined fleet still exits non-zero so operators notice, but
+  // only after every healthy region's results are persisted.
   return all_ok ? 0 : 1;
 }
 
@@ -221,13 +274,14 @@ int CmdSchedule(const Args& args) {
   if (!lake.ok()) return Fail(lake.status());
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
+  ResilientStore store(&*lake, *docs, ConfigureResilience(args));
 
   // One region's daily pass, rendered to a string so multi-region runs
   // can print in region order regardless of completion order.
   auto schedule_region =
       [&](const std::string& r) -> Result<std::string> {
     SEAGULL_ASSIGN_OR_RETURN(auto telemetry,
-                             LoadTelemetry(*lake, r, day / 7));
+                             LoadTelemetry(store, r, day / 7));
 
     // Servers due on `day`: default window falls on that weekday.
     std::vector<DueServer> due;
@@ -366,7 +420,8 @@ int CmdAdvise(const Args& args) {
   auto endpoint = LoadActiveEndpoint(*docs, *region);
   if (!endpoint.ok()) return Fail(endpoint.status());
 
-  auto telemetry = LoadTelemetry(*lake, *region, day / 7);
+  ResilientStore store(&*lake, *docs);
+  auto telemetry = LoadTelemetry(store, *region, day / 7);
   if (!telemetry.ok()) return Fail(telemetry.status());
   const ServerTelemetry* found = nullptr;
   for (const auto& st : *telemetry) {
@@ -404,7 +459,8 @@ void Usage() {
       "  generate  --lake DIR --region NAME [--servers N] [--weeks W] "
       "[--seed S]\n"
       "  pipeline  --lake DIR --docs FILE --region NAME[,NAME...] "
-      "--week K [--model FAMILY] [--threads N] [--jobs N]\n"
+      "--week K [--model FAMILY] [--threads N] [--jobs N] [--retries N] "
+      "[--fault-rate P --fault-seed S]\n"
       "  schedule  --lake DIR --docs FILE --region NAME[,NAME...] "
       "--day D [--jobs N]\n"
       "  dashboard --docs FILE\n"
