@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/obs/metrics.h"
 #include "scheduling/model_eval.h"
 #include "telemetry/fleet.h"
 
@@ -65,6 +66,19 @@ inline ModelEvalOptions EvalOptions(ServerFilter filter = {},
 /// Prints a horizontal rule + caption for a figure/table.
 inline void PrintHeader(const char* figure, const char* caption) {
   std::printf("\n=== %s — %s ===\n", figure, caption);
+}
+
+/// Captures one bench phase's metrics: zeroes the global registry, runs
+/// `body`, and returns the resulting snapshot as JSON ({counters,
+/// gauges, histograms} — histograms carry count/sum/p50/p95/p99 and raw
+/// buckets). Embed the result under a "phases" key of a BENCH_*.json so
+/// trajectory files record per-phase op counts and latency shapes, not
+/// just wall clock.
+template <typename Fn>
+inline Json MetricsForPhase(Fn&& body) {
+  MetricsRegistry::Global().Reset();
+  body();
+  return MetricsRegistry::Global().Snapshot().ToJson();
 }
 
 }  // namespace seagull::bench

@@ -157,9 +157,15 @@ void RunFleetComparison() {
     return result;
   };
 
+  // Each phase runs with a zeroed registry so BENCH_parallel.json can
+  // carry per-phase store/pipeline/forecast histograms alongside the
+  // wall-clock trajectory.
   DocStore seq_docs, par_docs;
-  FleetRunResult seq = run(1, &seq_docs);
-  FleetRunResult par = run(par_jobs, &par_docs);
+  FleetRunResult seq, par;
+  Json phases = Json::MakeObject();
+  phases["sequential"] = MetricsForPhase([&] { seq = run(1, &seq_docs); });
+  phases["parallel"] =
+      MetricsForPhase([&] { par = run(par_jobs, &par_docs); });
 
   // Determinism gate: the parallel run must reproduce the sequential
   // run's data outputs exactly (tests/fleet_determinism_test.cc covers
@@ -206,6 +212,7 @@ void RunFleetComparison() {
   out["note"] =
       "speedup is bounded by hardware_threads; the >=2x target applies "
       "on >=4 cores";
+  out["phases"] = std::move(phases);
   std::FILE* f = std::fopen("BENCH_parallel.json", "w");
   if (f != nullptr) {
     std::string text = out.DumpPretty();

@@ -1,10 +1,19 @@
 #include "common/fault.h"
 
+#include "common/obs/metrics.h"
 #include "common/random.h"
 
 namespace seagull {
 
 namespace {
+
+/// Published alongside the registry's internal counters so fault
+/// outcomes show up in `--metrics-out` and the bench snapshots.
+void CountInjected(const std::string& point) {
+  MetricsRegistry::Global()
+      .GetCounter("seagull.fault.injected", {{"point", point}})
+      ->Increment();
+}
 
 /// SplitMix64 finalizer — mixes the seed, the (point, key) hash, and
 /// the per-key attempt index into one well-distributed word.
@@ -75,6 +84,7 @@ Status FaultRegistry::Inject(const std::string& point,
     }
     if (outage.remaining > 0) --outage.remaining;
     ++injected_[point];
+    CountInjected(point);
     return Status::IOError("injected outage at " + point + " [" + op_key +
                            "]");
   }
@@ -90,6 +100,7 @@ Status FaultRegistry::Inject(const std::string& point,
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
   if (u < rate) {
     ++injected_[point];
+    CountInjected(point);
     return Status::IOError("injected fault at " + point + " [" + op_key +
                            "]");
   }

@@ -1,0 +1,19 @@
+#include "common/obs/clock.h"
+
+#include <chrono>
+
+namespace seagull {
+
+std::atomic<bool> ObsClock::frozen_{false};
+std::atomic<int64_t> ObsClock::frozen_micros_{0};
+
+int64_t ObsClock::NowMicros() {
+  if (frozen_.load(std::memory_order_relaxed)) {
+    return frozen_micros_.load(std::memory_order_relaxed);
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace seagull

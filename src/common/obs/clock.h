@@ -1,0 +1,58 @@
+/// \file clock.h
+/// \brief Observational clock for metrics and tracing.
+///
+/// All timing in the observability layer is *observational only*: spans
+/// and latency histograms read this clock, but nothing in scheduling,
+/// retry jitter, or model fitting ever does. That one-way dependency is
+/// what lets the determinism tests freeze time: with `ScopedFrozenClock`
+/// every duration collapses to zero, so trace *structure* (span tree,
+/// event counts) and metric *values* (op counters, bucket counts — all
+/// zeros land in the first bucket) are byte-stable across jobs=1 and
+/// jobs=8, while unfrozen production runs still record real latencies.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace seagull {
+
+/// \brief Monotonic microsecond clock with a freeze switch.
+class ObsClock {
+ public:
+  /// Microseconds from the process-wide monotonic clock, or the frozen
+  /// value while a `ScopedFrozenClock` is alive. Never goes backwards
+  /// within one regime.
+  static int64_t NowMicros();
+
+  /// True while a `ScopedFrozenClock` is alive.
+  static bool frozen() {
+    return frozen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ScopedFrozenClock;
+  static std::atomic<bool> frozen_;
+  static std::atomic<int64_t> frozen_micros_;
+};
+
+/// \brief RAII test hook: freezes `ObsClock` at a fixed microsecond
+/// value for the current scope. Freezing is process-wide (the clock is
+/// static), so tests that freeze must not run concurrently with tests
+/// that assert real latencies — gtest's default serial execution within
+/// one binary guarantees that.
+class ScopedFrozenClock {
+ public:
+  explicit ScopedFrozenClock(int64_t micros = 0) {
+    ObsClock::frozen_micros_.store(micros, std::memory_order_relaxed);
+    ObsClock::frozen_.store(true, std::memory_order_relaxed);
+  }
+  ~ScopedFrozenClock() {
+    ObsClock::frozen_.store(false, std::memory_order_relaxed);
+  }
+
+  ScopedFrozenClock(const ScopedFrozenClock&) = delete;
+  ScopedFrozenClock& operator=(const ScopedFrozenClock&) = delete;
+};
+
+}  // namespace seagull

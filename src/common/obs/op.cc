@@ -1,0 +1,32 @@
+#include "common/obs/op.h"
+
+#include "common/obs/clock.h"
+#include "common/obs/metrics.h"
+
+namespace seagull {
+
+ObsOp::ObsOp(std::string family, std::string op)
+    : family_(std::move(family)), op_(std::move(op)),
+      start_micros_(ObsClock::NowMicros()) {}
+
+ObsOp::~ObsOp() {
+  if (!done_) Finish(false);
+}
+
+Status ObsOp::Done(Status status) {
+  Finish(status.ok());
+  return status;
+}
+
+void ObsOp::Finish(bool ok) {
+  if (done_) return;
+  done_ = true;
+  auto& registry = MetricsRegistry::Global();
+  const MetricLabels labels{{"op", op_}};
+  registry.GetCounter(family_ + ".ops", labels)->Increment();
+  if (!ok) registry.GetCounter(family_ + ".errors", labels)->Increment();
+  registry.GetHistogram(family_ + ".op_micros", labels)
+      ->Observe(static_cast<double>(ObsClock::NowMicros() - start_micros_));
+}
+
+}  // namespace seagull

@@ -1,0 +1,49 @@
+/// \file op.h
+/// \brief One-liner instrumentation for store-style operations.
+///
+/// `ObsOp op("seagull.lake", "put"); return op.Done(<body>);` records
+/// three instruments for the family/op pair:
+///   - `<family>.ops{op=<op>}`        counter, every call
+///   - `<family>.errors{op=<op>}`     counter, non-OK outcomes
+///   - `<family>.op_micros{op=<op>}`  latency histogram (ObsClock)
+///
+/// If `Done` is never reached (an exception unwound through the body),
+/// the destructor records the call as an error so op counts always add
+/// up to call counts.
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace seagull {
+
+/// \brief Times and counts one operation into the global registry.
+class ObsOp {
+ public:
+  ObsOp(std::string family, std::string op);
+  ~ObsOp();
+
+  ObsOp(const ObsOp&) = delete;
+  ObsOp& operator=(const ObsOp&) = delete;
+
+  /// Records the outcome and passes it through.
+  Status Done(Status status);
+  template <typename T>
+  Result<T> Done(Result<T> result) {
+    Finish(result.status().ok());
+    return result;
+  }
+
+ private:
+  void Finish(bool ok);
+
+  std::string family_;
+  std::string op_;
+  int64_t start_micros_;
+  bool done_ = false;
+};
+
+}  // namespace seagull

@@ -1,0 +1,187 @@
+#include "common/obs/trace.h"
+
+#include <algorithm>
+
+#include "common/obs/clock.h"
+
+namespace seagull {
+
+namespace {
+/// Innermost live span of the calling thread (0 = none).
+thread_local int64_t tls_current_span = 0;
+}  // namespace
+
+TraceSink::TraceSink(int64_t capacity) : capacity_(capacity) {}
+
+TraceSink& TraceSink::Global() {
+  static auto* sink = new TraceSink();
+  return *sink;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_.clear();
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  next_id_.store(1, std::memory_order_relaxed);
+}
+
+int64_t TraceSink::BeginSpan(const std::string& name,
+                             const std::string& category,
+                             int64_t parent_id) {
+  if (!enabled()) return 0;
+  const int64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  OpenSpan span;
+  span.name = name;
+  span.category = category;
+  span.parent_id = parent_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parent_id != 0) {
+    auto it = open_.find(parent_id);
+    // A parent that already closed (or was never seen — tracing enabled
+    // mid-flight) degrades to a root rather than a dangling edge.
+    span.root_id = it != open_.end() ? it->second.root_id : id;
+    if (it == open_.end()) span.parent_id = 0;
+  } else {
+    span.root_id = id;
+  }
+  open_.emplace(id, std::move(span));
+  return id;
+}
+
+void TraceSink::EndSpan(int64_t id, int64_t start_micros,
+                        std::vector<std::pair<std::string, std::string>> args) {
+  if (id == 0) return;
+  const int64_t end_micros = ObsClock::NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // Clear() raced an in-flight span
+  if (static_cast<int64_t>(events_.size()) >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    open_.erase(it);
+    return;
+  }
+  TraceEvent event;
+  event.id = id;
+  event.parent_id = it->second.parent_id;
+  event.root_id = it->second.root_id;
+  event.name = std::move(it->second.name);
+  event.category = std::move(it->second.category);
+  event.start_micros = start_micros;
+  event.duration_micros =
+      end_micros >= start_micros ? end_micros - start_micros : 0;
+  event.args = std::move(args);
+  open_.erase(it);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int64_t TraceSink::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(events_.size());
+}
+
+Json TraceSink::ToChromeTrace() const {
+  std::vector<TraceEvent> events = Events();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_micros != b.start_micros) {
+                return a.start_micros < b.start_micros;
+              }
+              return a.id < b.id;
+            });
+  // Rebase timestamps so the trace starts at t=0 regardless of process
+  // uptime (and stays 0 under a frozen clock).
+  int64_t base = 0;
+  for (const auto& e : events) {
+    if (base == 0 || e.start_micros < base) base = e.start_micros;
+  }
+  Json trace_events = Json::MakeArray();
+  // One thread_name metadata record per span tree so Perfetto labels
+  // each track with its root span (e.g. "region.det-a") instead of a
+  // bare tid number.
+  std::map<int64_t, std::string> track_names;
+  for (const auto& e : events) {
+    if (e.id == e.root_id) track_names[e.root_id] = e.name;
+  }
+  for (const auto& [tid, name] : track_names) {
+    Json meta = Json::MakeObject();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = tid;
+    Json args = Json::MakeObject();
+    args["name"] = name;
+    meta["args"] = std::move(args);
+    trace_events.Append(std::move(meta));
+  }
+  for (const auto& e : events) {
+    Json ev = Json::MakeObject();
+    ev["name"] = e.name;
+    ev["cat"] = e.category;
+    ev["ph"] = "X";  // complete event: ts + dur
+    ev["ts"] = e.start_micros - base;
+    ev["dur"] = e.duration_micros;
+    ev["pid"] = 1;
+    ev["tid"] = e.root_id;
+    Json args = Json::MakeObject();
+    args["span_id"] = e.id;
+    args["parent_id"] = e.parent_id;
+    for (const auto& [k, v] : e.args) args[k] = v;
+    ev["args"] = std::move(args);
+    trace_events.Append(std::move(ev));
+  }
+  Json out = Json::MakeObject();
+  out["traceEvents"] = std::move(trace_events);
+  out["displayTimeUnit"] = "ms";
+  return out;
+}
+
+std::vector<std::string> TraceSink::TreeDigest() const {
+  std::vector<TraceEvent> events = Events();
+  std::map<int64_t, std::string> names;
+  for (const auto& e : events) names[e.id] = e.name;
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (const auto& e : events) {
+    std::string parent =
+        e.parent_id == 0 ? "-" : names.count(e.parent_id) != 0
+                                     ? names[e.parent_id]
+                                     : "?";
+    std::string line = parent + " > " + e.name;
+    for (const auto& [k, v] : e.args) line += " " + k + "=" + v;
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category,
+                       int64_t parent_id) {
+  TraceSink& sink = TraceSink::Global();
+  if (!sink.enabled()) return;
+  if (parent_id == kInheritParent) parent_id = tls_current_span;
+  start_micros_ = ObsClock::NowMicros();
+  id_ = sink.BeginSpan(name, category, parent_id);
+  prev_current_ = tls_current_span;
+  tls_current_span = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;
+  tls_current_span = prev_current_;
+  TraceSink::Global().EndSpan(id_, start_micros_, std::move(args_));
+}
+
+void ScopedSpan::AddArg(const std::string& key, const std::string& value) {
+  if (id_ == 0) return;
+  args_.emplace_back(key, value);
+}
+
+int64_t ScopedSpan::Current() { return tls_current_span; }
+
+}  // namespace seagull

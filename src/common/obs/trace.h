@@ -1,0 +1,160 @@
+/// \file trace.h
+/// \brief Tracing spans over a bounded in-memory sink.
+///
+/// Answers "where did this run spend its time": the fleet runner opens
+/// one span per execution, each region pipeline nests under it, each
+/// module under its region. Spans time themselves on `ObsClock`
+/// (observational only — freezing the clock zeroes every duration
+/// without changing the span *tree*, which is what the determinism
+/// tests compare).
+///
+/// Parent/child nesting is automatic within a thread (a thread-local
+/// current-span cursor) and explicit across threads: a parent span's id
+/// travels into pool tasks by value, so the fleet span really is the
+/// parent of region spans that ran on other workers.
+///
+/// The sink is bounded: beyond `capacity` completed spans new ones are
+/// counted into `dropped()` and discarded — tracing a fleet must never
+/// OOM the fleet. `ToChromeTrace()` serializes to the Chrome
+/// `trace_event` JSON array format; the file loads directly in
+/// `chrome://tracing` and https://ui.perfetto.dev. Each span tree gets
+/// its own track (`tid` = root span id) named after the root span.
+///
+/// Disabled by default — one relaxed atomic load per instrumented
+/// scope. Tests enable it with `ScopedTracing`; the CLI with
+/// `--trace-out`.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace seagull {
+
+/// \brief One completed span.
+struct TraceEvent {
+  int64_t id = 0;
+  int64_t parent_id = 0;  ///< 0 = root
+  int64_t root_id = 0;    ///< id of the tree's root (its own id for roots)
+  std::string name;       ///< e.g. "module.training"
+  std::string category;   ///< e.g. "pipeline"
+  int64_t start_micros = 0;
+  int64_t duration_micros = 0;
+  /// Flat string args rendered into the Chrome event's "args" object.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// \brief Bounded, thread-safe collector of completed spans.
+class TraceSink {
+ public:
+  explicit TraceSink(int64_t capacity = 1 << 16);
+
+  /// The process-wide sink every `ScopedSpan` reports to.
+  static TraceSink& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Discards all events, open-span bookkeeping, and the drop count.
+  void Clear();
+
+  /// Completed spans, in completion order (schedule-dependent under
+  /// parallel execution — compare trees, not order).
+  std::vector<TraceEvent> Events() const;
+  int64_t EventCount() const;
+  /// Spans discarded because the sink was full.
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms"}. Events are sorted by (start, id) for a stable file.
+  Json ToChromeTrace() const;
+
+  /// The span tree as sorted "parent-name > name" lines with counts —
+  /// the structural digest the determinism tests diff (ids, durations,
+  /// and thread assignment excluded by construction).
+  std::vector<std::string> TreeDigest() const;
+
+ private:
+  friend class ScopedSpan;
+
+  /// Returns the new span id, or 0 when disabled.
+  int64_t BeginSpan(const std::string& name, const std::string& category,
+                    int64_t parent_id);
+  void EndSpan(int64_t id, int64_t start_micros,
+               std::vector<std::pair<std::string, std::string>> args);
+
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    int64_t parent_id = 0;
+    int64_t root_id = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> next_id_{1};
+  std::atomic<int64_t> dropped_{0};
+  int64_t capacity_;
+  mutable std::mutex mu_;
+  std::map<int64_t, OpenSpan> open_;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief RAII span: begins on construction, completes on destruction.
+///
+/// With no explicit parent the span nests under the calling thread's
+/// innermost live `ScopedSpan`. Pass `parent_id` (from `id()` on
+/// another thread's span) to stitch trees across pool workers.
+class ScopedSpan {
+ public:
+  static constexpr int64_t kInheritParent = -1;
+
+  explicit ScopedSpan(std::string name, std::string category = "seagull",
+                      int64_t parent_id = kInheritParent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// This span's id; 0 when tracing is disabled (safe to pass around —
+  /// children of 0 are roots).
+  int64_t id() const { return id_; }
+
+  /// Attaches a key/value to the completed event (e.g. attempts=2).
+  void AddArg(const std::string& key, const std::string& value);
+
+  /// The calling thread's innermost live span id; 0 if none.
+  static int64_t Current();
+
+ private:
+  int64_t id_ = 0;
+  int64_t prev_current_ = 0;
+  int64_t start_micros_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// \brief RAII enablement of the global sink for one test scope:
+/// clears + enables on construction, disables on destruction (events
+/// survive until the next `ScopedTracing` or explicit `Clear`).
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    TraceSink::Global().Clear();
+    TraceSink::Global().Enable();
+  }
+  ~ScopedTracing() { TraceSink::Global().Disable(); }
+
+  ScopedTracing(const ScopedTracing&) = delete;
+  ScopedTracing& operator=(const ScopedTracing&) = delete;
+
+  TraceSink& sink() { return TraceSink::Global(); }
+};
+
+}  // namespace seagull

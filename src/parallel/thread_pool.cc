@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/obs/metrics.h"
+
 namespace seagull {
+
+namespace {
+
+/// Process-wide pool instruments, resolved once. Submission/steal/queue
+/// counts are schedule-dependent by design; the determinism suites
+/// exclude the `seagull.pool.` prefix when diffing snapshots.
+struct PoolMetrics {
+  Counter* submitted;
+  Counter* executed;
+  Counter* stolen;
+  Gauge* queue_peak;
+  Gauge* workers;
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* m = [] {
+    auto& reg = MetricsRegistry::Global();
+    return new PoolMetrics{
+        reg.GetCounter("seagull.pool.submitted"),
+        reg.GetCounter("seagull.pool.executed"),
+        reg.GetCounter("seagull.pool.stolen"),
+        reg.GetGauge("seagull.pool.queue_peak"),
+        reg.GetGauge("seagull.pool.workers"),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -18,6 +49,7 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  GetPoolMetrics().workers->Max(static_cast<double>(num_threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -38,7 +70,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
       shards_.size();
   // Count before publishing so `queued_` never under-reports: a task
   // visible in a shard always has its count already registered.
-  queued_.fetch_add(1);
+  const int64_t depth = queued_.fetch_add(1) + 1;
+  PoolMetrics& metrics = GetPoolMetrics();
+  metrics.submitted->Increment();
+  metrics.queue_peak->Max(static_cast<double>(depth));
   {
     std::lock_guard<std::mutex> lock(shards_[shard]->mu);
     shards_[shard]->tasks.emplace_back([packaged] { (*packaged)(); });
@@ -64,11 +99,13 @@ bool ThreadPool::TryAcquire(int home, std::function<void()>* task) {
     } else {  // steal from the back to reduce contention with the owner
       *task = std::move(shard.tasks.back());
       shard.tasks.pop_back();
+      GetPoolMetrics().stolen->Increment();
     }
     // active_ rises before queued_ falls so (queued_ + active_) never
     // dips to zero while a task is in hand (WaitIdle's predicate).
     active_.fetch_add(1);
     queued_.fetch_sub(1);
+    GetPoolMetrics().executed->Increment();
     return true;
   }
   return false;

@@ -1,5 +1,6 @@
 #include "pipeline/dashboard.h"
 
+#include "common/obs/metrics.h"
 #include "common/strings.h"
 
 namespace seagull {
@@ -57,6 +58,19 @@ std::vector<Dashboard::RegionSummary> Dashboard::Summarize() const {
     out.push_back(s);
   }
   return out;
+}
+
+Dashboard::LiveFleetCounters Dashboard::Live() {
+  auto& registry = MetricsRegistry::Global();
+  LiveFleetCounters live;
+  live.regions_run =
+      registry.GetCounter("seagull.fleet.regions_run")->Value();
+  live.region_failures =
+      registry.GetCounter("seagull.fleet.region_failures")->Value();
+  live.retries = registry.GetCounter("seagull.fleet.retries")->Value();
+  live.quarantines =
+      registry.GetCounter("seagull.fleet.quarantines")->Value();
+  return live;
 }
 
 std::string Dashboard::Render() const {

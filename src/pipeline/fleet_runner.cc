@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/strings.h"
 #include "pipeline/incidents.h"
 
@@ -53,9 +55,21 @@ FleetRunResult FleetRunner::Run(const std::vector<FleetJob>& jobs,
   std::unique_ptr<ThreadPool> pool;
   if (result.jobs > 1) pool = std::make_unique<ThreadPool>(result.jobs);
 
+  // The fleet span is the root of this run's trace tree; per-region
+  // spans parent to it explicitly because they execute on pool workers
+  // where the thread-local span cursor is empty.
+  ScopedSpan fleet_span("fleet.run", "fleet");
+  const int64_t fleet_span_id = fleet_span.id();
+  auto& registry = MetricsRegistry::Global();
+  Counter* regions_run = registry.GetCounter("seagull.fleet.regions_run");
+  Counter* region_failures =
+      registry.GetCounter("seagull.fleet.region_failures");
+  Counter* fleet_retries = registry.GetCounter("seagull.fleet.retries");
+
   const auto start = std::chrono::steady_clock::now();
   auto run_job = [&](int64_t i) {
     const FleetJob& job = jobs[static_cast<size_t>(i)];
+    ScopedSpan region_span("region." + job.region, "fleet", fleet_span_id);
     // Fresh pipeline + scheduler per job: modules keep per-run state and
     // must not be shared across concurrently executing regions.
     Pipeline pipeline = factory_();
@@ -63,8 +77,14 @@ FleetRunResult FleetRunner::Run(const std::vector<FleetJob>& jobs,
                                 options_.period_weeks, options_.retry);
     PipelineContext config = config_template;
     if (pool != nullptr) config.pool = pool.get();
-    result.runs[static_cast<size_t>(i)] =
-        scheduler.RunIfDue(job.region, job.week, config);
+    PipelineScheduler::ScheduledRun& run = result.runs[static_cast<size_t>(i)];
+    run = scheduler.RunIfDue(job.region, job.week, config);
+    // Live fleet-health counters: workers publish through the atomic
+    // registry so a dashboard thread may read mid-run without racing
+    // the run loop (the chaos suite proves this under tsan).
+    regions_run->Increment();
+    if (!run.report.success) region_failures->Increment();
+    if (run.report.retries > 0) fleet_retries->Increment(run.report.retries);
   };
   const int64_t n = static_cast<int64_t>(jobs.size());
   if (pool != nullptr) {
@@ -82,11 +102,13 @@ FleetRunResult FleetRunner::Run(const std::vector<FleetJob>& jobs,
 
   // Quarantine pass — sequential, in job order, so the incident docs it
   // writes are deterministic regardless of how the runs interleaved.
+  Counter* quarantines = registry.GetCounter("seagull.fleet.quarantines");
   Container* incidents = docs_->GetContainer(kIncidentContainer);
   for (size_t i = 0; i < result.runs.size(); ++i) {
     auto& run = result.runs[i];
     const PipelineRunReport& report = run.report;
     if (report.success || !report.retries_exhausted) continue;
+    quarantines->Increment();
     result.quarantined.push_back({report.region, report.week,
                                   report.failure});
     Document doc;

@@ -1,5 +1,7 @@
 #include "pipeline/inference.h"
 
+#include "common/obs/clock.h"
+#include "common/obs/metrics.h"
 #include "common/strings.h"
 #include "metrics/ll_window.h"
 #include "pipeline/deployment.h"
@@ -32,6 +34,16 @@ Status InferenceModule::Run(PipelineContext* ctx) {
   std::vector<std::vector<Prediction>> per_server(
       static_cast<size_t>(n));
 
+  // Per-model inference telemetry, one observation per (server, day)
+  // forecast; shared thread-safe instruments across the fan-out.
+  const MetricLabels model_labels{{"model", ctx->model_name}};
+  Histogram* infer_micros = MetricsRegistry::Global().GetHistogram(
+      "seagull.forecast.infer_micros", model_labels);
+  Counter* forecasts = MetricsRegistry::Global().GetCounter(
+      "seagull.forecast.forecasts", model_labels);
+  Counter* forecast_failures = MetricsRegistry::Global().GetCounter(
+      "seagull.forecast.forecast_failures", model_labels);
+
   auto work = [&](int64_t i) {
     const ServerTelemetry& st = ctx->servers[static_cast<size_t>(i)];
     const ServerFeatures& f = ctx->features[static_cast<size_t>(i)];
@@ -40,9 +52,17 @@ Status InferenceModule::Run(PipelineContext* ctx) {
     // pipeline boundary; autoregressive families fold forward from it.
     for (int64_t dow = 0; dow < 7; ++dow) {
       int64_t day = target_week * 7 + dow;
+      const int64_t predict_start = ObsClock::NowMicros();
       auto predicted = endpoint.Predict(st.server_id, st.load,
                                         day * kMinutesPerDay,
                                         kMinutesPerDay);
+      infer_micros->Observe(
+          static_cast<double>(ObsClock::NowMicros() - predict_start));
+      if (predicted.ok()) {
+        forecasts->Increment();
+      } else {
+        forecast_failures->Increment();
+      }
       if (!predicted.ok()) continue;
       WindowResult window =
           LowestLoadWindow(*predicted, day, f.backup_duration_minutes);

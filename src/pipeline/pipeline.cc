@@ -1,8 +1,9 @@
 #include "pipeline/pipeline.h"
 
-#include <chrono>
-
 #include "common/logging.h"
+#include "common/obs/clock.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/strings.h"
 #include "pipeline/accuracy.h"
 #include "pipeline/deployment.h"
@@ -43,10 +44,15 @@ PipelineRunReport Pipeline::Run(PipelineContext* ctx,
   report.region = ctx->region;
   report.week = ctx->week;
   report.success = true;
+  auto& registry = MetricsRegistry::Global();
   for (const auto& module : modules_) {
     const std::string op_key =
         ctx->region + '/' + std::to_string(ctx->week) + '/' + module->name();
-    auto start = std::chrono::steady_clock::now();
+    const MetricLabels labels{{"module", module->name()}};
+    // Module boundary span: nests under the caller's live span (the
+    // fleet runner's per-region span) via the thread-local cursor.
+    ScopedSpan span("module." + module->name(), "pipeline");
+    const int64_t start = ObsClock::NowMicros();
     RetryOutcome outcome = RunWithRetry(
         retry, op_key, [&] { return module->Run(ctx); },
         [&](int attempt, const Status& status) {
@@ -56,12 +62,24 @@ PipelineRunReport Pipeline::Run(PipelineContext* ctx,
                            attempt, retry.max_attempts,
                            status.ToString().c_str()));
         });
-    auto end = std::chrono::steady_clock::now();
+    const int64_t elapsed_micros = ObsClock::NowMicros() - start;
     const Status& st = outcome.status;
+    registry.GetCounter("seagull.pipeline.module_runs", labels)->Increment();
+    if (!st.ok()) {
+      registry.GetCounter("seagull.pipeline.module_failures", labels)
+          ->Increment();
+    }
+    if (outcome.retries() > 0) {
+      registry.GetCounter("seagull.pipeline.module_retries", labels)
+          ->Increment(outcome.retries());
+    }
+    registry.GetHistogram("seagull.pipeline.module_micros", labels)
+        ->Observe(static_cast<double>(elapsed_micros));
+    span.AddArg("attempts", std::to_string(outcome.attempts));
+    if (!st.ok()) span.AddArg("failed", "true");
     ModuleTiming timing;
     timing.module = module->name();
-    timing.millis =
-        std::chrono::duration<double, std::milli>(end - start).count();
+    timing.millis = static_cast<double>(elapsed_micros) / 1000.0;
     timing.ok = st.ok();
     timing.attempts = outcome.attempts;
     report.retries += outcome.retries();

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "common/obs/clock.h"
+#include "common/obs/metrics.h"
 #include "common/strings.h"
 #include "forecast/model.h"
 
@@ -34,6 +36,16 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
   std::vector<std::pair<std::string, Json>> fitted(ctx->servers.size());
   std::vector<int8_t> ok_flags(ctx->servers.size(), 0);
 
+  // Per-model train telemetry; thread-safe instruments shared by every
+  // worker of the fan-out below.
+  const MetricLabels model_labels{{"model", ctx->model_name}};
+  Histogram* train_micros = MetricsRegistry::Global().GetHistogram(
+      "seagull.forecast.train_micros", model_labels);
+  Counter* models_trained = MetricsRegistry::Global().GetCounter(
+      "seagull.forecast.models_trained", model_labels);
+  Counter* train_failures = MetricsRegistry::Global().GetCounter(
+      "seagull.forecast.train_failures", model_labels);
+
   auto work = [&](int64_t i) {
     const ServerTelemetry& st = ctx->servers[static_cast<size_t>(i)];
     LoadSeries train = st.load.Slice(train_start, train_end);
@@ -44,7 +56,15 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
     }
     auto model = ModelFactory::Global().Create(ctx->model_name);
     if (!model.ok()) return;
+    const int64_t fit_start = ObsClock::NowMicros();
     Status fit = (*model)->Fit(train);
+    train_micros->Observe(
+        static_cast<double>(ObsClock::NowMicros() - fit_start));
+    if (fit.ok()) {
+      models_trained->Increment();
+    } else {
+      train_failures->Increment();
+    }
     if (!fit.ok()) {
       std::lock_guard<std::mutex> lock(mu);
       ++failed;

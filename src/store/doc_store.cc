@@ -5,70 +5,87 @@
 #include <sstream>
 
 #include "common/fault.h"
+#include "common/obs/op.h"
 
 namespace seagull {
 
 Status Container::Upsert(Document doc) {
-  SEAGULL_FAULT_POINT("doc.upsert",
-                      name_ + '/' + doc.partition_key + '/' + doc.id);
-  std::lock_guard<std::mutex> lock(mu_);
-  Key key{doc.partition_key, doc.id};
-  docs_[key] = std::move(doc);
-  return Status::OK();
+  ObsOp op("seagull.doc", "upsert");
+  return op.Done([&]() -> Status {
+    SEAGULL_FAULT_POINT("doc.upsert",
+                        name_ + '/' + doc.partition_key + '/' + doc.id);
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{doc.partition_key, doc.id};
+    docs_[key] = std::move(doc);
+    return Status::OK();
+  }());
 }
 
 Status Container::Insert(Document doc) {
-  SEAGULL_FAULT_POINT("doc.insert",
-                      name_ + '/' + doc.partition_key + '/' + doc.id);
-  std::lock_guard<std::mutex> lock(mu_);
-  Key key{doc.partition_key, doc.id};
-  auto [it, inserted] = docs_.emplace(key, std::move(doc));
-  (void)it;
-  if (!inserted) {
-    return Status::AlreadyExists("document exists: " + key.first + "/" +
-                                 key.second);
-  }
-  return Status::OK();
+  ObsOp op("seagull.doc", "insert");
+  return op.Done([&]() -> Status {
+    SEAGULL_FAULT_POINT("doc.insert",
+                        name_ + '/' + doc.partition_key + '/' + doc.id);
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{doc.partition_key, doc.id};
+    auto [it, inserted] = docs_.emplace(key, std::move(doc));
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("document exists: " + key.first + "/" +
+                                   key.second);
+    }
+    return Status::OK();
+  }());
 }
 
 Result<Document> Container::Get(const std::string& partition_key,
                                 const std::string& id) const {
-  SEAGULL_FAULT_POINT("doc.get", name_ + '/' + partition_key + '/' + id);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = docs_.find({partition_key, id});
-  if (it == docs_.end()) {
-    return Status::NotFound("no document: " + partition_key + "/" + id);
-  }
-  return it->second;
+  ObsOp op("seagull.doc", "get");
+  return op.Done([&]() -> Result<Document> {
+    SEAGULL_FAULT_POINT("doc.get", name_ + '/' + partition_key + '/' + id);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find({partition_key, id});
+    if (it == docs_.end()) {
+      return Status::NotFound("no document: " + partition_key + "/" + id);
+    }
+    return it->second;
+  }());
 }
 
 Status Container::Delete(const std::string& partition_key,
                          const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (docs_.erase({partition_key, id}) == 0) {
-    return Status::NotFound("no document: " + partition_key + "/" + id);
-  }
-  return Status::OK();
+  ObsOp op("seagull.doc", "delete");
+  return op.Done([&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (docs_.erase({partition_key, id}) == 0) {
+      return Status::NotFound("no document: " + partition_key + "/" + id);
+    }
+    return Status::OK();
+  }());
 }
 
 std::vector<Document> Container::ReadPartition(
     const std::string& partition_key) const {
+  ObsOp op("seagull.doc", "read_partition");
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Document> out;
   for (auto it = docs_.lower_bound({partition_key, ""});
        it != docs_.end() && it->first.first == partition_key; ++it) {
     out.push_back(it->second);
   }
+  op.Done(Status::OK());
   return out;
 }
 
 std::vector<Document> Container::Query(
     const std::function<bool(const Document&)>& pred) const {
+  ObsOp op("seagull.doc", "query");
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Document> out;
   for (const auto& [key, doc] : docs_) {
     if (pred(doc)) out.push_back(doc);
   }
+  op.Done(Status::OK());
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/fault.h"
+#include "common/obs/op.h"
 #include "common/strings.h"
 
 namespace fs = std::filesystem;
@@ -41,29 +42,35 @@ Result<std::string> LakeStore::ResolvePath(const std::string& key) const {
 
 Status LakeStore::Put(const std::string& key,
                       const std::string& content) const {
-  SEAGULL_FAULT_POINT("lake.put", key);
-  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-  fs::path p(path);
-  std::error_code ec;
-  if (p.has_parent_path()) {
-    fs::create_directories(p.parent_path(), ec);
-    if (ec) return Status::IOError("mkdir failed: " + ec.message());
-  }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write blob: " + key);
-  out << content;
-  if (!out) return Status::IOError("short write: " + key);
-  return Status::OK();
+  ObsOp op("seagull.lake", "put");
+  return op.Done([&]() -> Status {
+    SEAGULL_FAULT_POINT("lake.put", key);
+    SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+    fs::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path()) {
+      fs::create_directories(p.parent_path(), ec);
+      if (ec) return Status::IOError("mkdir failed: " + ec.message());
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write blob: " + key);
+    out << content;
+    if (!out) return Status::IOError("short write: " + key);
+    return Status::OK();
+  }());
 }
 
 Result<std::string> LakeStore::Get(const std::string& key) const {
-  SEAGULL_FAULT_POINT("lake.get", key);
-  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("no such blob: " + key);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
+  ObsOp op("seagull.lake", "get");
+  return op.Done([&]() -> Result<std::string> {
+    SEAGULL_FAULT_POINT("lake.get", key);
+    SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("no such blob: " + key);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }());
 }
 
 bool LakeStore::Exists(const std::string& key) const {
@@ -73,30 +80,36 @@ bool LakeStore::Exists(const std::string& key) const {
 }
 
 Status LakeStore::Delete(const std::string& key) const {
-  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-  std::error_code ec;
-  if (!fs::remove(path, ec) || ec) {
-    return Status::NotFound("cannot delete blob: " + key);
-  }
-  return Status::OK();
+  ObsOp op("seagull.lake", "delete");
+  return op.Done([&]() -> Status {
+    SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::NotFound("cannot delete blob: " + key);
+    }
+    return Status::OK();
+  }());
 }
 
 Result<std::vector<std::string>> LakeStore::List(
     const std::string& prefix) const {
-  SEAGULL_FAULT_POINT("lake.list", prefix);
-  std::vector<std::string> keys;
-  fs::path root(root_);
-  std::error_code ec;
-  if (!fs::exists(root, ec)) return keys;
-  for (auto it = fs::recursive_directory_iterator(root, ec);
-       it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (ec) return Status::IOError("listing failed: " + ec.message());
-    if (!it->is_regular_file()) continue;
-    std::string rel = fs::relative(it->path(), root).generic_string();
-    if (StartsWith(rel, prefix)) keys.push_back(rel);
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
+  ObsOp op("seagull.lake", "list");
+  return op.Done([&]() -> Result<std::vector<std::string>> {
+    SEAGULL_FAULT_POINT("lake.list", prefix);
+    std::vector<std::string> keys;
+    fs::path root(root_);
+    std::error_code ec;
+    if (!fs::exists(root, ec)) return keys;
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) return Status::IOError("listing failed: " + ec.message());
+      if (!it->is_regular_file()) continue;
+      std::string rel = fs::relative(it->path(), root).generic_string();
+      if (StartsWith(rel, prefix)) keys.push_back(rel);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }());
 }
 
 Result<int64_t> LakeStore::SizeOf(const std::string& key) const {

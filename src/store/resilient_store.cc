@@ -1,11 +1,23 @@
 #include "store/resilient_store.h"
 
+#include "common/obs/metrics.h"
+
 namespace seagull {
 
 Status ResilientStore::Retry(const std::string& op_key,
                              const std::function<Status()>& op) const {
   RetryOutcome outcome = RunWithRetry(policy_, op_key, op);
   retries_.fetch_add(outcome.retries(), std::memory_order_relaxed);
+  if (outcome.retries() > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("seagull.store.retries")
+        ->Increment(outcome.retries());
+  }
+  if (outcome.exhausted) {
+    MetricsRegistry::Global()
+        .GetCounter("seagull.store.retries_exhausted")
+        ->Increment();
+  }
   return outcome.status;
 }
 

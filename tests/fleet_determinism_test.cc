@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/obs/clock.h"
+#include "common/obs/metrics.h"
 #include "pipeline/accuracy.h"
 #include "pipeline/dashboard.h"
 #include "pipeline/deployment.h"
@@ -155,6 +157,30 @@ TEST_P(FleetDeterminismTest, RepeatedParallelRunsAreStable) {
 INSTANTIATE_TEST_SUITE_P(Models, FleetDeterminismTest,
                          ::testing::Values("persistent_prev_day",
                                            "additive"));
+
+TEST_P(FleetDeterminismTest, MetricsSnapshotsMatchAcrossJobs) {
+  // The observability layer must observe the same fleet identically at
+  // jobs=1 and jobs=8: with the clock frozen every duration is zero, so
+  // even histogram bucket contents are comparable byte for byte. Only
+  // `seagull.pool.*` (steal counts, queue peaks) is schedule-dependent
+  // by design and excluded. Deeper coverage lives in
+  // obs_determinism_test.cc; this keeps the metrics diff inside the
+  // fleet contract's own suite.
+  const std::string model = GetParam();
+  ScopedFrozenClock frozen;
+  MetricsRegistry::Global().Reset();
+  RunFleet(1, model);
+  MetricsSnapshot sequential =
+      MetricsRegistry::Global().Snapshot().Without({"seagull.pool."});
+  MetricsRegistry::Global().Reset();
+  RunFleet(8, model);
+  MetricsSnapshot parallel =
+      MetricsRegistry::Global().Snapshot().Without({"seagull.pool."});
+  EXPECT_EQ(sequential.ToJson().Dump(), parallel.ToJson().Dump());
+  EXPECT_GT(sequential.CounterValues()
+                .at("seagull.pipeline.module_runs{module=ingestion}"),
+            0);
+}
 
 TEST(FleetRunnerTest, AggregatesReportsInJobOrder) {
   FleetOutcome outcome = RunFleet(4, "persistent_prev_day");

@@ -1,0 +1,205 @@
+/// \file obs_trace_test.cc
+/// \brief Tracing substrate: span nesting via the thread-local cursor,
+/// explicit cross-thread parenting, bounded-capacity dropping, args,
+/// the structural TreeDigest, and the Chrome trace_event JSON exporter
+/// (round-tripped through common/json the way chrome://tracing would
+/// parse it).
+
+#include "common/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs/clock.h"
+
+namespace seagull {
+namespace {
+
+const TraceEvent* FindByName(const std::vector<TraceEvent>& events,
+                             const std::string& name) {
+  for (const auto& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, DisabledSinkCostsNothingAndRecordsNothing) {
+  TraceSink::Global().Disable();
+  TraceSink::Global().Clear();
+  {
+    ScopedSpan span("trace.disabled");
+    EXPECT_EQ(span.id(), 0);
+    span.AddArg("k", "v");  // safe no-op
+    EXPECT_EQ(ScopedSpan::Current(), 0);
+  }
+  EXPECT_EQ(TraceSink::Global().EventCount(), 0);
+}
+
+TEST(TraceTest, NestsUnderThreadLocalCursor) {
+  ScopedTracing tracing;
+  int64_t outer_id = 0, inner_id = 0;
+  {
+    ScopedSpan outer("trace.outer");
+    outer_id = outer.id();
+    EXPECT_GT(outer_id, 0);
+    EXPECT_EQ(ScopedSpan::Current(), outer_id);
+    {
+      ScopedSpan inner("trace.inner", "test");
+      inner_id = inner.id();
+      EXPECT_EQ(ScopedSpan::Current(), inner_id);
+    }
+    // The cursor restores to the enclosing span after a child closes.
+    EXPECT_EQ(ScopedSpan::Current(), outer_id);
+  }
+  EXPECT_EQ(ScopedSpan::Current(), 0);
+
+  std::vector<TraceEvent> events = tracing.sink().Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = FindByName(events, "trace.outer");
+  const TraceEvent* inner = FindByName(events, "trace.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0);
+  EXPECT_EQ(outer->root_id, outer->id);
+  EXPECT_EQ(inner->parent_id, outer->id);
+  EXPECT_EQ(inner->root_id, outer->id);
+  EXPECT_EQ(inner->category, "test");
+}
+
+TEST(TraceTest, ExplicitParentStitchesAcrossThreads) {
+  ScopedTracing tracing;
+  int64_t parent_id = 0;
+  {
+    ScopedSpan parent("trace.fleet");
+    parent_id = parent.id();
+    std::thread worker([parent_id] {
+      // Fresh thread: the TLS cursor is empty, so only the explicit id
+      // can connect this span to the tree.
+      EXPECT_EQ(ScopedSpan::Current(), 0);
+      ScopedSpan child("trace.region", "fleet", parent_id);
+      EXPECT_GT(child.id(), 0);
+    });
+    worker.join();
+  }
+  std::vector<TraceEvent> events = tracing.sink().Events();
+  const TraceEvent* child = FindByName(events, "trace.region");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->parent_id, parent_id);
+  EXPECT_EQ(child->root_id, parent_id);
+}
+
+TEST(TraceTest, ClosedParentDegradesToRoot) {
+  ScopedTracing tracing;
+  int64_t stale_id = 0;
+  { ScopedSpan ephemeral("trace.gone"); stale_id = ephemeral.id(); }
+  {
+    ScopedSpan orphan("trace.orphan", "test", stale_id);
+    EXPECT_GT(orphan.id(), 0);
+  }
+  std::vector<TraceEvent> events = tracing.sink().Events();
+  const TraceEvent* orphan = FindByName(events, "trace.orphan");
+  ASSERT_NE(orphan, nullptr);
+  EXPECT_EQ(orphan->parent_id, 0);  // not a dangling edge
+  EXPECT_EQ(orphan->root_id, orphan->id);
+}
+
+TEST(TraceTest, ArgsTravelToTheCompletedEvent) {
+  ScopedTracing tracing;
+  {
+    ScopedSpan span("trace.args");
+    span.AddArg("attempts", "3");
+    span.AddArg("failed", "true");
+  }
+  std::vector<TraceEvent> events = tracing.sink().Events();
+  const TraceEvent* e = FindByName(events, "trace.args");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->args.size(), 2u);
+  EXPECT_EQ(e->args[0].first, "attempts");
+  EXPECT_EQ(e->args[0].second, "3");
+}
+
+TEST(TraceTest, SinkIsBoundedAndCountsDrops) {
+  ScopedTracing tracing;
+  constexpr int64_t kCapacity = 1 << 16;
+  constexpr int64_t kExtra = 100;
+  for (int64_t i = 0; i < kCapacity + kExtra; ++i) {
+    ScopedSpan span("trace.flood");
+  }
+  EXPECT_EQ(tracing.sink().EventCount(), kCapacity);
+  EXPECT_EQ(tracing.sink().dropped(), kExtra);
+  tracing.sink().Clear();
+  EXPECT_EQ(tracing.sink().EventCount(), 0);
+  EXPECT_EQ(tracing.sink().dropped(), 0);
+}
+
+TEST(TraceTest, ChromeTraceJsonRoundTrip) {
+  ScopedFrozenClock frozen(1000);  // stable ts/dur in the output
+  ScopedTracing tracing;
+  {
+    ScopedSpan root("trace.root", "fleet");
+    ScopedSpan child("trace.child", "pipeline");
+    child.AddArg("attempts", "1");
+  }
+  auto parsed = Json::Parse(tracing.sink().ToChromeTrace().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("displayTimeUnit").ValueOr(""), "ms");
+  ASSERT_TRUE(parsed->Contains("traceEvents"));
+  const auto& events = (*parsed)["traceEvents"].AsArray();
+  // One thread_name metadata record for the tree plus two X events.
+  ASSERT_EQ(events.size(), 3u);
+
+  std::map<std::string, const Json*> by_name;
+  int metadata = 0;
+  for (const auto& e : events) {
+    const std::string ph = e.GetString("ph").ValueOr("");
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(e.GetString("name").ValueOr(""), "thread_name");
+      EXPECT_EQ(e["args"].GetString("name").ValueOr(""), "trace.root");
+      continue;
+    }
+    EXPECT_EQ(ph, "X");
+    EXPECT_DOUBLE_EQ(e.GetNumber("ts").ValueOr(-1), 0.0);   // rebased
+    EXPECT_DOUBLE_EQ(e.GetNumber("dur").ValueOr(-1), 0.0);  // frozen clock
+    by_name[e.GetString("name").ValueOr("")] = &e;
+  }
+  EXPECT_EQ(metadata, 1);
+  ASSERT_TRUE(by_name.count("trace.root"));
+  ASSERT_TRUE(by_name.count("trace.child"));
+  const Json& root = *by_name["trace.root"];
+  const Json& child = *by_name["trace.child"];
+  // Both events render on the root's track; parentage rides in args.
+  EXPECT_DOUBLE_EQ(root.GetNumber("tid").ValueOr(-1),
+                   child.GetNumber("tid").ValueOr(-2));
+  EXPECT_DOUBLE_EQ(child["args"].GetNumber("parent_id").ValueOr(-1),
+                   root["args"].GetNumber("span_id").ValueOr(-2));
+  EXPECT_EQ(child.GetString("cat").ValueOr(""), "pipeline");
+  EXPECT_EQ(child["args"].GetString("attempts").ValueOr(""), "1");
+}
+
+TEST(TraceTest, TreeDigestIsStructuralAndSorted) {
+  auto build = [] {
+    ScopedTracing tracing;
+    {
+      ScopedSpan root("d.root");
+      { ScopedSpan a("d.a"); }
+      { ScopedSpan b("d.b"); b.AddArg("failed", "true"); }
+    }
+    return TraceSink::Global().TreeDigest();
+  };
+  std::vector<std::string> first = build();
+  std::vector<std::string> second = build();
+  // Identical structure (different span ids each time) digests equal.
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], "- > d.root");
+  EXPECT_EQ(first[1], "d.root > d.a");
+  EXPECT_EQ(first[2], "d.root > d.b failed=true");
+}
+
+}  // namespace
+}  // namespace seagull

@@ -9,6 +9,7 @@
 ///   seagull pipeline  --lake DIR --docs FILE --region NAME[,NAME...] --week K
 ///                     [--model FAMILY] [--threads N] [--jobs N] [--all-days]
 ///                     [--retries N] [--fault-rate P --fault-seed S]
+///                     [--trace-out FILE] [--metrics-out FILE]
 ///   seagull schedule  --lake DIR --docs FILE --region NAME[,NAME...] --day D
 ///                     [--jobs N]
 ///
@@ -16,6 +17,10 @@
 /// substrate (common/fault.h) on the store layer — the operational
 /// rehearsal for transient Azure failures. Regions that exhaust
 /// `--retries` are quarantined, not fatal.
+///
+/// `--trace-out` writes a Chrome trace_event JSON of the run's span
+/// tree (load in chrome://tracing or ui.perfetto.dev); `--metrics-out`
+/// writes the process metrics snapshot (see DESIGN.md "Observability").
 ///   seagull dashboard --docs FILE
 ///   seagull incidents --docs FILE --region NAME
 ///   seagull advise    --lake DIR --docs FILE --region NAME --server ID
@@ -31,6 +36,8 @@
 #include <string>
 
 #include "common/fault.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/strings.h"
 #include "pipeline/dashboard.h"
 #include "pipeline/fleet_runner.h"
@@ -148,6 +155,22 @@ RetryPolicy ConfigureResilience(const Args& args) {
   return retry;
 }
 
+/// Writes one observability artifact through the lake layer: the output
+/// path's directory becomes a `LakeStore` root and the basename the
+/// object key, so traces and metrics snapshots travel the same store
+/// abstraction as telemetry (and inherit its atomic tmp+rename write).
+Status WriteObsArtifact(const std::string& path, const std::string& body) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string key =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (key.empty()) return Status::Invalid("output path is a directory: " + path);
+  SEAGULL_ASSIGN_OR_RETURN(LakeStore out,
+                           LakeStore::Open(dir.empty() ? "/" : dir));
+  return out.Put(key, body);
+}
+
 int CmdGenerate(const Args& args) {
   auto lake_dir = args.Require("lake");
   auto region_name = args.Require("region");
@@ -193,6 +216,15 @@ int CmdPipeline(const Args& args) {
   // After the snapshot load: the rehearsal faults the pipeline's store
   // traffic, not the CLI's own bootstrap.
   RetryPolicy retry = ConfigureResilience(args);
+
+  // --trace-out enables span collection for this invocation only; the
+  // sink stays disabled (one relaxed load per span site) otherwise.
+  const std::string trace_out = args.Get("trace-out");
+  const std::string metrics_out = args.Get("metrics-out");
+  if (!trace_out.empty()) {
+    TraceSink::Global().Clear();
+    TraceSink::Global().Enable();
+  }
 
   PipelineContext config;
   config.model_name = args.Get("model", "persistent_prev_day");
@@ -251,10 +283,30 @@ int CmdPipeline(const Args& args) {
                 static_cast<long long>(fleet.TotalRetries()), fleet.jobs,
                 fleet.wall_millis);
   }
-  // The post-run snapshot save must not be chaos-faulted.
+  // The post-run snapshot save must not be chaos-faulted, and neither
+  // may the observability artifacts below.
   FaultRegistry::Global().Disable();
   Status st = (*docs)->SaveToFile(*docs_path);
   if (!st.ok()) return Fail(st);
+  if (!trace_out.empty()) {
+    TraceSink::Global().Disable();
+    Status ts =
+        WriteObsArtifact(trace_out,
+                         TraceSink::Global().ToChromeTrace().DumpPretty());
+    if (!ts.ok()) return Fail(ts);
+    std::fprintf(stderr, "wrote %lld spans to %s (%lld dropped)\n",
+                 static_cast<long long>(TraceSink::Global().EventCount()),
+                 trace_out.c_str(),
+                 static_cast<long long>(TraceSink::Global().dropped()));
+  }
+  if (!metrics_out.empty()) {
+    Status ms = WriteObsArtifact(
+        metrics_out,
+        MetricsRegistry::Global().Snapshot().ToJson().DumpPretty());
+    if (!ms.ok()) return Fail(ms);
+    std::fprintf(stderr, "wrote metrics snapshot to %s\n",
+                 metrics_out.c_str());
+  }
   // A quarantined fleet still exits non-zero so operators notice, but
   // only after every healthy region's results are persisted.
   return all_ok ? 0 : 1;
@@ -460,7 +512,8 @@ void Usage() {
       "[--seed S]\n"
       "  pipeline  --lake DIR --docs FILE --region NAME[,NAME...] "
       "--week K [--model FAMILY] [--threads N] [--jobs N] [--retries N] "
-      "[--fault-rate P --fault-seed S]\n"
+      "[--fault-rate P --fault-seed S] [--trace-out FILE] "
+      "[--metrics-out FILE]\n"
       "  schedule  --lake DIR --docs FILE --region NAME[,NAME...] "
       "--day D [--jobs N]\n"
       "  dashboard --docs FILE\n"
