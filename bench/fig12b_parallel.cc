@@ -47,8 +47,7 @@ Prepared* PrepareRegion(int num_servers) {
   auto* prepared = new Prepared();
   std::string region = "par-" + std::to_string(num_servers);
   Fleet fleet = ProductionFleet(region, num_servers, 900, 4);
-  (*lake)->Put(LakeStore::TelemetryKey(region, 3),
-               ExtractWeekCsvText(fleet, 3))
+  (*lake)->Put(LakeStore::TelemetryKey(region, 3), ExtractWeekBlock(fleet, 3))
       .Abort();
   prepared->ctx.region = region;
   prepared->ctx.week = 3;
@@ -138,7 +137,7 @@ void RunFleetComparison() {
     Fleet fleet = ProductionFleet(region, kServers,
                                   1200 + static_cast<uint64_t>(r));
     lake->Put(LakeStore::TelemetryKey(region, kWeek),
-              ExtractWeekCsvText(fleet, kWeek))
+              ExtractWeekBlock(fleet, kWeek))
         .Abort();
     jobs.push_back({region, kWeek});
   }

@@ -1,20 +1,30 @@
 /// \file micro_substrate.cc
 /// \brief Micro-benchmarks of the hot substrate kernels: the min-average
 /// window sweep (every LL-window query), the bucket-ratio comparison
-/// (every accuracy evaluation), telemetry CSV parsing (ingestion's
-/// dominant cost), and SSA fitting (the cheapest trainable model).
+/// (every accuracy evaluation), telemetry ingestion over both wire
+/// formats (CSV parse+group vs SeriesBlock decode), the lake blob cache
+/// hit path, and SSA fitting (the cheapest trainable model).
 ///
 /// Not a paper figure — a regression guard for the paths every
-/// experiment runs through thousands of times.
+/// experiment runs through thousands of times. Also emits
+/// BENCH_ingest.json: the data-plane trajectory (rows/sec and bytes/sec
+/// per format at the 1200-server region, plus the lake-cache hit rate
+/// of a repeated fleet run) for future PRs to regress against.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
+#include "bench_common.h"
 #include "common/random.h"
 #include "forecast/ssa.h"
 #include "metrics/bucket_ratio.h"
+#include "pipeline/fleet_runner.h"
+#include "store/lake_store.h"
 #include "telemetry/emitter.h"
+#include "telemetry/series_block.h"
 #include "timeseries/window.h"
 
 using namespace seagull;
@@ -66,6 +76,59 @@ void BM_TelemetryCsvParse(benchmark::State& state) {
                           static_cast<int64_t>(text.size()));
 }
 
+/// Full CSV ingestion: parse + group into per-server series (what the
+/// pipeline does for a text blob).
+void BM_IngestCsv(benchmark::State& state) {
+  RegionConfig config;
+  config.name = "micro";
+  config.num_servers = static_cast<int>(state.range(0));
+  config.weeks = 4;
+  Fleet fleet = Fleet::Generate(config);
+  std::string text = ExtractWeekCsvText(fleet, 3);
+  for (auto _ : state) {
+    auto records = ParseTelemetryCsv(text);
+    auto servers = GroupByServer(*records);
+    benchmark::DoNotOptimize(servers->size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+
+/// Binary ingestion: SeriesBlock decoded straight into per-server
+/// series, no flat-records intermediate.
+void BM_IngestBinary(benchmark::State& state) {
+  RegionConfig config;
+  config.name = "micro";
+  config.num_servers = static_cast<int>(state.range(0));
+  config.weeks = 4;
+  Fleet fleet = Fleet::Generate(config);
+  std::string block = ExtractWeekBlock(fleet, 3);
+  for (auto _ : state) {
+    auto servers = DecodeSeriesBlockToServers(block);
+    benchmark::DoNotOptimize(servers->size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+}
+
+/// The lake-cache hit path: stat + shard lookup + shared_ptr copy.
+void BM_LakeCacheHit(benchmark::State& state) {
+  static auto* lake = [] {
+    auto opened = LakeStore::OpenTemporary("micro_cache");
+    opened.status().Abort();
+    auto* owned = new LakeStore(std::move(opened).ValueUnsafe());
+    owned->ConfigureCache(16 << 20);
+    owned->Put("bench/blob", std::string(1 << 20, 'x')).Abort();
+    owned->GetShared("bench/blob").status().Abort();  // warm
+    return owned;
+  }();
+  for (auto _ : state) {
+    auto blob = lake->GetShared("bench/blob");
+    benchmark::DoNotOptimize(blob->get());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+
 void BM_SsaFit(benchmark::State& state) {
   LoadSeries week = RandomDay(4, 7);
   for (auto _ : state) {
@@ -90,13 +153,150 @@ void BM_GenerateLoadWeek(benchmark::State& state) {
   }
 }
 
+/// Emits BENCH_ingest.json: CSV vs SeriesBlock ingestion throughput at
+/// the paper-scale 1200-server region (min-of-3 wall times), plus the
+/// cache-hit rate of a second identical fleet run over a cache-enabled
+/// lake with a per-phase metrics snapshot embedded.
+void RunIngestTrajectory() {
+  using Clock = std::chrono::steady_clock;
+  seagull::bench::PrintHeader("Data plane",
+                              "CSV vs SeriesBlock ingestion, lake cache");
+
+  RegionConfig config;
+  config.name = "ingest-1200";
+  config.num_servers = 1200;
+  config.weeks = 4;
+  config.seed = 42;
+  Fleet fleet = Fleet::Generate(config);
+  const std::string csv = ExtractWeekCsvText(fleet, 3);
+  const std::string block = ExtractWeekBlock(fleet, 3);
+  auto info = PeekSeriesBlock(block);
+  info.status().Abort();
+  const int64_t rows = info->total_samples;
+
+  auto min_millis_of_3 = [](auto&& body) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      body();
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      if (rep == 0 || ms < best) best = ms;
+    }
+    return best;
+  };
+  const double csv_ms = min_millis_of_3([&] {
+    auto records = ParseTelemetryCsv(csv);
+    auto servers = GroupByServer(*records);
+    benchmark::DoNotOptimize(servers->size());
+  });
+  const double bin_ms = min_millis_of_3([&] {
+    auto servers = DecodeSeriesBlockToServers(block);
+    benchmark::DoNotOptimize(servers->size());
+  });
+  const double speedup = bin_ms > 0.0 ? csv_ms / bin_ms : 0.0;
+
+  auto per_sec = [](double count, double ms) {
+    return ms > 0.0 ? count * 1000.0 / ms : 0.0;
+  };
+  std::printf("%-28s %10.1f ms  %12.0f rows/s  %8.1f MB/s\n", "ingest (csv)",
+              csv_ms, per_sec(static_cast<double>(rows), csv_ms),
+              per_sec(static_cast<double>(csv.size()), csv_ms) / 1e6);
+  std::printf("%-28s %10.1f ms  %12.0f rows/s  %8.1f MB/s\n",
+              "ingest (binary)", bin_ms,
+              per_sec(static_cast<double>(rows), bin_ms),
+              per_sec(static_cast<double>(block.size()), bin_ms) / 1e6);
+  std::printf("%-28s %10.2fx   (target >= 4x)\n", "binary speedup", speedup);
+
+  // Cache trajectory: two identical fleet runs against one cache-enabled
+  // lake; run two's telemetry reads should all hit.
+  auto opened = LakeStore::OpenTemporary("ingest_cache");
+  opened.status().Abort();
+  LakeStore lake = std::move(opened).ValueUnsafe();
+  lake.ConfigureCache(256 << 20);
+  std::vector<FleetJob> jobs;
+  for (int r = 0; r < 2; ++r) {
+    std::string region = "cache-" + std::to_string(r);
+    Fleet f = seagull::bench::ProductionFleet(region, 60,
+                                              77 + static_cast<uint64_t>(r),
+                                              4);
+    lake.Put(LakeStore::TelemetryKey(region, 3), ExtractWeekBlock(f, 3))
+        .Abort();
+    jobs.push_back({region, 3});
+  }
+  auto run_once = [&] {
+    DocStore docs;  // fresh docs: the scheduler sees the week as due
+    FleetRunner runner(&lake, &docs);
+    PipelineContext ctx;
+    ctx.model_name = "persistent_prev_day";
+    FleetRunResult result = runner.Run(jobs, ctx);
+    if (result.FailureCount() != 0) std::abort();
+  };
+  run_once();  // cold: fill the cache
+  Json warm_metrics = seagull::bench::MetricsForPhase(run_once);
+  auto& reg = MetricsRegistry::Global();
+  const double hits = static_cast<double>(
+      reg.GetCounter("seagull.lake.cache_events", {{"event", "hit"}})
+          ->Value());
+  const double misses = static_cast<double>(
+      reg.GetCounter("seagull.lake.cache_events", {{"event", "miss"}})
+          ->Value());
+  const double hit_rate = hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  std::printf("%-28s %10.1f%%  (%0.0f hits / %0.0f misses, target >= 90%%)\n",
+              "warm-run cache hit rate", hit_rate * 100.0, hits, misses);
+
+  Json out = Json::MakeObject();
+  out["benchmark"] = "ingest_data_plane";
+  out["servers"] = 1200;
+  out["rows"] = rows;
+  Json csv_j = Json::MakeObject();
+  csv_j["bytes"] = static_cast<int64_t>(csv.size());
+  csv_j["millis"] = csv_ms;
+  csv_j["rows_per_sec"] = per_sec(static_cast<double>(rows), csv_ms);
+  csv_j["bytes_per_sec"] = per_sec(static_cast<double>(csv.size()), csv_ms);
+  out["csv"] = std::move(csv_j);
+  Json bin_j = Json::MakeObject();
+  bin_j["bytes"] = static_cast<int64_t>(block.size());
+  bin_j["millis"] = bin_ms;
+  bin_j["rows_per_sec"] = per_sec(static_cast<double>(rows), bin_ms);
+  bin_j["bytes_per_sec"] = per_sec(static_cast<double>(block.size()), bin_ms);
+  out["binary"] = std::move(bin_j);
+  out["speedup"] = speedup;
+  Json cache_j = Json::MakeObject();
+  cache_j["warm_hits"] = hits;
+  cache_j["warm_misses"] = misses;
+  cache_j["hit_rate"] = hit_rate;
+  cache_j["warm_metrics"] = std::move(warm_metrics);
+  out["cache"] = std::move(cache_j);
+  std::FILE* f = std::fopen("BENCH_ingest.json", "w");
+  if (f != nullptr) {
+    std::string text = out.DumpPretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_ingest.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_ingest.json\n");
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_MinAverageWindow)->Arg(1)->Arg(7);
 BENCHMARK(BM_BucketRatio)->Arg(1)->Arg(7);
 BENCHMARK(BM_TelemetryCsvParse)->Arg(10)->Arg(40)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestCsv)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestBinary)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LakeCacheHit);
 BENCHMARK(BM_SsaFit)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenerateLoadWeek)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RunIngestTrajectory();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

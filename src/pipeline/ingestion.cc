@@ -1,6 +1,8 @@
 #include "pipeline/ingestion.h"
 
+#include "common/obs/metrics.h"
 #include "common/strings.h"
+#include "telemetry/series_block.h"
 
 namespace seagull {
 
@@ -15,18 +17,49 @@ Status DataIngestionModule::Run(PipelineContext* ctx) {
                      "missing input blob: " + key);
     return Status::NotFound("missing input blob: " + key);
   }
-  SEAGULL_ASSIGN_OR_RETURN(std::string text, ctx->lake->Get(key));
-  auto records = ParseTelemetryCsv(text);
-  if (!records.ok()) {
-    ctx->AddIncident(IncidentSeverity::kError, name(),
-                     records.status().ToString());
-    return records.status();
+  SEAGULL_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> blob,
+                           ctx->lake->GetShared(key));
+
+  int64_t rows = 0;
+  const char* format = "csv";
+  if (IsSeriesBlock(*blob)) {
+    // Binary fast path: decode straight into grouped per-server form,
+    // skipping the flat-records intermediate. Validation detects the
+    // pre-grouped input via ctx->servers.
+    format = "binary";
+    auto info = PeekSeriesBlock(*blob);
+    if (!info.ok()) {
+      ctx->AddIncident(IncidentSeverity::kError, name(),
+                       info.status().ToString());
+      return info.status();
+    }
+    auto servers = DecodeSeriesBlockToServers(*blob);
+    if (!servers.ok()) {
+      ctx->AddIncident(IncidentSeverity::kError, name(),
+                       servers.status().ToString());
+      return servers.status();
+    }
+    ctx->servers = std::move(servers).ValueUnsafe();
+    rows = info->total_samples;
+  } else {
+    auto records = ParseTelemetryCsv(*blob);
+    if (!records.ok()) {
+      ctx->AddIncident(IncidentSeverity::kError, name(),
+                       records.status().ToString());
+      return records.status();
+    }
+    ctx->records = std::move(records).ValueUnsafe();
+    rows = static_cast<int64_t>(ctx->records.size());
   }
-  ctx->records = std::move(records).ValueUnsafe();
-  ctx->stats["ingestion.rows"] = static_cast<double>(ctx->records.size());
-  SEAGULL_ASSIGN_OR_RETURN(int64_t bytes, ctx->lake->SizeOf(key));
-  ctx->stats["ingestion.bytes"] = static_cast<double>(bytes);
-  if (ctx->records.empty()) {
+
+  ctx->stats["ingestion.rows"] = static_cast<double>(rows);
+  ctx->stats["ingestion.bytes"] = static_cast<double>(blob->size());
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("seagull.pipeline.ingest_rows", {{"format", format}})
+      ->Increment(rows);
+  reg.GetCounter("seagull.pipeline.ingest_bytes", {{"format", format}})
+      ->Increment(static_cast<int64_t>(blob->size()));
+  if (rows == 0) {
     ctx->AddIncident(IncidentSeverity::kError, name(),
                      "input blob has no rows: " + key);
     return Status::DataLoss("input blob has no rows: " + key);

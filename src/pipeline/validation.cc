@@ -38,18 +38,38 @@ std::string DataValidationModule::SchemaKey(const std::string& region) {
 }
 
 Status DataValidationModule::Run(PipelineContext* ctx) {
-  if (ctx->records.empty()) {
+  // Binary ingestion (SeriesBlock) delivers pre-grouped servers with no
+  // flat-records intermediate; the rules below have a grouped
+  // equivalent of every row rule so both paths validate identically.
+  const bool grouped = ctx->records.empty() && !ctx->servers.empty();
+  if (ctx->records.empty() && !grouped) {
     return Status::FailedPrecondition("validation before ingestion");
   }
 
   // --- schema handling: deduce on first run, enforce afterwards ---
   SchemaProperties observed;
   observed.columns.assign(kTelemetryColumns, kTelemetryColumns + 5);
-  observed.cpu_min = ctx->records.front().avg_cpu;
-  observed.cpu_max = ctx->records.front().avg_cpu;
-  for (const auto& r : ctx->records) {
-    observed.cpu_min = std::min(observed.cpu_min, r.avg_cpu);
-    observed.cpu_max = std::max(observed.cpu_max, r.avg_cpu);
+  if (grouped) {
+    bool any = false;
+    for (const auto& st : ctx->servers) {
+      for (double v : st.load.values()) {
+        if (IsMissing(v)) continue;
+        if (!any) {
+          observed.cpu_min = observed.cpu_max = v;
+          any = true;
+        } else {
+          observed.cpu_min = std::min(observed.cpu_min, v);
+          observed.cpu_max = std::max(observed.cpu_max, v);
+        }
+      }
+    }
+  } else {
+    observed.cpu_min = ctx->records.front().avg_cpu;
+    observed.cpu_max = ctx->records.front().avg_cpu;
+    for (const auto& r : ctx->records) {
+      observed.cpu_min = std::min(observed.cpu_min, r.avg_cpu);
+      observed.cpu_max = std::max(observed.cpu_max, r.avg_cpu);
+    }
   }
 
   const std::string schema_key = SchemaKey(ctx->region);
@@ -87,6 +107,7 @@ Status DataValidationModule::Run(PipelineContext* ctx) {
   }
 
   // --- row-level rules ---
+  if (grouped) return RunGrouped(ctx);
   int64_t dropped_bounds = 0, dropped_grid = 0, duplicates = 0,
           dropped_window = 0;
   // Dedup state: per server, the output index of each timestamp. Rows
@@ -156,6 +177,77 @@ Status DataValidationModule::Run(PipelineContext* ctx) {
 
   SEAGULL_ASSIGN_OR_RETURN(ctx->servers, GroupByServer(clean));
   ctx->records = std::move(clean);
+  ctx->stats["validation.servers"] = static_cast<double>(ctx->servers.size());
+  return Status::OK();
+}
+
+Status DataValidationModule::RunGrouped(PipelineContext* ctx) {
+  // The grouped mirror of the flat row rules. Each present sample is
+  // one "row". Off-grid rows cannot exist here (the block decoder
+  // rejects them) and duplicates were collapsed at encode time, so
+  // those two counters are structurally zero.
+  int64_t total_rows = 0;
+  for (const auto& st : ctx->servers) total_rows += st.load.CountPresent();
+
+  int64_t dropped_bounds = 0, dropped_window = 0;
+  std::vector<ServerTelemetry> kept;
+  kept.reserve(ctx->servers.size());
+  for (auto& st : ctx->servers) {
+    // Out-of-bounds samples become gaps, exactly as dropped CSV rows do.
+    int64_t first = -1, last = -1;
+    for (int64_t i = 0; i < st.load.size(); ++i) {
+      if (st.load.MissingAt(i)) continue;
+      const double v = st.load.ValueAt(i);
+      if (v < 0.0 || v > 100.0) {
+        st.load.SetValue(i, kMissingValue);
+        ++dropped_bounds;
+        continue;
+      }
+      if (first < 0) first = i;
+      last = i;
+    }
+    if (first < 0) continue;  // every sample invalid: server vanishes
+    const int64_t in_bounds = st.load.CountPresent();
+    if (st.default_backup_end <= st.default_backup_start ||
+        st.default_backup_end - st.default_backup_start > kMinutesPerDay) {
+      // A broken backup window taints every row of the server, as each
+      // flat row carries the same window fields.
+      dropped_window += in_bounds;
+      continue;
+    }
+    // GroupByServer derives the series extent from surviving rows, so
+    // re-trim when an edge sample was invalidated.
+    if (first > 0 || last < st.load.size() - 1) {
+      st.load = st.load.Slice(st.load.TimeAt(first),
+                              st.load.TimeAt(last) + st.load.interval_minutes());
+    }
+    kept.push_back(std::move(st));
+  }
+
+  ctx->stats["validation.dropped_bounds"] = static_cast<double>(dropped_bounds);
+  ctx->stats["validation.dropped_grid"] = 0.0;
+  ctx->stats["validation.dropped_window"] = static_cast<double>(dropped_window);
+  ctx->stats["validation.duplicates"] = 0.0;
+  const int64_t total_dropped = dropped_bounds + dropped_window;
+  if (total_dropped > 0) {
+    ctx->AddIncident(IncidentSeverity::kWarning, name(),
+                     StringPrintf("dropped %lld invalid rows",
+                                  static_cast<long long>(total_dropped)));
+  }
+  if (kept.empty()) {
+    ctx->AddIncident(IncidentSeverity::kError, name(),
+                     "all rows failed validation");
+    return Status::DataLoss("all rows failed validation");
+  }
+  if (total_rows > 0 && static_cast<double>(total_dropped) /
+                                static_cast<double>(total_rows) >
+                            0.5) {
+    ctx->AddIncident(IncidentSeverity::kError, name(),
+                     "more than half of the rows are invalid");
+    return Status::DataLoss("invalid input data for region " + ctx->region);
+  }
+
+  ctx->servers = std::move(kept);
   ctx->stats["validation.servers"] = static_cast<double>(ctx->servers.size());
   return Status::OK();
 }

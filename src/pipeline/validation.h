@@ -33,6 +33,10 @@ class DataValidationModule final : public PipelineModule {
 
   /// Lake key of the persisted schema file for a region.
   static std::string SchemaKey(const std::string& region);
+
+ private:
+  /// Row rules applied to pre-grouped (binary-ingested) telemetry.
+  Status RunGrouped(PipelineContext* ctx);
 };
 
 }  // namespace seagull

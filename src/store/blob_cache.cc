@@ -1,0 +1,118 @@
+#include "store/blob_cache.h"
+
+#include <functional>
+
+#include "common/obs/metrics.h"
+
+namespace seagull {
+
+BlobCache::BlobCache(int64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes < 0 ? 0 : capacity_bytes),
+      shard_capacity_(capacity_bytes_ / kShards) {
+  auto& reg = MetricsRegistry::Global();
+  hits_ = reg.GetCounter("seagull.lake.cache_events", {{"event", "hit"}});
+  misses_ = reg.GetCounter("seagull.lake.cache_events", {{"event", "miss"}});
+  evictions_ =
+      reg.GetCounter("seagull.lake.cache_events", {{"event", "evict"}});
+  invalidations_ =
+      reg.GetCounter("seagull.lake.cache_events", {{"event", "invalidate"}});
+  bytes_gauge_ = reg.GetGauge("seagull.lake.cache_bytes");
+}
+
+BlobCache::Shard& BlobCache::ShardOf(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::shared_ptr<const std::string> BlobCache::Lookup(const std::string& key,
+                                                     const Fingerprint& fp) {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_->Increment();
+    return nullptr;
+  }
+  if (!(it->second->fp == fp)) {
+    // The file changed behind our back; the entry caches a dead snapshot.
+    const int64_t stale_bytes = static_cast<int64_t>(it->second->blob->size());
+    shard.bytes -= stale_bytes;
+    bytes_gauge_->Add(-static_cast<double>(stale_bytes));
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    invalidations_->Increment();
+    misses_->Increment();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_->Increment();
+  return it->second->blob;
+}
+
+void BlobCache::Insert(const std::string& key, const Fingerprint& fp,
+                       std::shared_ptr<const std::string> blob) {
+  const int64_t blob_bytes = static_cast<int64_t>(blob->size());
+  if (blob_bytes > shard_capacity_) return;  // would evict a whole shard
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= static_cast<int64_t>(it->second->blob->size());
+    bytes_gauge_->Add(-static_cast<double>(it->second->blob->size()));
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  while (shard.bytes + blob_bytes > shard_capacity_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= static_cast<int64_t>(victim.blob->size());
+    bytes_gauge_->Add(-static_cast<double>(victim.blob->size()));
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_->Increment();
+  }
+  shard.lru.push_front(Entry{key, fp, std::move(blob)});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += blob_bytes;
+  bytes_gauge_->Add(static_cast<double>(blob_bytes));
+}
+
+void BlobCache::Invalidate(const std::string& key) {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  shard.bytes -= static_cast<int64_t>(it->second->blob->size());
+  bytes_gauge_->Add(-static_cast<double>(it->second->blob->size()));
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  invalidations_->Increment();
+}
+
+void BlobCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes_gauge_->Add(-static_cast<double>(shard.bytes));
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+int64_t BlobCache::size_bytes() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+int64_t BlobCache::entry_count() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.index.size());
+  }
+  return total;
+}
+
+}  // namespace seagull

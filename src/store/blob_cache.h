@@ -1,0 +1,101 @@
+/// \file blob_cache.h
+/// \brief Sharded LRU cache of immutable lake blobs.
+///
+/// The FleetRunner's parallel region×week runs read overlapping 4-week
+/// telemetry windows: with W weeks of history, every extraction is read
+/// up to four times per fleet run, and twice that across back-to-back
+/// runs. `BlobCache` keeps whole blobs in memory as
+/// `std::shared_ptr<const std::string>` so concurrent readers share one
+/// immutable buffer instead of each copying the file.
+///
+/// Coherence rule: an entry is valid only while the backing file's
+/// (size, mtime) fingerprint matches the one captured at insert time.
+/// `LakeStore::Put`/`Delete` invalidate eagerly; writes that bypass the
+/// store (another process, direct filesystem edits) are caught by the
+/// fingerprint check on the next lookup.
+///
+/// Sharded by key hash: each shard has its own mutex, LRU list, and
+/// capacity slice, so parallel regions touching different keys never
+/// contend on one lock.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace seagull {
+
+class Counter;
+class Gauge;
+
+/// \brief Thread-safe sharded LRU keyed by lake key.
+class BlobCache {
+ public:
+  /// Identity of the file snapshot an entry caches.
+  struct Fingerprint {
+    int64_t size = 0;
+    int64_t mtime_ns = 0;
+    bool operator==(const Fingerprint& o) const {
+      return size == o.size && mtime_ns == o.mtime_ns;
+    }
+  };
+
+  /// `capacity_bytes` is split evenly across shards; a blob larger than
+  /// one shard's slice is served uncached.
+  explicit BlobCache(int64_t capacity_bytes);
+
+  /// The cached blob for `key` if present and its fingerprint still
+  /// matches `fp`; nullptr on miss. A stale entry (fingerprint
+  /// mismatch) is dropped and counted as both an invalidation and a
+  /// miss.
+  std::shared_ptr<const std::string> Lookup(const std::string& key,
+                                            const Fingerprint& fp);
+
+  /// Inserts (or replaces) the entry for `key`, evicting least-recently
+  /// used entries from the shard as needed.
+  void Insert(const std::string& key, const Fingerprint& fp,
+              std::shared_ptr<const std::string> blob);
+
+  /// Drops `key` if cached (writer-side coherence: Put/Delete).
+  void Invalidate(const std::string& key);
+
+  /// Drops everything.
+  void Clear();
+
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  int64_t size_bytes() const;
+  int64_t entry_count() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    Fingerprint fp;
+    std::shared_ptr<const std::string> blob;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    int64_t bytes = 0;
+  };
+
+  Shard& ShardOf(const std::string& key);
+
+  static constexpr int kShards = 8;
+  int64_t capacity_bytes_;
+  int64_t shard_capacity_;
+  Shard shards_[kShards];
+
+  // Resolved once; the registry guarantees pointer stability.
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+  Counter* invalidations_;
+  Gauge* bytes_gauge_;
+};
+
+}  // namespace seagull

@@ -2,17 +2,55 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 
 #include "common/fault.h"
 #include "common/obs/op.h"
 #include "common/strings.h"
+#include "store/blob_cache.h"
 
 namespace fs = std::filesystem;
 
 namespace seagull {
+
+namespace {
+
+/// Single sized read of a whole file: one allocation, one `read()`,
+/// instead of the streambuf-chunked `ostringstream << rdbuf()` copy.
+Result<std::string> ReadWholeFile(const std::string& path,
+                                  const std::string& key) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no such blob: " + key);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("no such blob: " + key);
+  std::string content(static_cast<size_t>(size), '\0');
+  if (size > 0 &&
+      !in.read(content.data(), static_cast<std::streamsize>(size))) {
+    return Status::IOError("short read: " + key);
+  }
+  return content;
+}
+
+/// The (size, mtime) identity the cache keys entries on.
+Result<BlobCache::Fingerprint> StatFingerprint(const std::string& path,
+                                               const std::string& key) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("no such blob: " + key);
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return Status::NotFound("no such blob: " + key);
+  BlobCache::Fingerprint fp;
+  fp.size = static_cast<int64_t>(size);
+  fp.mtime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    mtime.time_since_epoch())
+                    .count();
+  return fp;
+}
+
+}  // namespace
 
 Result<LakeStore> LakeStore::Open(const std::string& root_dir) {
   std::error_code ec;
@@ -56,6 +94,7 @@ Status LakeStore::Put(const std::string& key,
     if (!out) return Status::IOError("cannot write blob: " + key);
     out << content;
     if (!out) return Status::IOError("short write: " + key);
+    if (cache_) cache_->Invalidate(key);
     return Status::OK();
   }());
 }
@@ -65,12 +104,32 @@ Result<std::string> LakeStore::Get(const std::string& key) const {
   return op.Done([&]() -> Result<std::string> {
     SEAGULL_FAULT_POINT("lake.get", key);
     SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return Status::NotFound("no such blob: " + key);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return buf.str();
+    return ReadWholeFile(path, key);
   }());
+}
+
+Result<std::shared_ptr<const std::string>> LakeStore::GetShared(
+    const std::string& key) const {
+  ObsOp op("seagull.lake", "get_shared");
+  return op.Done([&]() -> Result<std::shared_ptr<const std::string>> {
+    SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+    BlobCache::Fingerprint fp;
+    if (cache_) {
+      SEAGULL_ASSIGN_OR_RETURN(fp, StatFingerprint(path, key));
+      if (auto cached = cache_->Lookup(key, fp)) return cached;
+    }
+    // Miss path: the real read, where transient blob faults live.
+    SEAGULL_FAULT_POINT("lake.get", key);
+    SEAGULL_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path, key));
+    auto blob = std::make_shared<const std::string>(std::move(content));
+    if (cache_) cache_->Insert(key, fp, blob);
+    return blob;
+  }());
+}
+
+void LakeStore::ConfigureCache(int64_t capacity_bytes) {
+  cache_ = capacity_bytes > 0 ? std::make_shared<BlobCache>(capacity_bytes)
+                              : nullptr;
 }
 
 bool LakeStore::Exists(const std::string& key) const {
@@ -87,6 +146,7 @@ Status LakeStore::Delete(const std::string& key) const {
     if (!fs::remove(path, ec) || ec) {
       return Status::NotFound("cannot delete blob: " + key);
     }
+    if (cache_) cache_->Invalidate(key);
     return Status::OK();
   }());
 }
@@ -97,10 +157,22 @@ Result<std::vector<std::string>> LakeStore::List(
   return op.Done([&]() -> Result<std::vector<std::string>> {
     SEAGULL_FAULT_POINT("lake.list", prefix);
     std::vector<std::string> keys;
+    if (prefix.find("..") != std::string::npos ||
+        (!prefix.empty() && prefix.front() == '/')) {
+      return keys;  // no key can match an escaping prefix
+    }
+    // Walk only the deepest directory the prefix implies instead of the
+    // whole lake: "telemetry/region-m/week-" starts the scan at
+    // telemetry/region-m/.
     fs::path root(root_);
+    fs::path start = root;
+    const size_t last_slash = prefix.rfind('/');
+    if (last_slash != std::string::npos) {
+      start /= prefix.substr(0, last_slash);
+    }
     std::error_code ec;
-    if (!fs::exists(root, ec)) return keys;
-    for (auto it = fs::recursive_directory_iterator(root, ec);
+    if (!fs::exists(start, ec)) return keys;
+    for (auto it = fs::recursive_directory_iterator(start, ec);
          it != fs::recursive_directory_iterator(); it.increment(ec)) {
       if (ec) return Status::IOError("listing failed: " + ec.message());
       if (!it->is_regular_file()) continue;

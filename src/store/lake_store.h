@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,8 @@
 #include "common/result.h"
 
 namespace seagull {
+
+class BlobCache;
 
 /// \brief Hierarchical blob storage rooted at a local directory.
 ///
@@ -37,6 +41,24 @@ class LakeStore {
 
   /// Reads a whole blob.
   Result<std::string> Get(const std::string& key) const;
+
+  /// Reads a whole blob as a shared immutable buffer. With the cache
+  /// enabled (`ConfigureCache`), repeat reads of an unchanged file
+  /// return the same buffer without touching the filesystem beyond a
+  /// `stat`; parallel readers share one copy. Fault injection fires on
+  /// the miss (real read) path only — a cache hit never re-reads.
+  Result<std::shared_ptr<const std::string>> GetShared(
+      const std::string& key) const;
+
+  /// Enables an LRU blob cache of `capacity_bytes` serving `GetShared`
+  /// (0 disables, the default). Copies of this store made after the
+  /// call share the cache. Entries are keyed on key + file size/mtime,
+  /// so external writes are detected; writes through this store
+  /// invalidate eagerly.
+  void ConfigureCache(int64_t capacity_bytes);
+
+  /// The cache, if one is configured (test/bench introspection).
+  const std::shared_ptr<BlobCache>& cache() const { return cache_; }
 
   bool Exists(const std::string& key) const;
 
@@ -64,6 +86,7 @@ class LakeStore {
   Result<std::string> ResolvePath(const std::string& key) const;
 
   std::string root_;
+  std::shared_ptr<BlobCache> cache_;  ///< null = caching disabled
 };
 
 }  // namespace seagull

@@ -34,6 +34,20 @@ Result<std::string> ResilientStore::LakeGet(const std::string& key) const {
   return value;
 }
 
+Result<std::shared_ptr<const std::string>> ResilientStore::LakeGetShared(
+    const std::string& key) const {
+  if (lake_ == nullptr) {
+    return Status::FailedPrecondition("no lake store configured");
+  }
+  std::shared_ptr<const std::string> value;
+  Status st = Retry("lake.get/" + key, [&] {
+    SEAGULL_ASSIGN_OR_RETURN(value, lake_->GetShared(key));
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return value;
+}
+
 Status ResilientStore::LakePut(const std::string& key,
                                const std::string& content) const {
   if (lake_ == nullptr) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ class ResilientStore {
   /// \name Lake operations (fail with FailedPrecondition if no lake).
   /// @{
   Result<std::string> LakeGet(const std::string& key) const;
+  /// Shared-buffer read: hits the lake's blob cache when configured
+  /// (see `LakeStore::GetShared`); faults retry like `LakeGet`.
+  Result<std::shared_ptr<const std::string>> LakeGetShared(
+      const std::string& key) const;
   Status LakePut(const std::string& key, const std::string& content) const;
   Result<std::vector<std::string>> LakeList(const std::string& prefix) const;
   /// @}

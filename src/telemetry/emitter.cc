@@ -1,6 +1,13 @@
 #include "telemetry/emitter.h"
 
+#include "telemetry/series_block.h"
+
 namespace seagull {
+
+std::string ExtractWeekBlock(const Fleet& fleet, int64_t week_index,
+                             const ExtractionOptions& options) {
+  return EncodeSeriesBlock(ExtractWeek(fleet, week_index, options));
+}
 
 void DefaultBackupWindow(const ServerProfile& profile, int64_t week_index,
                          MinuteStamp* start, MinuteStamp* end) {

@@ -36,6 +36,11 @@ CsvTable ExtractWeekCsv(const Fleet& fleet, int64_t week_index,
 std::string ExtractWeekCsvText(const Fleet& fleet, int64_t week_index,
                                const ExtractionOptions& options = {});
 
+/// Convenience: extraction straight to a binary `SeriesBlock` blob (the
+/// columnar format ingestion decodes without the records intermediate).
+std::string ExtractWeekBlock(const Fleet& fleet, int64_t week_index,
+                             const ExtractionOptions& options = {});
+
 /// The default backup window of a server in a given week, as stamps.
 /// (The legacy workflow schedules the weekly full backup on the server's
 /// backup day at its default start minute.)

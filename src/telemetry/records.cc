@@ -1,6 +1,8 @@
 #include "telemetry/records.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 #include "common/strings.h"
 
@@ -138,6 +140,7 @@ Result<std::vector<TelemetryRecord>> ParseTelemetryCsv(
 Result<std::vector<ServerTelemetry>> GroupByServer(
     const std::vector<TelemetryRecord>& records, int64_t interval_minutes) {
   struct Acc {
+    std::string_view id;
     MinuteStamp min_t = 0;
     MinuteStamp max_t = 0;
     bool any = false;
@@ -145,7 +148,14 @@ Result<std::vector<ServerTelemetry>> GroupByServer(
     MinuteStamp backup_start = 0;
     MinuteStamp backup_end = 0;
   };
-  std::map<std::string, Acc> by_server;
+  // Extractions are written server-major, so consecutive rows almost
+  // always belong to the same server: remember the last slot and only
+  // touch the hash index on a server change.
+  std::unordered_map<std::string_view, size_t> index;
+  std::vector<Acc> accs;
+  std::string_view last_id;
+  size_t last_slot = 0;
+  bool have_last = false;
   for (const auto& r : records) {
     if (r.timestamp % interval_minutes != 0) {
       return Status::Invalid(StringPrintf(
@@ -153,7 +163,21 @@ Result<std::vector<ServerTelemetry>> GroupByServer(
           static_cast<long long>(r.timestamp), r.server_id.c_str(),
           static_cast<long long>(interval_minutes)));
     }
-    Acc& acc = by_server[r.server_id];
+    size_t slot;
+    if (have_last && last_id == r.server_id) {
+      slot = last_slot;
+    } else {
+      auto [it, inserted] = index.try_emplace(r.server_id, accs.size());
+      if (inserted) {
+        accs.emplace_back();
+        accs.back().id = it->first;
+      }
+      slot = it->second;
+      last_id = it->first;
+      last_slot = slot;
+      have_last = true;
+    }
+    Acc& acc = accs[slot];
     if (!acc.any) {
       acc.min_t = acc.max_t = r.timestamp;
       acc.any = true;
@@ -165,10 +189,12 @@ Result<std::vector<ServerTelemetry>> GroupByServer(
     acc.backup_start = r.default_backup_start;
     acc.backup_end = r.default_backup_end;
   }
+  std::sort(accs.begin(), accs.end(),
+            [](const Acc& a, const Acc& b) { return a.id < b.id; });
 
   std::vector<ServerTelemetry> out;
-  out.reserve(by_server.size());
-  for (auto& [id, acc] : by_server) {
+  out.reserve(accs.size());
+  for (auto& acc : accs) {
     int64_t n = (acc.max_t - acc.min_t) / interval_minutes + 1;
     SEAGULL_ASSIGN_OR_RETURN(
         LoadSeries series,
@@ -177,7 +203,7 @@ Result<std::vector<ServerTelemetry>> GroupByServer(
       series.SetValue((t - acc.min_t) / interval_minutes, v);
     }
     ServerTelemetry st;
-    st.server_id = id;
+    st.server_id.assign(acc.id);
     st.load = std::move(series);
     st.default_backup_start = acc.backup_start;
     st.default_backup_end = acc.backup_end;

@@ -9,7 +9,6 @@
 
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 

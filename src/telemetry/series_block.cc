@@ -1,0 +1,394 @@
+#include "telemetry/series_block.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace seagull {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'G', 'B', '1'};
+constexpr uint32_t kVersion = 1;
+// Header: magic(4) + version(4) + reserved(4) + interval(8) +
+// server_count(8) + total_samples(8).
+constexpr size_t kHeaderBytes = 36;
+constexpr size_t kTrailerBytes = 8;
+// A directory id longer than this is corruption, not telemetry.
+constexpr uint32_t kMaxServerIdBytes = 1 << 16;
+
+uint64_t Fnv1a(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendLE(std::string* out, uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU32(std::string* out, uint32_t v) { AppendLE(out, v, 4); }
+void AppendI64(std::string* out, int64_t v) {
+  AppendLE(out, static_cast<uint64_t>(v), 8);
+}
+void AppendF64(std::string* out, double v) {
+  AppendLE(out, std::bit_cast<uint64_t>(v), 8);
+}
+
+/// Bounds-checked little-endian reader over the blob.
+class BlockReader {
+ public:
+  explicit BlockReader(std::string_view blob) : blob_(blob) {}
+
+  size_t offset() const { return off_; }
+  size_t remaining() const { return blob_.size() - off_; }
+
+  bool ReadU32(uint32_t* v) {
+    uint64_t wide = 0;
+    if (!ReadLE(4, &wide)) return false;
+    *v = static_cast<uint32_t>(wide);
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    uint64_t wide = 0;
+    if (!ReadLE(8, &wide)) return false;
+    *v = static_cast<int64_t>(wide);
+    return true;
+  }
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (remaining() < n) return false;
+    *out = blob_.substr(off_, n);
+    off_ += n;
+    return true;
+  }
+
+  /// Bulk column read: `n` little-endian 64-bit words into `out`.
+  bool ReadWords(size_t n, uint64_t* out) {
+    if (remaining() < n * 8) return false;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, blob_.data() + off_, n * 8);
+      off_ += n * 8;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (!ReadLE(8, &out[i])) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool ReadLE(int bytes, uint64_t* v) {
+    if (remaining() < static_cast<size_t>(bytes)) return false;
+    uint64_t acc = 0;
+    for (int i = 0; i < bytes; ++i) {
+      acc |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(blob_[off_ + i]))
+             << (8 * i);
+    }
+    off_ += static_cast<size_t>(bytes);
+    *v = acc;
+    return true;
+  }
+
+  std::string_view blob_;
+  size_t off_ = 0;
+};
+
+struct DirectoryEntry {
+  std::string_view id;
+  int64_t backup_start = 0;
+  int64_t backup_end = 0;
+  int64_t sample_count = 0;
+};
+
+/// Shared decode skeleton: header + checksum + directory + column
+/// bounds. On success positions `reader` at the first timestamp word.
+Result<SeriesBlockInfo> ReadEnvelope(std::string_view blob,
+                                     BlockReader* reader,
+                                     std::vector<DirectoryEntry>* directory) {
+  if (blob.size() < kHeaderBytes + kTrailerBytes) {
+    return Status::Invalid("SeriesBlock truncated: shorter than header");
+  }
+  if (std::memcmp(blob.data(), kMagic, 4) != 0) {
+    return Status::Invalid("not a SeriesBlock: bad magic");
+  }
+  const size_t body = blob.size() - kTrailerBytes;
+  BlockReader trailer(blob.substr(body));
+  int64_t stored_checksum = 0;
+  trailer.ReadI64(&stored_checksum);
+  const uint64_t computed = Fnv1a(blob.data(), body);
+  if (static_cast<uint64_t>(stored_checksum) != computed) {
+    return Status::DataLoss("SeriesBlock checksum mismatch (corrupt blob)");
+  }
+
+  SeriesBlockInfo info;
+  std::string_view magic;
+  uint32_t reserved = 0;
+  if (!reader->ReadBytes(4, &magic) || !reader->ReadU32(&info.version) ||
+      !reader->ReadU32(&reserved) || !reader->ReadI64(&info.interval_minutes) ||
+      !reader->ReadI64(&info.server_count) ||
+      !reader->ReadI64(&info.total_samples)) {
+    return Status::Invalid("SeriesBlock truncated: short header");
+  }
+  if (info.version != kVersion) {
+    return Status::Invalid(StringPrintf(
+        "unsupported SeriesBlock version %u", info.version));
+  }
+  if (info.interval_minutes <= 0 || info.server_count < 0 ||
+      info.total_samples < 0) {
+    return Status::Invalid("SeriesBlock header has negative counts");
+  }
+
+  directory->reserve(static_cast<size_t>(info.server_count));
+  int64_t samples_listed = 0;
+  for (int64_t s = 0; s < info.server_count; ++s) {
+    DirectoryEntry entry;
+    uint32_t id_len = 0;
+    if (!reader->ReadU32(&id_len) || id_len > kMaxServerIdBytes ||
+        !reader->ReadBytes(id_len, &entry.id) ||
+        !reader->ReadI64(&entry.backup_start) ||
+        !reader->ReadI64(&entry.backup_end) ||
+        !reader->ReadI64(&entry.sample_count)) {
+      return Status::Invalid("SeriesBlock truncated: bad directory entry");
+    }
+    if (entry.sample_count < 0) {
+      return Status::Invalid("SeriesBlock directory has negative sample count");
+    }
+    samples_listed += entry.sample_count;
+    directory->push_back(entry);
+  }
+  if (samples_listed != info.total_samples) {
+    return Status::Invalid(
+        "SeriesBlock directory sample counts disagree with header");
+  }
+  const size_t columns =
+      static_cast<size_t>(info.total_samples) * 16;  // i64 + f64 per sample
+  if (reader->offset() + columns != body) {
+    return Status::Invalid("SeriesBlock column section has the wrong size");
+  }
+  return info;
+}
+
+}  // namespace
+
+double QuantizeCpuForStorage(double v) {
+  // Exactly the CSV writer/parser pair: "%.4f" then strtod. Idempotent,
+  // so transcoding an already-quantized blob changes nothing.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return std::strtod(buf, nullptr);
+}
+
+bool IsSeriesBlock(std::string_view blob) {
+  return blob.size() >= 4 && std::memcmp(blob.data(), kMagic, 4) == 0;
+}
+
+std::string EncodeSeriesBlock(const std::vector<TelemetryRecord>& records,
+                              int64_t interval_minutes) {
+  // Group rows per server in first-appearance order. Rows arrive
+  // server-major from Load Extraction, so the last-server fast path
+  // makes this one hash lookup per server, not per row.
+  struct Group {
+    const TelemetryRecord* last = nullptr;  // backup window source
+    std::vector<const TelemetryRecord*> rows;
+  };
+  std::unordered_map<std::string_view, size_t> index;
+  std::vector<Group> groups;
+  size_t id_bytes = 0;
+  {
+    std::string_view last_id;
+    size_t last_slot = 0;
+    bool have_last = false;
+    for (const auto& r : records) {
+      size_t slot;
+      if (have_last && last_id == r.server_id) {
+        slot = last_slot;
+      } else {
+        auto [it, inserted] = index.try_emplace(r.server_id, groups.size());
+        if (inserted) {
+          groups.emplace_back();
+          id_bytes += r.server_id.size();
+        }
+        slot = it->second;
+        last_id = it->first;
+        last_slot = slot;
+        have_last = true;
+      }
+      Group& g = groups[slot];
+      g.rows.push_back(&r);
+      g.last = &r;
+    }
+  }
+
+  std::string out;
+  out.reserve(kHeaderBytes + groups.size() * 28 + id_bytes +
+              records.size() * 16 + kTrailerBytes);
+  out.append(kMagic, 4);
+  AppendU32(&out, kVersion);
+  AppendU32(&out, 0);  // reserved
+  AppendI64(&out, interval_minutes);
+  AppendI64(&out, static_cast<int64_t>(groups.size()));
+  AppendI64(&out, static_cast<int64_t>(records.size()));
+  for (const auto& g : groups) {
+    const std::string& id = g.rows.front()->server_id;
+    AppendU32(&out, static_cast<uint32_t>(id.size()));
+    out.append(id);
+    AppendI64(&out, g.last->default_backup_start);
+    AppendI64(&out, g.last->default_backup_end);
+    AppendI64(&out, static_cast<int64_t>(g.rows.size()));
+  }
+  for (const auto& g : groups) {
+    for (const TelemetryRecord* r : g.rows) AppendI64(&out, r->timestamp);
+  }
+  for (const auto& g : groups) {
+    for (const TelemetryRecord* r : g.rows) {
+      AppendF64(&out, QuantizeCpuForStorage(r->avg_cpu));
+    }
+  }
+  AppendLE(&out, Fnv1a(out.data(), out.size()), 8);
+  return out;
+}
+
+Result<SeriesBlockInfo> PeekSeriesBlock(std::string_view blob) {
+  BlockReader reader(blob);
+  std::vector<DirectoryEntry> directory;
+  return ReadEnvelope(blob, &reader, &directory);
+}
+
+Result<std::vector<TelemetryRecord>> DecodeSeriesBlock(std::string_view blob) {
+  BlockReader reader(blob);
+  std::vector<DirectoryEntry> directory;
+  SEAGULL_ASSIGN_OR_RETURN(SeriesBlockInfo info,
+                           ReadEnvelope(blob, &reader, &directory));
+  const size_t n = static_cast<size_t>(info.total_samples);
+  std::vector<uint64_t> timestamps(n), values(n);
+  if (!reader.ReadWords(n, timestamps.data()) ||
+      !reader.ReadWords(n, values.data())) {
+    return Status::Invalid("SeriesBlock truncated: short columns");
+  }
+
+  std::vector<TelemetryRecord> out;
+  out.reserve(n);
+  size_t cursor = 0;
+  for (const auto& entry : directory) {
+    for (int64_t i = 0; i < entry.sample_count; ++i, ++cursor) {
+      TelemetryRecord r;
+      r.server_id.assign(entry.id);
+      r.timestamp = static_cast<int64_t>(timestamps[cursor]);
+      r.avg_cpu = std::bit_cast<double>(values[cursor]);
+      r.default_backup_start = entry.backup_start;
+      r.default_backup_end = entry.backup_end;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ServerTelemetry>> DecodeSeriesBlockToServers(
+    std::string_view blob) {
+  BlockReader reader(blob);
+  std::vector<DirectoryEntry> directory;
+  SEAGULL_ASSIGN_OR_RETURN(SeriesBlockInfo info,
+                           ReadEnvelope(blob, &reader, &directory));
+  const size_t n = static_cast<size_t>(info.total_samples);
+  std::vector<uint64_t> timestamps(n), values(n);
+  if (!reader.ReadWords(n, timestamps.data()) ||
+      !reader.ReadWords(n, values.data())) {
+    return Status::Invalid("SeriesBlock truncated: short columns");
+  }
+
+  // Merge directory entries per id (a well-formed block has one entry
+  // per server, but duplicates must behave like interleaved CSV rows).
+  struct Span {
+    size_t begin = 0;
+    size_t count = 0;
+  };
+  struct Acc {
+    std::string_view id;
+    std::vector<Span> spans;
+    int64_t backup_start = 0;
+    int64_t backup_end = 0;
+    MinuteStamp min_t = 0;
+    MinuteStamp max_t = 0;
+    bool any = false;
+  };
+  std::unordered_map<std::string_view, size_t> index;
+  std::vector<Acc> accs;
+  accs.reserve(directory.size());
+  size_t cursor = 0;
+  for (const auto& entry : directory) {
+    const size_t begin = cursor;
+    cursor += static_cast<size_t>(entry.sample_count);
+    if (entry.sample_count == 0) continue;  // no rows -> server absent
+    auto [it, inserted] = index.try_emplace(entry.id, accs.size());
+    if (inserted) accs.emplace_back();
+    Acc& acc = accs[it->second];
+    acc.id = entry.id;
+    acc.spans.push_back({begin, static_cast<size_t>(entry.sample_count)});
+    acc.backup_start = entry.backup_start;
+    acc.backup_end = entry.backup_end;
+    for (size_t i = begin; i < cursor; ++i) {
+      const MinuteStamp t = static_cast<int64_t>(timestamps[i]);
+      if (t % info.interval_minutes != 0) {
+        return Status::Invalid(StringPrintf(
+            "timestamp %lld of server %s is off the %lld-minute grid",
+            static_cast<long long>(t), std::string(entry.id).c_str(),
+            static_cast<long long>(info.interval_minutes)));
+      }
+      if (!acc.any) {
+        acc.min_t = acc.max_t = t;
+        acc.any = true;
+      } else {
+        acc.min_t = std::min(acc.min_t, t);
+        acc.max_t = std::max(acc.max_t, t);
+      }
+    }
+  }
+  // GroupByServer iterates a std::map, so its output is sorted by id.
+  std::sort(accs.begin(), accs.end(),
+            [](const Acc& a, const Acc& b) { return a.id < b.id; });
+
+  std::vector<ServerTelemetry> out;
+  out.reserve(accs.size());
+  for (const auto& acc : accs) {
+    const int64_t len =
+        (acc.max_t - acc.min_t) / info.interval_minutes + 1;
+    SEAGULL_ASSIGN_OR_RETURN(
+        LoadSeries series,
+        LoadSeries::MakeEmpty(acc.min_t, info.interval_minutes, len));
+    for (const Span& span : acc.spans) {
+      for (size_t i = span.begin; i < span.begin + span.count; ++i) {
+        // Duplicate timestamps keep the last value, as in GroupByServer.
+        series.SetValue((static_cast<int64_t>(timestamps[i]) - acc.min_t) /
+                            info.interval_minutes,
+                        std::bit_cast<double>(values[i]));
+      }
+    }
+    ServerTelemetry st;
+    st.server_id.assign(acc.id);
+    st.load = std::move(series);
+    st.default_backup_start = acc.backup_start;
+    st.default_backup_end = acc.backup_end;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+Result<std::vector<ServerTelemetry>> DecodeTelemetryBlob(
+    const std::string& blob) {
+  if (IsSeriesBlock(blob)) return DecodeSeriesBlockToServers(blob);
+  SEAGULL_ASSIGN_OR_RETURN(auto records, ParseTelemetryCsv(blob));
+  return GroupByServer(records);
+}
+
+}  // namespace seagull

@@ -1,0 +1,95 @@
+/// \file series_block.h
+/// \brief `SeriesBlock`: the binary columnar telemetry blob format.
+///
+/// The text-CSV data plane re-parses every byte of a region-week
+/// extraction on every run; at fleet scale (Fig. 12a) that parse is the
+/// dominant ingestion cost. A `SeriesBlock` stores the same extraction
+/// in a packed columnar layout that decodes with column `memcpy`s
+/// instead of per-field `strtod`, and groups per server at write time
+/// so ingestion can skip the records intermediate entirely.
+///
+/// Layout (version 1, all integers little-endian):
+///
+///     offset 0   "SGB1"                magic, 4 bytes
+///            4   u32  version          currently 1
+///            8   u32  reserved         zero
+///           12   i64  interval_minutes sample grid (5 for servers)
+///           20   i64  server_count
+///           28   i64  total_samples
+///     directory, server_count entries (first-appearance order):
+///            u32  id_len, id bytes
+///            i64  default_backup_start
+///            i64  default_backup_end
+///            i64  sample_count
+///     columns (server-major, directory order):
+///            total_samples x i64  timestamps
+///            total_samples x f64  avg_cpu values
+///     trailer:
+///            u64  FNV-1a checksum of every preceding byte
+///
+/// Losslessness contract: CPU values are quantized on encode through
+/// the exact CSV round trip (`"%.4f"` print + `strtod` parse), so a
+/// fleet stored as CSV and the same fleet stored as a `SeriesBlock`
+/// decode to bit-identical doubles — the pipeline produces byte-equal
+/// outputs from either representation. Decoding a block back to
+/// records preserves per-server row order; rows are canonicalized to
+/// server-major order (the order Load Extraction writes anyway), so
+/// emitter-produced CSV transcodes byte-identically in both directions.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "telemetry/records.h"
+
+namespace seagull {
+
+/// Header facts of a block, cheap to read (no column decode).
+struct SeriesBlockInfo {
+  uint32_t version = 0;
+  int64_t interval_minutes = 0;
+  int64_t server_count = 0;
+  int64_t total_samples = 0;
+};
+
+/// True if `blob` starts with the SeriesBlock magic. CSV extractions
+/// start with their header line, so sniffing the first four bytes is
+/// enough to dispatch a telemetry blob to the right decoder.
+bool IsSeriesBlock(std::string_view blob);
+
+/// Serializes rows into a version-1 block. Values are quantized through
+/// the CSV round trip (see file comment); rows are grouped per server
+/// in first-appearance order, preserving per-server row order.
+std::string EncodeSeriesBlock(
+    const std::vector<TelemetryRecord>& records,
+    int64_t interval_minutes = kServerIntervalMinutes);
+
+/// Validates magic/version/bounds/checksum and returns the header.
+Result<SeriesBlockInfo> PeekSeriesBlock(std::string_view blob);
+
+/// Full inverse of `EncodeSeriesBlock`: back to flat rows, server-major.
+Result<std::vector<TelemetryRecord>> DecodeSeriesBlock(std::string_view blob);
+
+/// Fast path for ingestion: decodes straight into grouped per-server
+/// series, skipping the flat-records intermediate. Matches
+/// `GroupByServer(DecodeSeriesBlock(blob))` exactly: same grid
+/// validation, same duplicate-timestamp last-write-wins, same output
+/// order (sorted by server id).
+Result<std::vector<ServerTelemetry>> DecodeSeriesBlockToServers(
+    std::string_view blob);
+
+/// Format-sniffing reader for "recent load" consumers (CLI schedule /
+/// advise): decodes either a `SeriesBlock` or a telemetry CSV into the
+/// grouped per-server form.
+Result<std::vector<ServerTelemetry>> DecodeTelemetryBlob(
+    const std::string& blob);
+
+/// The CSV-equivalent value of one CPU sample: what `avg_cpu` becomes
+/// after being written with `"%.4f"` and parsed back. Encoding applies
+/// this to every sample so both storage formats carry identical bits.
+double QuantizeCpuForStorage(double v);
+
+}  // namespace seagull

@@ -12,6 +12,7 @@ set -u
 die() {
   echo "cli_smoke_test FAILED: $*" >&2
   for f in generate.out pipeline.out pipeline2.out fleet.out \
+           transcode.out transcode2.out cached.out \
            schedule.out dashboard.out incidents.out advise.out; do
     if [ -f "$f" ]; then
       echo "--- $f ---" >&2
@@ -50,16 +51,33 @@ run pipeline-rerun "$CLI" pipeline --lake lake --docs docs.json \
   --region smoke --week 3 > pipeline2.out
 grep -q "not due" pipeline2.out || die "rerun was not a cadence no-op"
 
-# Fleet mode: two more regions run concurrently through --jobs.
+# Fleet mode: two more regions run concurrently through --jobs. fleet-a
+# is staged in the binary SeriesBlock format, fleet-b as CSV — both run
+# through the same pipeline, with the lake blob cache turned on.
 run generate-f1 "$CLI" generate --lake lake --region fleet-a --servers 15 \
-  --weeks 5 --seed 6 > /dev/null
+  --weeks 5 --seed 6 --format binary > /dev/null
 run generate-f2 "$CLI" generate --lake lake --region fleet-b --servers 15 \
   --weeks 5 --seed 7 > /dev/null
 run fleet "$CLI" pipeline --lake lake --docs docs.json \
-  --region fleet-a,fleet-b --week 3 --jobs 2 > fleet.out
+  --region fleet-a,fleet-b --week 3 --jobs 2 --lake-cache-mb 64 > fleet.out
 grep -q "pipeline fleet-a week 3: ok" fleet.out || die "fleet-a not ok"
 grep -q "pipeline fleet-b week 3: ok" fleet.out || die "fleet-b not ok"
 grep -q "fleet: 2 regions, 2 ok" fleet.out || die "fleet summary wrong"
+
+# Transcode the smoke region's CSV week to binary in place, and back:
+# the pipeline must keep accepting the key either way.
+run transcode "$CLI" transcode --lake lake \
+  --key telemetry/smoke/week-0003.csv > transcode.out
+grep -q "csv.*-> .*binary" transcode.out || die "transcode to binary wrong"
+run transcode-back "$CLI" transcode --lake lake \
+  --key telemetry/smoke/week-0003.csv --to csv > transcode2.out
+grep -q "binary.*-> .*csv" transcode2.out || die "transcode to csv wrong"
+
+# A cached re-run of week 3 in a fresh doc store reads the transcoded
+# blob through the blob cache and must still succeed.
+run pipeline-cached "$CLI" pipeline --lake lake --docs docs-cached.json \
+  --region smoke --week 3 --lake-cache-mb 64 > cached.out
+grep -q "pipeline smoke week 3: ok" cached.out || die "cached run not ok"
 
 # Day 28 = first day of week 4, the scheduled week.
 run schedule "$CLI" schedule --lake lake --docs docs.json --region smoke \

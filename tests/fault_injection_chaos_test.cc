@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/obs/metrics.h"
 #include "common/retry.h"
 #include "common/time.h"
 #include "pipeline/dashboard.h"
@@ -240,6 +241,73 @@ TEST(FaultInjectionChaosTest, QuarantinedRegionDoesNotSinkTheFleet) {
     if (s.decision == ScheduleDecision::kScheduledLowLoad) ++low_load;
   }
   EXPECT_GT(low_load, 0);
+}
+
+TEST(FaultInjectionChaosTest, CachedReadsDeterministicAcrossJobsUnderFaults) {
+  // The lake cache must not perturb the determinism contract: with a
+  // fixed --fault-seed, a cache-enabled fleet lands on identical store
+  // bytes at jobs=1 and jobs=8 — including the second, cache-served
+  // run, whose telemetry reads skip the fault points entirely.
+  const FaultConfig faults{/*seed=*/11, /*rate=*/0.05};
+  struct PairOutcome {
+    std::string cold;  // canonical snapshot of the first (miss) run
+    std::string warm;  // canonical snapshot of the second run
+    int64_t warm_hits = 0;
+  };
+  auto run_pair = [&](int jobs, bool cached) -> PairOutcome {
+    // Every compared execution gets its own cold cache: a pre-warmed
+    // cache would change which reads fire fault points and thereby the
+    // fault schedule itself. 256 MB keeps one shard slice (capacity/8)
+    // above the ~10 MB regional CSV blobs — smaller and they would all
+    // take the oversized-blob bypass and never cache.
+    auto opened = LakeStore::Open(SharedLake().root());
+    opened.status().Abort();
+    LakeStore lake = std::move(opened).ValueUnsafe();
+    if (cached) lake.ConfigureCache(256 << 20);
+    ScopedFaultInjection fault(faults);
+    FleetOptions options;
+    options.jobs = jobs;
+    options.retry = ChaosRetry(4);
+    std::vector<FleetJob> fleet_jobs;
+    for (const char* region : kRegions) fleet_jobs.push_back({region, kWeek});
+    PipelineContext config;
+    config.model_name = "persistent_prev_day";
+    PairOutcome out;
+    {
+      DocStore docs;
+      FleetRunner runner(&lake, &docs, options);
+      runner.Run(fleet_jobs, config);
+      out.cold = CanonicalSnapshot(docs);
+    }
+    auto* hit_counter = MetricsRegistry::Global().GetCounter(
+        "seagull.lake.cache_events", {{"event", "hit"}});
+    const int64_t hits_before = hit_counter->Value();
+    {
+      DocStore docs;  // fresh docs: the scheduler sees the week as due
+      FleetRunner runner(&lake, &docs, options);
+      runner.Run(fleet_jobs, config);
+      out.warm = CanonicalSnapshot(docs);
+    }
+    out.warm_hits = hit_counter->Value() - hits_before;
+    return out;
+  };
+
+  PairOutcome cached_seq = run_pair(1, /*cached=*/true);
+  PairOutcome cached_par = run_pair(8, /*cached=*/true);
+  PairOutcome uncached_seq = run_pair(1, /*cached=*/false);
+
+  // The warm runs really were served from memory.
+  EXPECT_GT(cached_seq.warm_hits, 0);
+  EXPECT_GT(cached_par.warm_hits, 0);
+  EXPECT_EQ(uncached_seq.warm_hits, 0);
+
+  // jobs=1 vs jobs=8, both cache-enabled: byte-identical, cold and warm.
+  EXPECT_EQ(cached_seq.cold, cached_par.cold);
+  EXPECT_EQ(cached_seq.warm, cached_par.warm);
+
+  // A cold cache is byte-equivalent to no cache: every read misses and
+  // fires the same fault points in the same order.
+  EXPECT_EQ(cached_seq.cold, uncached_seq.cold);
 }
 
 TEST(FaultInjectionChaosTest, RetryCountersMatchInjectedSchedule) {

@@ -67,17 +67,50 @@ const LakeStore& SharedLake() {
   return *lake;
 }
 
+/// A second lake holding the same fleets stored as binary SeriesBlock
+/// blobs instead of CSV — the data-plane equivalence tests run the same
+/// fleet off both and require byte-identical results.
+const LakeStore& BlockLake() {
+  static const LakeStore* lake = [] {
+    auto opened = LakeStore::OpenTemporary("fleet_det_block");
+    opened.status().Abort();
+    auto* owned = new LakeStore(std::move(opened).ValueUnsafe());
+    uint64_t seed = 900;  // identical fleets to SharedLake()
+    for (const char* region : kRegions) {
+      RegionConfig config;
+      config.name = region;
+      config.num_servers = 40;
+      config.weeks = 5;
+      config.seed = seed++;
+      Fleet fleet = Fleet::Generate(config);
+      owned->Put(LakeStore::TelemetryKey(region, kWeek),
+                 ExtractWeekBlock(fleet, kWeek))
+          .Abort();
+    }
+    DocStore scratch;
+    FleetRunner warmup(owned, &scratch);
+    std::vector<FleetJob> jobs;
+    for (const char* region : kRegions) jobs.push_back({region, kWeek});
+    PipelineContext config;
+    config.model_name = "persistent_prev_day";
+    warmup.Run(jobs, config);
+    return owned;
+  }();
+  return *lake;
+}
+
 struct FleetOutcome {
   std::unique_ptr<DocStore> docs;
   FleetRunResult result;
 };
 
-FleetOutcome RunFleet(int jobs, const std::string& model) {
+FleetOutcome RunFleetOn(const LakeStore& lake, int jobs,
+                        const std::string& model) {
   FleetOutcome out;
   out.docs = std::make_unique<DocStore>();
   FleetOptions options;
   options.jobs = jobs;
-  FleetRunner runner(&SharedLake(), out.docs.get(), options);
+  FleetRunner runner(&lake, out.docs.get(), options);
   std::vector<FleetJob> fleet_jobs;
   for (const char* region : kRegions) fleet_jobs.push_back({region, kWeek});
   PipelineContext config;
@@ -86,15 +119,27 @@ FleetOutcome RunFleet(int jobs, const std::string& model) {
   return out;
 }
 
+FleetOutcome RunFleet(int jobs, const std::string& model) {
+  return RunFleetOn(SharedLake(), jobs, model);
+}
+
 /// Snapshot text with wall-clock fields zeroed — the only part of the
-/// store the determinism contract does not cover.
-std::string CanonicalSnapshot(const DocStore& docs) {
+/// store the determinism contract does not cover. With
+/// `canonical_bytes` set, the `ingestion.bytes` stat is zeroed too: it
+/// reports the stored blob's size, which legitimately differs between
+/// the CSV and SeriesBlock representations of the same telemetry.
+std::string CanonicalSnapshot(const DocStore& docs,
+                              bool canonical_bytes = false) {
   Json snapshot = docs.Snapshot();
   if (snapshot.Contains(kRunsContainer)) {
     for (Json& doc : snapshot[kRunsContainer].AsArray()) {
       Json& body = doc["body"];
       body["total_millis"] = 0.0;
       body["timings"] = Json::MakeObject();
+      if (canonical_bytes && body.Contains("stats") &&
+          body["stats"].Contains("ingestion.bytes")) {
+        body["stats"]["ingestion.bytes"] = 0.0;
+      }
     }
   }
   return snapshot.Dump();
@@ -149,6 +194,45 @@ TEST_P(FleetDeterminismTest, RepeatedParallelRunsAreStable) {
   FleetOutcome first = RunFleet(8, model);
   FleetOutcome second = RunFleet(8, model);
   EXPECT_EQ(CanonicalSnapshot(*first.docs), CanonicalSnapshot(*second.docs));
+}
+
+TEST_P(FleetDeterminismTest, BinaryTelemetryMatchesCsvByteForByte) {
+  // The same fleet stored as CSV and as SeriesBlock must produce
+  // byte-identical pipeline results — the binary path skips the flat
+  // records intermediate entirely, so this pins the whole grouped
+  // validation/ingestion equivalence. Only the `ingestion.bytes` stat
+  // (the stored blob's size) may differ and is canonicalized.
+  const std::string model = GetParam();
+  FleetOutcome csv = RunFleetOn(SharedLake(), 1, model);
+  FleetOutcome block = RunFleetOn(BlockLake(), 1, model);
+  FleetOutcome block_par = RunFleetOn(BlockLake(), 8, model);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(block.result.runs[i].report.success)
+        << block.result.runs[i].report.failure;
+  }
+  EXPECT_EQ(ContainerDump(*csv.docs, kPredictionsContainer),
+            ContainerDump(*block.docs, kPredictionsContainer));
+  EXPECT_EQ(CanonicalSnapshot(*csv.docs, /*canonical_bytes=*/true),
+            CanonicalSnapshot(*block.docs, /*canonical_bytes=*/true));
+  EXPECT_EQ(CanonicalSnapshot(*block.docs),
+            CanonicalSnapshot(*block_par.docs));
+}
+
+TEST_P(FleetDeterminismTest, CacheOnMatchesCacheOff) {
+  // Enabling the lake blob cache must be invisible in the results: the
+  // cold (filling) run, a warm (fully cache-served) run, and a cache-
+  // less run all land on the same bytes.
+  const std::string model = GetParam();
+  auto opened = LakeStore::Open(SharedLake().root());
+  ASSERT_TRUE(opened.ok());
+  LakeStore cached_lake = std::move(opened).ValueUnsafe();
+  cached_lake.ConfigureCache(64 << 20);
+
+  FleetOutcome uncached = RunFleet(8, model);
+  FleetOutcome cold = RunFleetOn(cached_lake, 8, model);
+  FleetOutcome warm = RunFleetOn(cached_lake, 8, model);
+  EXPECT_EQ(CanonicalSnapshot(*uncached.docs), CanonicalSnapshot(*cold.docs));
+  EXPECT_EQ(CanonicalSnapshot(*uncached.docs), CanonicalSnapshot(*warm.docs));
 }
 
 // One heuristic family (no training) and one trained, RNG-seeded family:

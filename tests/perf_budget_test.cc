@@ -40,12 +40,16 @@ const char* const kRegions[] = {"bud-a", "bud-b"};
 
 /// The measured workload: 2 regions x 25 servers, schema-pre-warmed,
 /// persistent_prev_day (no training fan-out noise), jobs=1. Everything
-/// is fixed-seed so the counter values are exact, not statistical.
+/// is fixed-seed so the counter values are exact, not statistical. The
+/// lake runs with its blob cache on and one region staged per telemetry
+/// format, so the data-plane counters (cache hits, get_shared ops, and
+/// both ingest_rows formats) are part of the budgeted surface.
 std::map<std::string, int64_t> MeasuredCounters() {
   static const std::map<std::string, int64_t>* counters = [] {
     auto opened = LakeStore::OpenTemporary("perf_budget");
     opened.status().Abort();
     auto* lake = new LakeStore(std::move(opened).ValueUnsafe());
+    lake->ConfigureCache(256 << 20);
     uint64_t seed = 8200;
     for (const char* region : kRegions) {
       RegionConfig config;
@@ -54,8 +58,10 @@ std::map<std::string, int64_t> MeasuredCounters() {
       config.weeks = 5;
       config.seed = seed++;
       Fleet fleet = Fleet::Generate(config);
+      const bool binary = region == kRegions[0];
       lake->Put(LakeStore::TelemetryKey(region, kWeek),
-                ExtractWeekCsvText(fleet, kWeek))
+                binary ? ExtractWeekBlock(fleet, kWeek)
+                       : ExtractWeekCsvText(fleet, kWeek))
           .Abort();
     }
     {

@@ -1,0 +1,203 @@
+/// \file store_lake_cache_test.cc
+/// \brief The shared-buffer lake cache: hit/miss/eviction accounting,
+/// writer- and fingerprint-driven invalidation, and the fleet-level
+/// contract that a second identical run is served from memory.
+
+#include "store/blob_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/obs/metrics.h"
+#include "pipeline/fleet_runner.h"
+#include "store/lake_store.h"
+#include "telemetry/emitter.h"
+#include "telemetry/fleet.h"
+
+namespace seagull {
+namespace {
+
+int64_t CacheEvents(const char* event) {
+  return MetricsRegistry::Global()
+      .GetCounter("seagull.lake.cache_events", {{"event", event}})
+      ->Value();
+}
+
+struct EventDeltas {
+  int64_t hit0 = CacheEvents("hit");
+  int64_t miss0 = CacheEvents("miss");
+  int64_t evict0 = CacheEvents("evict");
+  int64_t invalidate0 = CacheEvents("invalidate");
+  int64_t hits() const { return CacheEvents("hit") - hit0; }
+  int64_t misses() const { return CacheEvents("miss") - miss0; }
+  int64_t evictions() const { return CacheEvents("evict") - evict0; }
+  int64_t invalidations() const {
+    return CacheEvents("invalidate") - invalidate0;
+  }
+};
+
+TEST(LakeCacheTest, GetSharedWorksWithoutCache) {
+  auto lake = LakeStore::OpenTemporary("cache_off");
+  ASSERT_TRUE(lake.ok());
+  ASSERT_TRUE(lake->Put("a/blob.txt", "hello").ok());
+  auto blob = lake->GetShared("a/blob.txt");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(**blob, "hello");
+  EXPECT_EQ(lake->cache(), nullptr);
+  EXPECT_TRUE(lake->GetShared("a/missing").status().IsNotFound());
+}
+
+TEST(LakeCacheTest, RepeatReadsShareOneBuffer) {
+  auto lake = LakeStore::OpenTemporary("cache_hit");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", "payload").ok());
+  EventDeltas d;
+  auto first = lake->GetShared("k");
+  ASSERT_TRUE(first.ok());
+  auto second = lake->GetShared("k");
+  ASSERT_TRUE(second.ok());
+  // Same immutable buffer, not an equal copy.
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(d.hits(), 1);
+  EXPECT_EQ(d.misses(), 1);
+  EXPECT_EQ(lake->cache()->entry_count(), 1);
+  EXPECT_EQ(lake->cache()->size_bytes(), 7);
+}
+
+TEST(LakeCacheTest, PutThroughStoreInvalidates) {
+  auto lake = LakeStore::OpenTemporary("cache_put");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", "one").ok());
+  ASSERT_TRUE(lake->GetShared("k").ok());  // warm
+  EventDeltas d;
+  ASSERT_TRUE(lake->Put("k", "two").ok());
+  EXPECT_EQ(d.invalidations(), 1);
+  auto blob = lake->GetShared("k");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(**blob, "two");
+  EXPECT_EQ(d.misses(), 1);  // re-read after the overwrite
+}
+
+TEST(LakeCacheTest, DeleteThroughStoreInvalidates) {
+  auto lake = LakeStore::OpenTemporary("cache_del");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", "one").ok());
+  ASSERT_TRUE(lake->GetShared("k").ok());
+  ASSERT_TRUE(lake->Delete("k").ok());
+  EXPECT_EQ(lake->cache()->entry_count(), 0);
+  EXPECT_TRUE(lake->GetShared("k").status().IsNotFound());
+}
+
+TEST(LakeCacheTest, ExternalWriteCaughtByFingerprint) {
+  auto cached = LakeStore::OpenTemporary("cache_ext");
+  ASSERT_TRUE(cached.ok());
+  cached->ConfigureCache(16 << 20);
+  ASSERT_TRUE(cached->Put("k", "original").ok());
+  ASSERT_TRUE(cached->GetShared("k").ok());  // warm
+
+  // A second store handle over the same directory bypasses the cache —
+  // the moral equivalent of another process writing the blob. The new
+  // content has a different size, so the (size, mtime) fingerprint
+  // cannot collide even on coarse-mtime filesystems.
+  auto writer = LakeStore::Open(cached->root());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Put("k", "rewritten elsewhere").ok());
+
+  EventDeltas d;
+  auto blob = cached->GetShared("k");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(**blob, "rewritten elsewhere");
+  EXPECT_EQ(d.invalidations(), 1);  // stale entry dropped on lookup
+  EXPECT_EQ(d.misses(), 1);
+}
+
+TEST(LakeCacheTest, EvictsLeastRecentlyUsedWithinCapacity) {
+  BlobCache cache(/*capacity_bytes=*/8 * 100);  // 100 bytes per shard
+  EventDeltas d;
+  const std::string payload(60, 'x');
+  auto blob = std::make_shared<const std::string>(payload);
+  // Two 60-byte blobs cannot share one 100-byte shard; hammering many
+  // keys must keep every shard within its slice and count evictions.
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert("key-" + std::to_string(i), {60, i}, blob);
+  }
+  EXPECT_GT(d.evictions(), 0);
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+  EXPECT_LE(cache.entry_count(), 8);  // one 60-byte entry per shard
+}
+
+TEST(LakeCacheTest, OversizedBlobIsServedUncached) {
+  auto lake = LakeStore::OpenTemporary("cache_big");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(8 * 16);  // 16-byte shards
+  ASSERT_TRUE(lake->Put("big", std::string(1024, 'y')).ok());
+  auto blob = lake->GetShared("big");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ((*blob)->size(), 1024u);
+  EXPECT_EQ(lake->cache()->entry_count(), 0);
+}
+
+TEST(LakeCacheTest, StoreCopiesShareTheCache) {
+  auto lake = LakeStore::OpenTemporary("cache_copy");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", "shared").ok());
+  LakeStore copy = *lake;  // how FleetRunner-style borrowers hold it
+  ASSERT_TRUE(copy.GetShared("k").ok());  // warm through the copy
+  EventDeltas d;
+  auto blob = lake->GetShared("k");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(d.hits(), 1);
+  EXPECT_EQ(d.misses(), 0);
+}
+
+TEST(LakeCacheTest, SecondIdenticalFleetRunIsServedFromCache) {
+  // The tentpole's throughput claim at test scale: two identical fleet
+  // runs against one cache-enabled lake; the second run's telemetry
+  // reads must be >= 90% cache hits (here: all of them).
+  auto opened = LakeStore::OpenTemporary("cache_fleet");
+  ASSERT_TRUE(opened.ok());
+  LakeStore lake = std::move(opened).ValueUnsafe();
+  lake.ConfigureCache(64 << 20);
+  const char* const regions[] = {"hit-a", "hit-b"};
+  uint64_t seed = 70;
+  for (const char* region : regions) {
+    RegionConfig config;
+    config.name = region;
+    config.num_servers = 10;
+    config.weeks = 4;
+    config.seed = seed++;
+    Fleet fleet = Fleet::Generate(config);
+    ASSERT_TRUE(lake.Put(LakeStore::TelemetryKey(region, 3),
+                         ExtractWeekBlock(fleet, 3))
+                    .ok());
+  }
+
+  auto run_once = [&] {
+    DocStore docs;  // fresh docs: the scheduler sees the week as due
+    FleetRunner runner(&lake, &docs);
+    std::vector<FleetJob> jobs;
+    for (const char* region : regions) jobs.push_back({region, 3});
+    PipelineContext config;
+    config.model_name = "persistent_prev_day";
+    FleetRunResult result = runner.Run(jobs, config);
+    ASSERT_EQ(result.SuccessCount(), 2);
+  };
+
+  run_once();  // cold: misses fill the cache
+  EventDeltas d;
+  run_once();  // warm: every telemetry read hits
+  const int64_t hits = d.hits();
+  const int64_t misses = d.misses();
+  ASSERT_GT(hits, 0);
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(hits + misses),
+            0.9);
+}
+
+}  // namespace
+}  // namespace seagull

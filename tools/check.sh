@@ -20,6 +20,12 @@
 #                             # in Release — the metrics/tracing suites
 #                             # plus the op-count budget gate
 #                             # (tests/budgets.json)
+#   tools/check.sh perf       # data-plane throughput: the perf-label
+#                             # tests plus bench/micro_substrate, which
+#                             # writes BENCH_ingest.json (CSV vs
+#                             # SeriesBlock ingestion rates and the
+#                             # lake-cache hit trajectory) into the
+#                             # Release build directory
 #
 # Exits non-zero on the first build or test failure.
 set -eu
@@ -68,6 +74,14 @@ case "$MODE" in
     run_config release "$ROOT/build-release" 'unit|perf' \
       -DCMAKE_BUILD_TYPE=Release
     ;;
+  perf)
+    run_config release "$ROOT/build-release" 'perf' \
+      -DCMAKE_BUILD_TYPE=Release
+    echo "=== [perf] bench/micro_substrate (writes BENCH_ingest.json) ==="
+    (cd "$ROOT/build-release" &&
+      ./bench/micro_substrate --benchmark_filter='Ingest|CacheHit')
+    echo "=== [perf] OK ==="
+    ;;
 esac
 
 case "$MODE" in
@@ -80,9 +94,9 @@ case "$MODE" in
 esac
 
 case "$MODE" in
-  release|sanitize|chaos|obs|all) ;;
+  release|sanitize|chaos|obs|perf|all) ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|chaos|obs|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|chaos|obs|perf|all]" >&2
     exit 2
     ;;
 esac

@@ -21,13 +21,18 @@
 /// `--trace-out` writes a Chrome trace_event JSON of the run's span
 /// tree (load in chrome://tracing or ui.perfetto.dev); `--metrics-out`
 /// writes the process metrics snapshot (see DESIGN.md "Observability").
+///   seagull transcode --lake DIR --key KEY [--to csv|binary] [--out KEY]
 ///   seagull dashboard --docs FILE
 ///   seagull incidents --docs FILE --region NAME
 ///   seagull advise    --lake DIR --docs FILE --region NAME --server ID
 ///                     --day D --start HH:MM [--duration MIN]
 ///
-/// `generate` plays the role of Azure telemetry + Load Extraction;
-/// everything else is the production path.
+/// `generate` plays the role of Azure telemetry + Load Extraction
+/// (`--format binary` writes columnar SeriesBlock blobs instead of CSV);
+/// `transcode` converts a stored telemetry blob between the two formats
+/// in place (or to `--out`). `--lake-cache-mb` on pipeline/schedule
+/// enables the shared-buffer lake blob cache. Everything else is the
+/// production path.
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +52,7 @@
 #include "scheduling/window_advisor.h"
 #include "store/resilient_store.h"
 #include "telemetry/emitter.h"
+#include "telemetry/series_block.h"
 
 using namespace seagull;
 
@@ -124,11 +130,12 @@ Result<std::vector<ServerTelemetry>> LoadTelemetry(const ResilientStore& store,
                                                    int64_t up_to_week) {
   for (int64_t w = up_to_week; w >= 0; --w) {
     std::string key = LakeStore::TelemetryKey(region, w);
-    auto text = store.LakeGet(key);
-    if (text.status().IsNotFound()) continue;
-    if (!text.ok()) return text.status();
-    SEAGULL_ASSIGN_OR_RETURN(auto records, ParseTelemetryCsv(*text));
-    return GroupByServer(records);
+    auto blob = store.LakeGetShared(key);
+    if (blob.status().IsNotFound()) continue;
+    if (!blob.ok()) return blob.status();
+    // Telemetry may be stored as CSV or as a binary SeriesBlock;
+    // DecodeTelemetryBlob sniffs the magic and dispatches.
+    return DecodeTelemetryBlob(**blob);
   }
   return Status::NotFound("no telemetry for region " + region);
 }
@@ -183,12 +190,19 @@ int CmdGenerate(const Args& args) {
   config.weeks = static_cast<int>(args.GetInt("weeks", 5));
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
 
+  const std::string format = args.Get("format", "csv");
+  if (format != "csv" && format != "binary") {
+    return Fail(Status::Invalid("--format must be csv or binary"));
+  }
+
   auto lake = LakeStore::Open(*lake_dir);
   if (!lake.ok()) return Fail(lake.status());
   Fleet fleet = Fleet::Generate(config);
   for (int64_t w = 0; w < config.weeks; ++w) {
     std::string key = LakeStore::TelemetryKey(config.name, w);
-    Status st = lake->Put(key, ExtractWeekCsvText(fleet, w));
+    Status st = lake->Put(key, format == "binary"
+                                   ? ExtractWeekBlock(fleet, w)
+                                   : ExtractWeekCsvText(fleet, w));
     if (!st.ok()) return Fail(st);
     auto size = lake->SizeOf(key);
     std::printf("wrote %s (%.1f MB)\n", key.c_str(),
@@ -211,6 +225,8 @@ int CmdPipeline(const Args& args) {
 
   auto lake = LakeStore::Open(*lake_dir);
   if (!lake.ok()) return Fail(lake.status());
+  const int64_t cache_mb = args.GetInt("lake-cache-mb", 0);
+  if (cache_mb > 0) lake->ConfigureCache(cache_mb << 20);
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
   // After the snapshot load: the rehearsal faults the pipeline's store
@@ -324,6 +340,8 @@ int CmdSchedule(const Args& args) {
 
   auto lake = LakeStore::Open(*lake_dir);
   if (!lake.ok()) return Fail(lake.status());
+  const int64_t cache_mb = args.GetInt("lake-cache-mb", 0);
+  if (cache_mb > 0) lake->ConfigureCache(cache_mb << 20);
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
   ResilientStore store(&*lake, *docs, ConfigureResilience(args));
@@ -503,19 +521,78 @@ int CmdAdvise(const Args& args) {
   return 0;
 }
 
+int CmdTranscode(const Args& args) {
+  auto lake_dir = args.Require("lake");
+  auto key = args.Require("key");
+  if (!lake_dir.ok()) return Fail(lake_dir.status());
+  if (!key.ok()) return Fail(key.status());
+
+  auto lake = LakeStore::Open(*lake_dir);
+  if (!lake.ok()) return Fail(lake.status());
+  auto blob = lake->Get(*key);
+  if (!blob.ok()) return Fail(blob.status());
+
+  const bool is_block = IsSeriesBlock(*blob);
+  const std::string to = args.Get("to", is_block ? "csv" : "binary");
+  if (to != "csv" && to != "binary") {
+    return Fail(Status::Invalid("--to must be csv or binary"));
+  }
+  const std::string out_key = args.Get("out", *key);
+
+  // Both directions run through TelemetryRecord rows, so a transcode
+  // round trip reproduces the original bytes (values are stored
+  // pre-quantized to the CSV's %.4f in either format).
+  std::string converted;
+  int64_t rows = 0;
+  if (to == "binary") {
+    if (is_block) {
+      converted = *blob;  // already binary; re-put verbatim
+      auto info = PeekSeriesBlock(converted);
+      if (!info.ok()) return Fail(info.status());
+      rows = info->total_samples;
+    } else {
+      auto records = ParseTelemetryCsv(*blob);
+      if (!records.ok()) return Fail(records.status());
+      rows = static_cast<int64_t>(records->size());
+      converted = EncodeSeriesBlock(*records);
+    }
+  } else {
+    if (!is_block) {
+      converted = *blob;
+      auto records = ParseTelemetryCsv(converted);
+      if (!records.ok()) return Fail(records.status());
+      rows = static_cast<int64_t>(records->size());
+    } else {
+      auto records = DecodeSeriesBlock(*blob);
+      if (!records.ok()) return Fail(records.status());
+      rows = static_cast<int64_t>(records->size());
+      converted = RecordsToCsvText(*records);
+    }
+  }
+  Status st = lake->Put(out_key, converted);
+  if (!st.ok()) return Fail(st);
+  std::printf("transcoded %s (%s, %zu bytes) -> %s (%s, %zu bytes), "
+              "%lld rows\n",
+              key->c_str(), is_block ? "binary" : "csv", blob->size(),
+              out_key.c_str(), to.c_str(), converted.size(),
+              static_cast<long long>(rows));
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
       "usage: seagull <command> [flags]\n"
       "commands:\n"
       "  generate  --lake DIR --region NAME [--servers N] [--weeks W] "
-      "[--seed S]\n"
+      "[--seed S] [--format csv|binary]\n"
       "  pipeline  --lake DIR --docs FILE --region NAME[,NAME...] "
       "--week K [--model FAMILY] [--threads N] [--jobs N] [--retries N] "
-      "[--fault-rate P --fault-seed S] [--trace-out FILE] "
-      "[--metrics-out FILE]\n"
+      "[--lake-cache-mb MB] [--fault-rate P --fault-seed S] "
+      "[--trace-out FILE] [--metrics-out FILE]\n"
       "  schedule  --lake DIR --docs FILE --region NAME[,NAME...] "
-      "--day D [--jobs N]\n"
+      "--day D [--jobs N] [--lake-cache-mb MB]\n"
+      "  transcode --lake DIR --key KEY [--to csv|binary] [--out KEY]\n"
       "  dashboard --docs FILE\n"
       "  incidents --docs FILE --region NAME\n"
       "  advise    --lake DIR --docs FILE --region NAME --server ID "
@@ -534,6 +611,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "pipeline") return CmdPipeline(args);
   if (command == "schedule") return CmdSchedule(args);
+  if (command == "transcode") return CmdTranscode(args);
   if (command == "dashboard") return CmdDashboard(args);
   if (command == "incidents") return CmdIncidents(args);
   if (command == "advise") return CmdAdvise(args);
