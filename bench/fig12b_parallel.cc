@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/strings.h"
 #include "pipeline/accuracy.h"
 #include "pipeline/features.h"
 #include "pipeline/fleet_runner.h"
@@ -208,9 +209,22 @@ void RunFleetComparison() {
   out["parallel_ms"] = par.wall_millis;
   out["speedup"] = speedup;
   out["deterministic"] = deterministic;
-  out["note"] =
-      "speedup is bounded by hardware_threads; the >=2x target applies "
-      "on >=4 cores";
+  if (cores < 4) {
+    // On a starved host the "parallel" run only measures dispatch
+    // overhead; a sub-1.0x ratio here reads as a perf regression when it
+    // is really a hardware limitation, so the target is marked
+    // not-applicable instead of being reported as missed.
+    out["speedup_target"] = "n/a";
+    out["note"] = StringPrintf(
+        "host has %u hardware thread(s); the >=2x speedup target needs "
+        ">=4 cores, so the measured ratio is dispatch overhead only",
+        cores);
+  } else {
+    out["speedup_target"] = ">=2x";
+    out["note"] =
+        "speedup is bounded by hardware_threads; the >=2x target applies "
+        "on >=4 cores";
+  }
   out["phases"] = std::move(phases);
   std::FILE* f = std::fopen("BENCH_parallel.json", "w");
   if (f != nullptr) {

@@ -1,0 +1,378 @@
+/// \file micro_forecast.cc
+/// \brief Micro-benchmarks of the forecast kernel engine.
+///
+/// Emits BENCH_forecast.json with before/after rows for every tuned
+/// kernel (the scalar reference implementations stay callable exactly so
+/// this file can measure them) and per-model Fit()/Forecast() timings in
+/// both modes. The headline row is the SSA fit: the O(n·L) Hankel Gram
+/// plus the relative-threshold Jacobi sweep schedule must hold a >= 3x
+/// speedup over the scalar path at the default window.
+///
+/// With `--budgets=<path>` the fast-mode per-model fit times are checked
+/// against the "forecast_train_micros" p50/p99 ceilings in the given
+/// budgets file (tools/check.sh perf wires this up); a violation exits
+/// non-zero so the gate fails loudly.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "forecast/additive.h"
+#include "forecast/arima.h"
+#include "forecast/feedforward.h"
+#include "forecast/linalg.h"
+#include "forecast/model.h"
+#include "forecast/scratch.h"
+#include "forecast/ssa.h"
+
+using namespace seagull;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Diurnal load with noise at the 5-minute production grid — the same
+/// shape every trainable model sees in the pipeline.
+LoadSeries SyntheticWeek(uint64_t seed, int64_t days = 7) {
+  Rng rng(seed);
+  std::vector<double> values;
+  const int64_t ticks = days * 288;
+  double level = 30.0;
+  for (int64_t i = 0; i < ticks; ++i) {
+    const double phase =
+        static_cast<double>(i % 288) / 288.0 * 6.283185307179586;
+    level = std::clamp(level + rng.Gaussian(0.0, 0.8), 5.0, 95.0);
+    values.push_back(
+        std::clamp(level + 15.0 * std::sin(phase), 0.0, 100.0));
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+double MicrosSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  if (samples.empty()) return 0.0;
+  const double idx = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+struct FitTiming {
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  double predict_micros = 0.0;  ///< median per-Forecast cost (one day out)
+};
+
+/// Times `reps` fresh fits of `model_name` on a fixed synthetic week in
+/// the current kernel mode, plus the one-day Forecast cost of the last
+/// fit.
+FitTiming TimeModel(const std::string& model_name, int reps) {
+  const LoadSeries week = SyntheticWeek(17);
+  FitTiming out;
+  std::vector<double> fit_samples, predict_samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto model = ModelFactory::Global().Create(model_name);
+    model.status().Abort();
+    const auto t0 = Clock::now();
+    (*model)->Fit(week).Abort();
+    fit_samples.push_back(MicrosSince(t0));
+    const auto t1 = Clock::now();
+    auto forecast =
+        (*model)->Forecast(week, week.end(), kMinutesPerDay);
+    forecast.status().Abort();
+    predict_samples.push_back(MicrosSince(t1));
+    benchmark::DoNotOptimize(forecast->size());
+  }
+  out.p50_micros = Percentile(fit_samples, 0.5);
+  out.p99_micros = Percentile(fit_samples, 0.99);
+  out.predict_micros = Percentile(predict_samples, 0.5);
+  return out;
+}
+
+/// Min-of-reps wall micros of `body()` (kernels are fast; `inner`
+/// repeats amortize the clock).
+template <typename Fn>
+double TimeKernel(int reps, int inner, Fn&& body) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < inner; ++i) body();
+    const double micros = MicrosSince(t0) / static_cast<double>(inner);
+    if (rep == 0 || micros < best) best = micros;
+  }
+  return best;
+}
+
+Json RowJson(const char* unit, double before, double after) {
+  Json row = Json::MakeObject();
+  row["unit"] = unit;
+  row["scalar"] = before;
+  row["fast"] = after;
+  row["speedup"] = after > 0.0 ? before / after : 0.0;
+  return row;
+}
+
+/// Before/after micro rows for each tuned linalg kernel at
+/// production-relevant shapes.
+Json KernelRows() {
+  Json rows = Json::MakeObject();
+  Rng rng(7);
+
+  // Hankel Gram at the SSA default: n = one week, L = 72.
+  {
+    const int64_t n = 2016, L = 72;
+    std::vector<double> x(static_cast<size_t>(n));
+    for (auto& v : x) v = rng.Gaussian(0.0, 1.0);
+    Matrix gram;
+    const double fast = TimeKernel(5, 4, [&] {
+      BuildLagGram(x.data(), n, L, &gram);
+      benchmark::DoNotOptimize(gram.At(0, 0));
+    });
+    double scalar = 0.0;
+    {
+      ScopedScalarKernels guard;
+      scalar = TimeKernel(3, 1, [&] {
+        BuildLagGram(x.data(), n, L, &gram);
+        benchmark::DoNotOptimize(gram.At(0, 0));
+      });
+    }
+    rows["build_lag_gram_2016x72"] = RowJson("micros", scalar, fast);
+
+    // Eigendecomposition of that Gram: the sweep schedule is the tuned
+    // part (the scalar cutoff always burns the full sweep budget).
+    Matrix gram_fast;
+    BuildLagGram(x.data(), n, L, &gram_fast);
+    const double eig_fast = TimeKernel(3, 1, [&] {
+      auto eig = SymmetricEigen(gram_fast);
+      eig.status().Abort();
+      benchmark::DoNotOptimize(eig->values[0]);
+    });
+    double eig_scalar = 0.0;
+    {
+      ScopedScalarKernels guard;
+      eig_scalar = TimeKernel(3, 1, [&] {
+        auto eig = SymmetricEigen(gram_fast);
+        eig.status().Abort();
+        benchmark::DoNotOptimize(eig->values[0]);
+      });
+    }
+    rows["symmetric_eigen_72"] = RowJson("micros", eig_scalar, eig_fast);
+  }
+
+  // Blocked matmul at a feedforward-like shape.
+  {
+    Matrix a(96, 128), b(128, 96);
+    for (int64_t i = 0; i < 96; ++i)
+      for (int64_t j = 0; j < 128; ++j) a.At(i, j) = rng.Gaussian(0.0, 1.0);
+    for (int64_t i = 0; i < 128; ++i)
+      for (int64_t j = 0; j < 96; ++j) b.At(i, j) = rng.Gaussian(0.0, 1.0);
+    const double fast = TimeKernel(5, 4, [&] {
+      auto c = MatMul(a, b);
+      c.status().Abort();
+      benchmark::DoNotOptimize(c->At(0, 0));
+    });
+    double scalar = 0.0;
+    {
+      ScopedScalarKernels guard;
+      scalar = TimeKernel(5, 4, [&] {
+        auto c = MatMul(a, b);
+        c.status().Abort();
+        benchmark::DoNotOptimize(c->At(0, 0));
+      });
+    }
+    rows["matmul_96x128x96"] = RowJson("micros", scalar, fast);
+  }
+
+  // SYRK-style Gram of a tall-skinny design matrix (least squares).
+  {
+    Matrix a(2016, 24);
+    for (int64_t i = 0; i < a.rows(); ++i)
+      for (int64_t j = 0; j < a.cols(); ++j)
+        a.At(i, j) = rng.Gaussian(0.0, 1.0);
+    const double fast = TimeKernel(5, 4, [&] {
+      Matrix g = AtA(a, 1e-3);
+      benchmark::DoNotOptimize(g.At(0, 0));
+    });
+    double scalar = 0.0;
+    {
+      ScopedScalarKernels guard;
+      scalar = TimeKernel(5, 4, [&] {
+        Matrix g = AtA(a, 1e-3);
+        benchmark::DoNotOptimize(g.At(0, 0));
+      });
+    }
+    rows["ata_2016x24"] = RowJson("micros", scalar, fast);
+  }
+
+  // Unrolled dot at the SSA recurrence length.
+  {
+    std::vector<double> a(4096), b(4096);
+    for (auto& v : a) v = rng.Gaussian(0.0, 1.0);
+    for (auto& v : b) v = rng.Gaussian(0.0, 1.0);
+    const double fast = TimeKernel(7, 64, [&] {
+      benchmark::DoNotOptimize(Dot(a, b));
+    });
+    double scalar = 0.0;
+    {
+      ScopedScalarKernels guard;
+      scalar = TimeKernel(7, 64, [&] {
+        benchmark::DoNotOptimize(Dot(a, b));
+      });
+    }
+    rows["dot_4096"] = RowJson("micros", scalar, fast);
+  }
+  return rows;
+}
+
+/// Checks fast-mode fit timings against the "forecast_train_micros"
+/// section of the budgets file. Returns the number of violations.
+int CheckBudgets(const std::string& path, const Json& models) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open budgets file: %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "budgets parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  if (!parsed->Contains("forecast_train_micros")) {
+    std::fprintf(stderr,
+                 "budgets file has no forecast_train_micros section\n");
+    return 1;
+  }
+  int violations = 0;
+  for (const auto& [name, ceiling] : (*parsed)["forecast_train_micros"]
+                                         .AsObject()) {
+    if (!models.Contains(name)) {
+      std::fprintf(stderr, "budgeted model was not measured: %s\n",
+                   name.c_str());
+      ++violations;
+      continue;
+    }
+    const Json& row = models[name];
+    auto check = [&](const char* pct) {
+      const double budget = ceiling[pct].AsDouble();
+      const double measured = row["fit_fast"][pct].AsDouble();
+      if (measured > budget) {
+        std::fprintf(stderr,
+                     "train budget exceeded: %s %s measured %.0fus > "
+                     "budget %.0fus (if intentional, re-baseline "
+                     "tests/budgets.json)\n",
+                     name.c_str(), pct, measured, budget);
+        ++violations;
+      }
+    };
+    check("p50");
+    check("p99");
+  }
+  if (violations == 0) {
+    std::printf("train budgets OK (%s)\n", path.c_str());
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string budgets_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--budgets=", 10) == 0) {
+      budgets_path = argv[i] + 10;
+      break;
+    }
+  }
+
+  seagull::bench::PrintHeader("Forecast kernels",
+                              "scalar reference vs tuned engine");
+
+  struct ModelPlan {
+    const char* name;
+    int reps;
+  };
+  // Heavier optimizers get fewer reps; their budgets carry the headroom.
+  const ModelPlan kPlans[] = {
+      {"ssa", 9}, {"additive", 7}, {"feedforward", 5}, {"arima", 3}};
+
+  Json models = Json::MakeObject();
+  double ssa_speedup = 0.0;
+  for (const ModelPlan& plan : kPlans) {
+    FitTiming fast = TimeModel(plan.name, plan.reps);
+    FitTiming scalar;
+    {
+      ScopedScalarKernels guard;
+      scalar = TimeModel(plan.name, std::max(2, plan.reps / 2));
+    }
+    const double speedup = fast.p50_micros > 0.0
+                               ? scalar.p50_micros / fast.p50_micros
+                               : 0.0;
+    if (std::strcmp(plan.name, "ssa") == 0) ssa_speedup = speedup;
+    std::printf("%-14s fit p50 %9.0f us -> %9.0f us  (%5.2fx)   "
+                "predict %7.0f us\n",
+                plan.name, scalar.p50_micros, fast.p50_micros, speedup,
+                fast.predict_micros);
+    Json row = Json::MakeObject();
+    Json fast_j = Json::MakeObject();
+    fast_j["p50"] = fast.p50_micros;
+    fast_j["p99"] = fast.p99_micros;
+    row["fit_fast"] = std::move(fast_j);
+    Json scalar_j = Json::MakeObject();
+    scalar_j["p50"] = scalar.p50_micros;
+    scalar_j["p99"] = scalar.p99_micros;
+    row["fit_scalar"] = std::move(scalar_j);
+    row["fit_speedup"] = speedup;
+    row["predict_micros"] = fast.predict_micros;
+    models[plan.name] = std::move(row);
+  }
+  std::printf("%-14s %5.2fx  (target >= 3x)\n", "ssa speedup", ssa_speedup);
+
+  Json kernels = KernelRows();
+  for (const auto& [name, row] : kernels.AsObject()) {
+    std::printf("%-26s %9.1f us -> %9.1f us  (%5.2fx)\n", name.c_str(),
+                row["scalar"].AsDouble(), row["fast"].AsDouble(),
+                row["speedup"].AsDouble());
+  }
+
+  Json out = Json::MakeObject();
+  out["benchmark"] = "forecast_kernels";
+  out["models"] = std::move(models);
+  out["kernels"] = std::move(kernels);
+  out["ssa_fit_speedup"] = ssa_speedup;
+  out["ssa_fit_speedup_target"] = ">=3x";
+  std::FILE* f = std::fopen("BENCH_forecast.json", "w");
+  if (f != nullptr) {
+    std::string text = out.DumpPretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_forecast.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_forecast.json\n");
+  }
+
+  int violations = 0;
+  if (!budgets_path.empty()) {
+    violations = CheckBudgets(budgets_path, out["models"]);
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "forecast/scratch.h"
 #include "timeseries/resample.h"
 
 namespace seagull {
@@ -26,35 +27,34 @@ bool AdditiveForecast::IsHoliday(int64_t day_index) const {
   return false;
 }
 
-void AdditiveForecast::FeaturesAt(MinuteStamp t,
-                                  std::vector<double>* phi) const {
+void AdditiveForecast::FeaturesAt(MinuteStamp t, double* phi) const {
   const double span =
       std::max<double>(1.0, static_cast<double>(train_end_ - train_start_));
   const double x = static_cast<double>(t - train_start_) / span;  // scaled time
   int64_t k = 0;
-  (*phi)[static_cast<size_t>(k++)] = 1.0;  // intercept
-  (*phi)[static_cast<size_t>(k++)] = x;    // base slope
+  phi[k++] = 1.0;  // intercept
+  phi[k++] = x;    // base slope
   for (int64_t c = 0; c < options_.changepoints; ++c) {
     double cp = static_cast<double>(c + 1) /
                 static_cast<double>(options_.changepoints + 1);
-    (*phi)[static_cast<size_t>(k++)] = x > cp ? (x - cp) : 0.0;
+    phi[k++] = x > cp ? (x - cp) : 0.0;
   }
   const double day_phase =
       static_cast<double>(MinuteOfDay(t)) / static_cast<double>(kMinutesPerDay);
   for (int64_t o = 1; o <= options_.daily_order; ++o) {
     double a = kTwoPi * static_cast<double>(o) * day_phase;
-    (*phi)[static_cast<size_t>(k++)] = std::sin(a);
-    (*phi)[static_cast<size_t>(k++)] = std::cos(a);
+    phi[k++] = std::sin(a);
+    phi[k++] = std::cos(a);
   }
   const double week_phase = static_cast<double>(t - StartOfWeek(t)) /
                             static_cast<double>(kMinutesPerWeek);
   for (int64_t o = 1; o <= options_.weekly_order; ++o) {
     double a = kTwoPi * static_cast<double>(o) * week_phase;
-    (*phi)[static_cast<size_t>(k++)] = std::sin(a);
-    (*phi)[static_cast<size_t>(k++)] = std::cos(a);
+    phi[k++] = std::sin(a);
+    phi[k++] = std::cos(a);
   }
   if (!options_.holidays.empty()) {
-    (*phi)[static_cast<size_t>(k++)] = IsHoliday(DayIndex(t)) ? 1.0 : 0.0;
+    phi[k++] = IsHoliday(DayIndex(t)) ? 1.0 : 0.0;
   }
 }
 
@@ -74,16 +74,20 @@ Status AdditiveForecast::Fit(const LoadSeries& train) {
 
   // Precompute the design matrix once; the optimizer then iterates
   // full-batch gradient steps (the MAP loop that dominates Prophet's
-  // training cost).
-  std::vector<std::vector<double>> design(
-      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(p)));
-  std::vector<double> y(static_cast<size_t>(n));
+  // training cost). The matrix was an n-vector of p-vectors — one heap
+  // allocation per sample and a pointer chase per row; it is now one
+  // contiguous scratch-arena matrix streamed by row pointer.
+  KernelScratch& scratch = KernelScratch::Local();
+  Matrix& design = scratch.Mat(kscratch::kMatAddDesign, n, p);
+  std::vector<double>& y =
+      scratch.Vec(kscratch::kAddTargets, static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    FeaturesAt(filled.TimeAt(i), &design[static_cast<size_t>(i)]);
+    FeaturesAt(filled.TimeAt(i), design.Row(i));
     y[static_cast<size_t>(i)] = filled.ValueAt(i);
   }
 
-  std::vector<double> grad(static_cast<size_t>(p));
+  std::vector<double>& grad =
+      scratch.Vec(kscratch::kAddGrad, static_cast<size_t>(p));
   const double inv_n = 1.0 / static_cast<double>(n);
   double lr = options_.learning_rate;
   double prev_loss = 0.0;
@@ -91,15 +95,15 @@ Status AdditiveForecast::Fit(const LoadSeries& train) {
     std::fill(grad.begin(), grad.end(), 0.0);
     double loss = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      const auto& phi = design[static_cast<size_t>(i)];
+      const double* phi = design.Row(i);
       double pred = 0.0;
       for (int64_t j = 0; j < p; ++j) {
-        pred += coef_[static_cast<size_t>(j)] * phi[static_cast<size_t>(j)];
+        pred += coef_[static_cast<size_t>(j)] * phi[j];
       }
       double err = pred - y[static_cast<size_t>(i)];
       loss += err * err;
       for (int64_t j = 0; j < p; ++j) {
-        grad[static_cast<size_t>(j)] += err * phi[static_cast<size_t>(j)];
+        grad[static_cast<size_t>(j)] += err * phi[j];
       }
     }
     // Ridge prior on changepoint slopes only.
@@ -131,7 +135,9 @@ Result<LoadSeries> AdditiveForecast::Forecast(const LoadSeries& recent,
   }
   const int64_t steps = horizon_minutes / interval_;
   const int64_t p = NumFeatures();
-  std::vector<double> phi(static_cast<size_t>(p));
+  std::vector<double>& phi_buf = KernelScratch::Local().Vec(
+      kscratch::kAddFeatures, static_cast<size_t>(p));
+  double* phi = phi_buf.data();
   std::vector<double> out(static_cast<size_t>(steps), 0.0);
 
   // Monte-Carlo trend uncertainty (Prophet's predictive intervals): the
@@ -144,10 +150,10 @@ Result<LoadSeries> AdditiveForecast::Forecast(const LoadSeries& recent,
       std::max<double>(1.0, static_cast<double>(train_end_ - train_start_));
   for (int64_t i = 0; i < steps; ++i) {
     MinuteStamp t = start + i * interval_;
-    FeaturesAt(t, &phi);
+    FeaturesAt(t, phi);
     double base = 0.0;
     for (int64_t j = 0; j < p; ++j) {
-      base += coef_[static_cast<size_t>(j)] * phi[static_cast<size_t>(j)];
+      base += coef_[static_cast<size_t>(j)] * phi[j];
     }
     // Simulate extra trend drift beyond the training range.
     double beyond =

@@ -57,8 +57,10 @@ class AdditiveForecast final : public ForecastModel {
  private:
   /// Number of model coefficients.
   int64_t NumFeatures() const;
-  /// Feature vector at absolute minute `t`.
-  void FeaturesAt(MinuteStamp t, std::vector<double>* phi) const;
+  /// Writes the NumFeatures() feature values at absolute minute `t`
+  /// into `phi` (raw pointer so callers can hand out design-matrix rows
+  /// or scratch-arena storage directly).
+  void FeaturesAt(MinuteStamp t, double* phi) const;
   /// True when `day_index` is a configured holiday.
   bool IsHoliday(int64_t day_index) const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "forecast/scratch.h"
 #include "timeseries/resample.h"
 
 namespace seagull {
@@ -24,24 +25,29 @@ std::vector<double> Difference(std::vector<double> x, int d) {
 }
 
 /// Conditional sum of squares of an ARMA(p,q) with parameters
-/// params = [c, phi_1..phi_p, theta_1..theta_q].
+/// params = [c, phi_1..phi_p, theta_1..theta_q]. `e` is caller-owned
+/// residual workspace: the order search calls this ~2·np times per Adam
+/// iteration per candidate, so a per-call heap allocation here was the
+/// single hottest allocation site in the whole training fan-out.
 double CssLoss(const std::vector<double>& z, int p, int q,
-               const std::vector<double>& params) {
+               const std::vector<double>& params, std::vector<double>* e) {
   const int64_t n = static_cast<int64_t>(z.size());
   const int64_t warm = std::max(p, q);
-  std::vector<double> e(static_cast<size_t>(n), 0.0);
+  e->assign(static_cast<size_t>(n), 0.0);
+  const double* zp = z.data();
+  const double* pp = params.data();
+  double* ep = e->data();
   double sse = 0.0;
   for (int64_t t = warm; t < n; ++t) {
-    double pred = params[0];
+    double pred = pp[0];
     for (int i = 1; i <= p; ++i) {
-      pred += params[static_cast<size_t>(i)] * z[static_cast<size_t>(t - i)];
+      pred += pp[i] * zp[t - i];
     }
     for (int j = 1; j <= q; ++j) {
-      pred += params[static_cast<size_t>(p + j)] *
-              e[static_cast<size_t>(t - j)];
+      pred += pp[p + j] * ep[t - j];
     }
-    double err = z[static_cast<size_t>(t)] - pred;
-    e[static_cast<size_t>(t)] = err;
+    double err = zp[t] - pred;
+    ep[t] = err;
     sse += err * err;
   }
   return sse;
@@ -65,33 +71,53 @@ Status ArimaForecast::Fit(const LoadSeries& train) {
   }
   const LoadSeries filled = InterpolateMissing(train);
   interval_ = filled.interval_minutes();
-  std::vector<double> x = filled.values();
+  KernelScratch& scratch = KernelScratch::Local();
+  std::vector<double>& x =
+      scratch.Vec(kscratch::kArimaSeries, static_cast<size_t>(filled.size()));
+  for (int64_t i = 0; i < filled.size(); ++i) {
+    x[static_cast<size_t>(i)] = filled.ValueAt(i);
+  }
+  std::vector<double>& e = scratch.Vec(kscratch::kArimaResiduals, 0);
+  // Optimizer state is tiny (≤ 8 doubles per vector) but lives inside
+  // the candidate loop; hoist so each fit allocates it at most once.
+  std::vector<double> params, m, v;
 
   double best_aic = std::numeric_limits<double>::infinity();
   // pmdarima-style exhaustive order search: this loop is the documented
   // reason ARIMA was excluded from production (§2.1).
   for (int d = 0; d <= options_.max_d; ++d) {
-    std::vector<double> z = Difference(x, d);
+    std::vector<double>& z = scratch.Vec(kscratch::kArimaDiff, 0);
+    z.assign(x.begin(), x.end());
+    // Same arithmetic as Difference(), applied in the reusable buffer.
+    for (int round = 0; round < d; ++round) {
+      if (z.size() <= 1) {
+        z.clear();
+        break;
+      }
+      for (size_t i = z.size() - 1; i >= 1; --i) z[i] -= z[i - 1];
+      z.erase(z.begin());
+    }
     const int64_t n = static_cast<int64_t>(z.size());
     if (n < 16) continue;
     for (int p = 0; p <= options_.max_p; ++p) {
       for (int q = 0; q <= options_.max_q; ++q) {
         if (p == 0 && q == 0 && d == 0) continue;
         const int np = 1 + p + q;
-        std::vector<double> params(static_cast<size_t>(np), 0.0);
+        params.assign(static_cast<size_t>(np), 0.0);
         // Warm start: small positive AR(1)-ish prior.
         if (p > 0) params[1] = 0.5;
         // Adam on a central-difference numeric gradient.
-        std::vector<double> m(params.size(), 0.0), v(params.size(), 0.0);
+        m.assign(params.size(), 0.0);
+        v.assign(params.size(), 0.0);
         const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
         const double h = 1e-4;
         for (int64_t it = 0; it < options_.iterations; ++it) {
           for (size_t k = 0; k < params.size(); ++k) {
             double orig = params[k];
             params[k] = orig + h;
-            double up = CssLoss(z, p, q, params);
+            double up = CssLoss(z, p, q, params, &e);
             params[k] = orig - h;
-            double dn = CssLoss(z, p, q, params);
+            double dn = CssLoss(z, p, q, params, &e);
             params[k] = orig;
             double g = (up - dn) / (2 * h);
             m[k] = b1 * m[k] + (1 - b1) * g;
@@ -102,7 +128,7 @@ Status ArimaForecast::Fit(const LoadSeries& train) {
           }
           ProjectStationary(&params, p);
         }
-        double sse = CssLoss(z, p, q, params);
+        double sse = CssLoss(z, p, q, params, &e);
         int64_t eff = n - std::max(p, q);
         if (eff <= np + 1 || sse <= 0) continue;
         double aic = static_cast<double>(eff) *

@@ -3,23 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "forecast/scratch.h"
 #include "timeseries/resample.h"
 
 namespace seagull {
 
 namespace {
 
-/// Average-pools `raw` (one value per raw tick) into `bins` equal bins.
-std::vector<double> Pool(const std::vector<double>& raw, int64_t bins) {
-  std::vector<double> out(static_cast<size_t>(bins), 0.0);
-  const int64_t per = static_cast<int64_t>(raw.size()) / bins;
+/// Average-pools `raw` (`raw_n` values, one per raw tick) into `bins`
+/// equal bins written to `out`.
+void PoolInto(const double* raw, int64_t raw_n, int64_t bins, double* out) {
+  const int64_t per = raw_n / bins;
   for (int64_t b = 0; b < bins; ++b) {
     double sum = 0.0;
     for (int64_t k = 0; k < per; ++k) {
-      sum += raw[static_cast<size_t>(b * per + k)];
+      sum += raw[b * per + k];
     }
-    out[static_cast<size_t>(b)] = sum / static_cast<double>(per);
+    out[b] = sum / static_cast<double>(per);
   }
+}
+
+/// Vector-returning wrapper for the inference path.
+std::vector<double> Pool(const std::vector<double>& raw, int64_t bins) {
+  std::vector<double> out(static_cast<size_t>(bins), 0.0);
+  PoolInto(raw.data(), static_cast<int64_t>(raw.size()), bins, out.data());
   return out;
 }
 
@@ -40,22 +47,35 @@ Status FeedForwardForecast::Fit(const LoadSeries& train) {
         "feed-forward training needs at least two days of history");
   }
 
-  // Build sliding (context day -> next day) training pairs.
-  std::vector<std::vector<double>> xs, ys;
+  // Build sliding (context day -> next day) training pairs, pooled
+  // straight into contiguous scratch matrices: one row per pair, so the
+  // epoch loop below streams them with raw row pointers and the whole
+  // construction reuses the thread's retained capacity across fits.
+  KernelScratch& scratch = KernelScratch::Local();
+  int64_t m = 0;
   for (int64_t off = 0; off + 2 * ticks_day <= filled.size();
        off += options_.stride) {
-    std::vector<double> ctx(static_cast<size_t>(ticks_day));
-    std::vector<double> nxt(static_cast<size_t>(ticks_day));
-    for (int64_t i = 0; i < ticks_day; ++i) {
-      ctx[static_cast<size_t>(i)] = filled.ValueAt(off + i) / scale_;
-      nxt[static_cast<size_t>(i)] =
-          filled.ValueAt(off + ticks_day + i) / scale_;
-    }
-    xs.push_back(Pool(ctx, in_dim));
-    ys.push_back(Pool(nxt, out_dim));
+    ++m;
   }
-  const int64_t m = static_cast<int64_t>(xs.size());
   if (m == 0) return Status::FailedPrecondition("no training windows");
+  Matrix& inputs = scratch.Mat(kscratch::kMatFfInputs, m, in_dim);
+  Matrix& targets = scratch.Mat(kscratch::kMatFfTargets, m, out_dim);
+  {
+    std::vector<double>& raw =
+        scratch.Vec(kscratch::kFfActivations, static_cast<size_t>(2 * ticks_day));
+    double* ctx = raw.data();
+    double* nxt = raw.data() + ticks_day;
+    int64_t row = 0;
+    for (int64_t off = 0; off + 2 * ticks_day <= filled.size();
+         off += options_.stride, ++row) {
+      for (int64_t i = 0; i < ticks_day; ++i) {
+        ctx[i] = filled.ValueAt(off + i) / scale_;
+        nxt[i] = filled.ValueAt(off + ticks_day + i) / scale_;
+      }
+      PoolInto(ctx, ticks_day, in_dim, inputs.Row(row));
+      PoolInto(nxt, ticks_day, out_dim, targets.Row(row));
+    }
+  }
 
   // He-initialized parameters.
   Rng rng(options_.seed);
@@ -69,19 +89,26 @@ Status FeedForwardForecast::Fit(const LoadSeries& train) {
   init(&w2_, out_dim * hidden, static_cast<double>(hidden));
   b2_.assign(static_cast<size_t>(out_dim), 0.0);
 
-  // Adam state.
+  // Adam state and gradient accumulators live in the scratch arena; the
+  // activation workspace packs h/pre/yhat/dy into one slot (it re-slices
+  // the buffer the pooling pass above used — its contents are dead now).
   const size_t np = w1_.size() + b1_.size() + w2_.size() + b2_.size();
-  std::vector<double> m1(np, 0.0), v1(np, 0.0);
+  std::vector<double>& m1 = scratch.VecZero(kscratch::kFfAdamM, np);
+  std::vector<double>& v1 = scratch.VecZero(kscratch::kFfAdamV, np);
   const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
   const double lr = options_.learning_rate;
 
-  std::vector<double> g_w1(w1_.size()), g_b1(b1_.size()), g_w2(w2_.size()),
-      g_b2(b2_.size());
-  std::vector<double> h(static_cast<size_t>(hidden));
-  std::vector<double> pre(static_cast<size_t>(hidden));
-  std::vector<double> yhat(static_cast<size_t>(out_dim));
-  std::vector<double> dy(static_cast<size_t>(out_dim));
-  std::vector<double> dh(static_cast<size_t>(hidden));
+  std::vector<double>& g_w1 = scratch.Vec(kscratch::kFfGradW1, w1_.size());
+  std::vector<double>& g_b1 = scratch.Vec(kscratch::kFfGradB1, b1_.size());
+  std::vector<double>& g_w2 = scratch.Vec(kscratch::kFfGradW2, w2_.size());
+  std::vector<double>& g_b2 = scratch.Vec(kscratch::kFfGradB2, b2_.size());
+  std::vector<double>& act = scratch.Vec(
+      kscratch::kFfActivations, static_cast<size_t>(3 * hidden + 2 * out_dim));
+  double* h = act.data();
+  double* pre = h + hidden;
+  double* dh = pre + hidden;
+  double* yhat = dh + hidden;
+  double* dy = yhat + out_dim;
 
   int64_t step = 0;
   for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
@@ -91,48 +118,48 @@ Status FeedForwardForecast::Fit(const LoadSeries& train) {
     std::fill(g_b2.begin(), g_b2.end(), 0.0);
     double loss = 0.0;
     for (int64_t s = 0; s < m; ++s) {
-      const auto& x = xs[static_cast<size_t>(s)];
-      const auto& y = ys[static_cast<size_t>(s)];
+      const double* x = inputs.Row(s);
+      const double* y = targets.Row(s);
       // Forward.
       for (int64_t j = 0; j < hidden; ++j) {
         double a = b1_[static_cast<size_t>(j)];
+        const double* w1r = w1_.data() + j * in_dim;
         for (int64_t i = 0; i < in_dim; ++i) {
-          a += w1_[static_cast<size_t>(j * in_dim + i)] *
-               x[static_cast<size_t>(i)];
+          a += w1r[i] * x[i];
         }
-        pre[static_cast<size_t>(j)] = a;
-        h[static_cast<size_t>(j)] = a > 0 ? a : 0.0;
+        pre[j] = a;
+        h[j] = a > 0 ? a : 0.0;
       }
       for (int64_t o = 0; o < out_dim; ++o) {
         double a = b2_[static_cast<size_t>(o)];
+        const double* w2r = w2_.data() + o * hidden;
         for (int64_t j = 0; j < hidden; ++j) {
-          a += w2_[static_cast<size_t>(o * hidden + j)] *
-               h[static_cast<size_t>(j)];
+          a += w2r[j] * h[j];
         }
-        yhat[static_cast<size_t>(o)] = a;
-        double d = a - y[static_cast<size_t>(o)];
-        dy[static_cast<size_t>(o)] = d;
+        yhat[o] = a;
+        double d = a - y[o];
+        dy[o] = d;
         loss += d * d;
       }
       // Backward.
-      std::fill(dh.begin(), dh.end(), 0.0);
+      std::fill(dh, dh + hidden, 0.0);
       for (int64_t o = 0; o < out_dim; ++o) {
-        double d = dy[static_cast<size_t>(o)];
+        double d = dy[o];
         g_b2[static_cast<size_t>(o)] += d;
+        double* g_w2r = g_w2.data() + o * hidden;
+        const double* w2r = w2_.data() + o * hidden;
         for (int64_t j = 0; j < hidden; ++j) {
-          g_w2[static_cast<size_t>(o * hidden + j)] +=
-              d * h[static_cast<size_t>(j)];
-          dh[static_cast<size_t>(j)] +=
-              d * w2_[static_cast<size_t>(o * hidden + j)];
+          g_w2r[j] += d * h[j];
+          dh[j] += d * w2r[j];
         }
       }
       for (int64_t j = 0; j < hidden; ++j) {
-        if (pre[static_cast<size_t>(j)] <= 0) continue;
-        double d = dh[static_cast<size_t>(j)];
+        if (pre[j] <= 0) continue;
+        double d = dh[j];
         g_b1[static_cast<size_t>(j)] += d;
+        double* g_w1r = g_w1.data() + j * in_dim;
         for (int64_t i = 0; i < in_dim; ++i) {
-          g_w1[static_cast<size_t>(j * in_dim + i)] +=
-              d * x[static_cast<size_t>(i)];
+          g_w1r[i] += d * x[i];
         }
       }
     }

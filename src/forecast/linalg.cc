@@ -1,10 +1,36 @@
 #include "forecast/linalg.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
+#include "common/logging.h"
+#include "forecast/scratch.h"
+
 namespace seagull {
+
+namespace {
+
+std::atomic<KernelMode> g_kernel_mode{KernelMode::kFast};
+
+/// Cache-block extents for MatMul: the reduction block keeps a row of B
+/// resident while it is reused, the column block keeps the C row's
+/// working set inside L1.
+constexpr int64_t kBlockK = 64;
+constexpr int64_t kBlockJ = 256;
+
+}  // namespace
+
+void SetKernelMode(KernelMode mode) {
+  g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode GetKernelMode() {
+  return g_kernel_mode.load(std::memory_order_relaxed);
+}
 
 std::vector<double> Matrix::Column(int64_t c) const {
   std::vector<double> out(static_cast<size_t>(rows_));
@@ -22,13 +48,43 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) {
     return Status::Invalid("matmul shape mismatch");
   }
-  Matrix c(a.rows(), b.cols());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t k = 0; k < a.cols(); ++k) {
-      double aik = a.At(i, k);
-      if (aik == 0.0) continue;
-      for (int64_t j = 0; j < b.cols(); ++j) {
-        c.At(i, j) += aik * b.At(k, j);
+  const int64_t m = a.rows(), kk = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t k = 0; k < kk; ++k) {
+        double aik = a.At(i, k);
+        if (aik == 0.0) continue;
+        for (int64_t j = 0; j < n; ++j) {
+          c.At(i, j) += aik * b.At(k, j);
+        }
+      }
+    }
+    return c;
+  }
+  // Blocked i-k-j with a 4-wide unrolled update of C's row. For any
+  // (i, j) the contributions still arrive in ascending-k order, so this
+  // path agrees bit-for-bit with the scalar loop above.
+  for (int64_t i = 0; i < m; ++i) {
+    const double* ai = a.Row(i);
+    double* ci = c.Row(i);
+    for (int64_t k0 = 0; k0 < kk; k0 += kBlockK) {
+      const int64_t k1 = std::min(k0 + kBlockK, kk);
+      for (int64_t j0 = 0; j0 < n; j0 += kBlockJ) {
+        const int64_t j1 = std::min(j0 + kBlockJ, n);
+        for (int64_t k = k0; k < k1; ++k) {
+          const double aik = ai[k];
+          if (aik == 0.0) continue;
+          const double* bk = b.Row(k);
+          int64_t j = j0;
+          for (; j + 4 <= j1; j += 4) {
+            ci[j] += aik * bk[j];
+            ci[j + 1] += aik * bk[j + 1];
+            ci[j + 2] += aik * bk[j + 2];
+            ci[j + 3] += aik * bk[j + 3];
+          }
+          for (; j < j1; ++j) ci[j] += aik * bk[j];
+        }
       }
     }
   }
@@ -38,9 +94,82 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
 Matrix Transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
   for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t j = 0; j < a.cols(); ++j) t.At(j, i) = a.At(i, j);
+    const double* ai = a.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) t.At(j, i) = ai[j];
   }
   return t;
+}
+
+Matrix AtA(const Matrix& a, double ridge) {
+  const int64_t m = a.rows(), n = a.cols();
+  Matrix c(n, n);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    // Textbook column-pair dot products (strided walks down A).
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i; j < n; ++j) {
+        double s = 0.0;
+        for (int64_t r = 0; r < m; ++r) s += a.At(r, i) * a.At(r, j);
+        c.At(i, j) = s;
+        c.At(j, i) = s;
+      }
+    }
+  } else {
+    // SYRK-style rank-1 accumulation: each row of A is read
+    // contiguously exactly once and updates the upper triangle.
+    for (int64_t r = 0; r < m; ++r) {
+      const double* ar = a.Row(r);
+      for (int64_t i = 0; i < n; ++i) {
+        const double v = ar[i];
+        if (v == 0.0) continue;
+        double* ci = c.Row(i);
+        int64_t j = i;
+        for (; j + 4 <= n; j += 4) {
+          ci[j] += v * ar[j];
+          ci[j + 1] += v * ar[j + 1];
+          ci[j + 2] += v * ar[j + 2];
+          ci[j + 3] += v * ar[j + 3];
+        }
+        for (; j < n; ++j) ci[j] += v * ar[j];
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < i; ++j) c.At(i, j) = c.At(j, i);
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) c.At(i, i) += ridge;
+  return c;
+}
+
+std::vector<double> TransposeMatVec(const Matrix& a,
+                                    const std::vector<double>& b) {
+  const int64_t m = a.rows(), n = a.cols();
+  std::vector<double> y(static_cast<size_t>(n), 0.0);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    for (int64_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int64_t r = 0; r < m; ++r) {
+        s += a.At(r, i) * b[static_cast<size_t>(r)];
+      }
+      y[static_cast<size_t>(i)] = s;
+    }
+    return y;
+  }
+  // Row-by-row axpy: A is streamed contiguously once.
+  for (int64_t r = 0; r < m; ++r) {
+    const double br = b[static_cast<size_t>(r)];
+    if (br == 0.0) continue;
+    const double* ar = a.Row(r);
+    double* yp = y.data();
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      yp[i] += br * ar[i];
+      yp[i + 1] += br * ar[i + 1];
+      yp[i + 2] += br * ar[i + 2];
+      yp[i + 3] += br * ar[i + 3];
+    }
+    for (; i < n; ++i) yp[i] += br * ar[i];
+  }
+  return y;
 }
 
 Result<std::vector<double>> MatVec(const Matrix& a,
@@ -48,22 +177,92 @@ Result<std::vector<double>> MatVec(const Matrix& a,
   if (a.cols() != static_cast<int64_t>(x.size())) {
     return Status::Invalid("matvec shape mismatch");
   }
-  std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    double sum = 0.0;
-    for (int64_t j = 0; j < a.cols(); ++j) {
-      sum += a.At(i, j) * x[static_cast<size_t>(j)];
+  const int64_t m = a.rows(), n = a.cols();
+  std::vector<double> y(static_cast<size_t>(m), 0.0);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    for (int64_t i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        sum += a.At(i, j) * x[static_cast<size_t>(j)];
+      }
+      y[static_cast<size_t>(i)] = sum;
     }
-    y[static_cast<size_t>(i)] = sum;
+    return y;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    y[static_cast<size_t>(i)] = Dot(a.Row(i), x.data(), n);
   }
   return y;
 }
 
+double Dot(const double* a, const double* b, int64_t n) {
+  if (GetKernelMode() == KernelMode::kScalar) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+    return sum;
+  }
+  // Four fixed lanes with a fixed combine order: deterministic for a
+  // given length regardless of caller or thread.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double sum = 0.0;
-  size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
-  return sum;
+  if (a.size() != b.size()) {
+    // Checked precondition: the old behaviour silently truncated to the
+    // shorter vector, which turns shape bugs into quiet wrong answers.
+    SEAGULL_LOG_ERROR("Dot() shape mismatch: %zu vs %zu elements",
+                      a.size(), b.size());
+    std::abort();
+  }
+  return Dot(a.data(), b.data(), static_cast<int64_t>(a.size()));
+}
+
+void BuildLagGram(const double* x, int64_t n, int64_t L, Matrix* out) {
+  out->Resize(L, L);
+  const int64_t k = n - L + 1;
+  if (GetKernelMode() == KernelMode::kScalar) {
+    // Reference: materialized trajectory-matrix product, O(k·L²).
+    for (int64_t i = 0; i < k; ++i) {
+      for (int64_t a = 0; a < L; ++a) {
+        const double xa = x[i + a];
+        if (xa == 0.0) continue;
+        double* row = out->Row(a);
+        for (int64_t b = a; b < L; ++b) row[b] += xa * x[i + b];
+      }
+    }
+  } else {
+    // Hankel structure: C[a][a+d] = Σ_{t=a}^{a+k-1} x[t]·x[t+d] — one
+    // prefix-sum pass over the lag-d products yields the whole d-th
+    // diagonal, O(n·L) overall.
+    std::vector<double>& prefix = KernelScratch::Local().Vec(
+        kscratch::kLinalgGramPrefix, static_cast<size_t>(n) + 1);
+    for (int64_t d = 0; d < L; ++d) {
+      const int64_t products = n - d;
+      prefix[0] = 0.0;
+      double acc = 0.0;
+      for (int64_t t = 0; t < products; ++t) {
+        acc += x[t] * x[t + d];
+        prefix[static_cast<size_t>(t) + 1] = acc;
+      }
+      for (int64_t a = 0; a + d < L; ++a) {
+        out->At(a, a + d) =
+            prefix[static_cast<size_t>(a + k)] - prefix[static_cast<size_t>(a)];
+      }
+    }
+  }
+  for (int64_t a = 0; a < L; ++a) {
+    for (int64_t b = 0; b < a; ++b) out->At(a, b) = out->At(b, a);
+  }
 }
 
 Result<std::vector<double>> CholeskySolve(Matrix a, std::vector<double> b) {
@@ -71,26 +270,30 @@ Result<std::vector<double>> CholeskySolve(Matrix a, std::vector<double> b) {
   if (a.cols() != n || static_cast<int64_t>(b.size()) != n) {
     return Status::Invalid("cholesky shape mismatch");
   }
-  // Factor A = L Lᵀ in the lower triangle of `a`.
+  // Factor A = L Lᵀ in the lower triangle of `a`. Row-pointer walks;
+  // the reduction order matches the textbook loop element for element.
   for (int64_t j = 0; j < n; ++j) {
-    double d = a.At(j, j);
-    for (int64_t k = 0; k < j; ++k) d -= a.At(j, k) * a.At(j, k);
+    double* aj = a.Row(j);
+    double d = aj[j];
+    for (int64_t k = 0; k < j; ++k) d -= aj[k] * aj[k];
     if (d <= 0.0) {
       return Status::Invalid("matrix is not positive definite");
     }
     d = std::sqrt(d);
-    a.At(j, j) = d;
+    aj[j] = d;
     for (int64_t i = j + 1; i < n; ++i) {
-      double s = a.At(i, j);
-      for (int64_t k = 0; k < j; ++k) s -= a.At(i, k) * a.At(j, k);
-      a.At(i, j) = s / d;
+      double* ai = a.Row(i);
+      double s = ai[j];
+      for (int64_t k = 0; k < j; ++k) s -= ai[k] * aj[k];
+      ai[j] = s / d;
     }
   }
   // Forward solve L y = b.
   for (int64_t i = 0; i < n; ++i) {
+    const double* ai = a.Row(i);
     double s = b[static_cast<size_t>(i)];
-    for (int64_t k = 0; k < i; ++k) s -= a.At(i, k) * b[static_cast<size_t>(k)];
-    b[static_cast<size_t>(i)] = s / a.At(i, i);
+    for (int64_t k = 0; k < i; ++k) s -= ai[k] * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(i)] = s / ai[i];
   }
   // Back solve Lᵀ x = y.
   for (int64_t i = n - 1; i >= 0; --i) {
@@ -109,25 +312,8 @@ Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
   if (a.rows() != static_cast<int64_t>(b.size())) {
     return Status::Invalid("least-squares shape mismatch");
   }
-  const int64_t n = a.cols();
-  Matrix ata(n, n);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = i; j < n; ++j) {
-      double s = 0.0;
-      for (int64_t r = 0; r < a.rows(); ++r) s += a.At(r, i) * a.At(r, j);
-      ata.At(i, j) = s;
-      ata.At(j, i) = s;
-    }
-    ata.At(i, i) += ridge;
-  }
-  std::vector<double> atb(static_cast<size_t>(n), 0.0);
-  for (int64_t i = 0; i < n; ++i) {
-    double s = 0.0;
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      s += a.At(r, i) * b[static_cast<size_t>(r)];
-    }
-    atb[static_cast<size_t>(i)] = s;
-  }
+  Matrix ata = AtA(a, ridge);
+  std::vector<double> atb = TransposeMatVec(a, b);
   auto solved = CholeskySolve(std::move(ata), std::move(atb));
   if (!solved.ok()) {
     return solved.status().WithContext("normal equations are singular");
@@ -140,60 +326,69 @@ Result<SvdResult> JacobiSvd(const Matrix& a, int max_sweeps) {
   const int64_t n = a.cols();
   if (m < n) return Status::Invalid("JacobiSvd requires rows >= cols");
 
-  Matrix u = a;  // will become U * diag(S)
-  Matrix v = Matrix::Identity(n);
+  // Work on the transposed factors: row j of `ut` is column j of
+  // U·diag(S), row j of `vt` is column j of V. Every column-pair
+  // rotation then updates two contiguous rows.
+  Matrix ut = Transpose(a);
+  Matrix vt(n, n);
+  for (int64_t i = 0; i < n; ++i) vt.At(i, i) = 1.0;
 
   const double eps = 1e-12;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool converged = true;
     for (int64_t p = 0; p < n - 1; ++p) {
       for (int64_t q = p + 1; q < n; ++q) {
+        double* up = ut.Row(p);
+        double* uq = ut.Row(q);
         double alpha = 0.0, beta = 0.0, gamma = 0.0;
         for (int64_t r = 0; r < m; ++r) {
-          double up = u.At(r, p), uq = u.At(r, q);
-          alpha += up * up;
-          beta += uq * uq;
-          gamma += up * uq;
+          const double x = up[r], y = uq[r];
+          alpha += x * x;
+          beta += y * y;
+          gamma += x * y;
         }
         if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta) ||
             alpha * beta == 0.0) {
           continue;
         }
         converged = false;
-        double zeta = (beta - alpha) / (2.0 * gamma);
-        double t = (zeta >= 0 ? 1.0 : -1.0) /
-                   (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
-        double c = 1.0 / std::sqrt(1.0 + t * t);
-        double s = c * t;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
         for (int64_t r = 0; r < m; ++r) {
-          double up = u.At(r, p), uq = u.At(r, q);
-          u.At(r, p) = c * up - s * uq;
-          u.At(r, q) = s * up + c * uq;
+          const double x = up[r], y = uq[r];
+          up[r] = c * x - s * y;
+          uq[r] = s * x + c * y;
         }
+        double* vp = vt.Row(p);
+        double* vq = vt.Row(q);
         for (int64_t r = 0; r < n; ++r) {
-          double vp = v.At(r, p), vq = v.At(r, q);
-          v.At(r, p) = c * vp - s * vq;
-          v.At(r, q) = s * vp + c * vq;
+          const double x = vp[r], y = vq[r];
+          vp[r] = c * x - s * y;
+          vq[r] = s * x + c * y;
         }
       }
     }
-    if (converged) break;
+    if (converged) break;  // early exit: a full sweep made no rotation
   }
 
-  // Extract singular values and normalize U's columns.
+  // Extract singular values and normalize U's columns (rows of ut).
   SvdResult out;
   out.s.resize(static_cast<size_t>(n));
   for (int64_t j = 0; j < n; ++j) {
+    double* uj = ut.Row(j);
     double norm = 0.0;
-    for (int64_t r = 0; r < m; ++r) norm += u.At(r, j) * u.At(r, j);
+    for (int64_t r = 0; r < m; ++r) norm += uj[r] * uj[r];
     norm = std::sqrt(norm);
     out.s[static_cast<size_t>(j)] = norm;
     if (norm > 0) {
-      for (int64_t r = 0; r < m; ++r) u.At(r, j) /= norm;
+      for (int64_t r = 0; r < m; ++r) uj[r] /= norm;
     }
   }
 
-  // Sort by singular value, descending.
+  // Sort by singular value, descending, and transpose back.
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
@@ -202,10 +397,12 @@ Result<SvdResult> JacobiSvd(const Matrix& a, int max_sweeps) {
   Matrix su(m, n), sv(n, n);
   std::vector<double> ss(static_cast<size_t>(n));
   for (int64_t j = 0; j < n; ++j) {
-    int64_t src = order[static_cast<size_t>(j)];
+    const int64_t src = order[static_cast<size_t>(j)];
     ss[static_cast<size_t>(j)] = out.s[static_cast<size_t>(src)];
-    for (int64_t r = 0; r < m; ++r) su.At(r, j) = u.At(r, src);
-    for (int64_t r = 0; r < n; ++r) sv.At(r, j) = v.At(r, src);
+    const double* uj = ut.Row(src);
+    for (int64_t r = 0; r < m; ++r) su.At(r, j) = uj[r];
+    const double* vj = vt.Row(src);
+    for (int64_t r = 0; r < n; ++r) sv.At(r, j) = vj[r];
   }
   out.u = std::move(su);
   out.v = std::move(sv);
@@ -213,65 +410,256 @@ Result<SvdResult> JacobiSvd(const Matrix& a, int max_sweeps) {
   return out;
 }
 
-Result<EigenResult> SymmetricEigen(Matrix a, int max_sweeps) {
+namespace {
+
+/// Householder reduction of the symmetric n×n matrix `a` to tridiagonal
+/// form (tred2): on return `d` holds the diagonal, `e[1..n-1]` the
+/// sub-diagonal, and `a` is overwritten with the accumulated orthogonal
+/// transform Q (column k is the k-th basis vector of the tridiagonal
+/// frame).
+void HouseholderTridiag(Matrix& a, int64_t n, double* d, double* e) {
+  for (int64_t i = n - 1; i >= 1; --i) {
+    const int64_t l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (int64_t k = 0; k <= l; ++k) scale += std::fabs(a.At(i, k));
+      if (scale == 0.0) {
+        e[i] = a.At(i, l);
+      } else {
+        for (int64_t k = 0; k <= l; ++k) {
+          a.At(i, k) /= scale;
+          h += a.At(i, k) * a.At(i, k);
+        }
+        double f = a.At(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a.At(i, l) = f - g;
+        f = 0.0;
+        for (int64_t j = 0; j <= l; ++j) {
+          a.At(j, i) = a.At(i, j) / h;
+          g = 0.0;
+          for (int64_t k = 0; k <= j; ++k) g += a.At(j, k) * a.At(i, k);
+          for (int64_t k = j + 1; k <= l; ++k) g += a.At(k, j) * a.At(i, k);
+          e[j] = g / h;
+          f += e[j] * a.At(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int64_t j = 0; j <= l; ++j) {
+          f = a.At(i, j);
+          g = e[j] - hh * f;
+          e[j] = g;
+          for (int64_t k = 0; k <= j; ++k) {
+            a.At(j, k) -= f * e[k] + g * a.At(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = a.At(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate the transform (d[i] still holds the Householder h as the
+  // "was a reflection applied at step i" flag).
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t l = i - 1;
+    if (d[i] != 0.0) {
+      for (int64_t j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (int64_t k = 0; k <= l; ++k) g += a.At(i, k) * a.At(k, j);
+        for (int64_t k = 0; k <= l; ++k) a.At(k, j) -= g * a.At(k, i);
+      }
+    }
+    d[i] = a.At(i, i);
+    a.At(i, i) = 1.0;
+    for (int64_t j = 0; j <= l; ++j) {
+      a.At(j, i) = 0.0;
+      a.At(i, j) = 0.0;
+    }
+  }
+}
+
+/// Implicit-shift QL iteration on the tridiagonal (d, e) produced by
+/// HouseholderTridiag (tqli). `zt` carries the transform transposed —
+/// row k is eigenvector k — so each Givens rotation updates two
+/// contiguous rows. Returns false if an eigenvalue fails to converge.
+bool TridiagQl(double* d, double* e, int64_t n, Matrix& zt) {
+  for (int64_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (int64_t l = 0; l < n; ++l) {
+    int iter = 0;
+    int64_t m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 60) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? r : -r));
+        double s = 1.0, c = 1.0, p = 0.0;
+        int64_t i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Negligible rotation: deflate and restart the chase.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          double* zi = zt.Row(i);
+          double* zi1 = zt.Row(i + 1);
+          for (int64_t k = 0; k < n; ++k) {
+            f = zi1[k];
+            zi1[k] = s * zi[k] + c * f;
+            zi[k] = c * zi[k] - s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+/// Sorts eigenpairs descending by eigenvalue and writes the caller's
+/// outputs (column j of `*vectors` = eigenvector j, taken from row j of
+/// `vt`). `d` aliases `values`' storage, so `work` stages the unsorted
+/// eigenvalues during the permutation.
+Status SortEigenPairs(const double* d, const Matrix& vt, int64_t n,
+                      std::vector<double>& work, Matrix* vectors,
+                      std::vector<double>* values) {
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return d[x] > d[y]; });
+  for (int64_t i = 0; i < n; ++i) work[static_cast<size_t>(i)] = d[i];
+  vectors->Resize(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    (*values)[static_cast<size_t>(j)] = work[static_cast<size_t>(src)];
+    const double* vj = vt.Row(src);
+    for (int64_t r = 0; r < n; ++r) {
+      vectors->At(r, j) = vj[r];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SymmetricEigenInPlace(Matrix* a_ptr, Matrix* vectors,
+                             std::vector<double>* values, int max_sweeps) {
+  Matrix& a = *a_ptr;
   const int64_t n = a.rows();
   if (a.cols() != n) return Status::Invalid("matrix is not square");
-  Matrix v = Matrix::Identity(n);
+  KernelScratch& scratch = KernelScratch::Local();
+  // Row j of `vt` holds eigenvector j, so every rotation updates two
+  // contiguous rows. The accumulator is linalg's own scratch slot —
+  // callers passing scratch-owned outputs get a zero-alloc solve.
+  Matrix& vt = scratch.Mat(kscratch::kMatLinalgEigenVt, n, n);
+  values->resize(static_cast<size_t>(n));
+  double* d = values->data();
+  std::vector<double>& work =
+      scratch.Vec(kscratch::kLinalgEigenOff, static_cast<size_t>(n));
+
+  const bool fast = GetKernelMode() == KernelMode::kFast;
+  if (fast) {
+    // Householder tridiagonalization + implicit-shift QL: ~an order of
+    // magnitude fewer flops than the cyclic Jacobi reference below,
+    // which needs ~9 full O(n³) sweeps to converge on load-scale Grams.
+    HouseholderTridiag(a, n, d, work.data());
+    // The accumulated transform sits column-wise in `a`; transpose into
+    // `vt` so the QL rotations walk contiguous rows.
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) vt.At(j, i) = a.At(i, j);
+    }
+    if (!TridiagQl(d, work.data(), n, vt)) {
+      return Status::Internal("QL eigensolver failed to converge");
+    }
+    return SortEigenPairs(d, vt, n, work, vectors, values);
+  }
+
+  // Scalar reference: cyclic Jacobi with the historical absolute
+  // cutoffs — the bit-exact "before" implementation the benches and
+  // property tests compare against.
+  for (int64_t i = 0; i < n; ++i) vt.At(i, i) = 1.0;
+  const double off_exit = 1e-20;
+  const double rot_skip = 1e-18;
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     // Off-diagonal Frobenius norm as the convergence measure.
     double off = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = i + 1; j < n; ++j) off += a.At(i, j) * a.At(i, j);
+      const double* ai = a.Row(i);
+      for (int64_t j = i + 1; j < n; ++j) off += ai[j] * ai[j];
     }
-    if (off < 1e-20) break;
+    if (off <= off_exit) break;
 
     for (int64_t p = 0; p < n - 1; ++p) {
       for (int64_t q = p + 1; q < n; ++q) {
-        double apq = a.At(p, q);
-        if (std::fabs(apq) < 1e-18) continue;
-        double app = a.At(p, p), aqq = a.At(q, q);
-        double tau = (aqq - app) / (2.0 * apq);
-        double t = (tau >= 0 ? 1.0 : -1.0) /
-                   (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
-        double c = 1.0 / std::sqrt(1.0 + t * t);
-        double s = c * t;
-        // Apply the rotation J(p,q,θ) on both sides: A ← JᵀAJ.
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) < rot_skip) continue;
+        const double app = a.At(p, p), aqq = a.At(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // Apply the rotation J(p,q,θ) on both sides: A ← JᵀAJ. Column
+        // update first (strided), then the two contiguous row updates —
+        // same sequence as the textbook loop.
         for (int64_t k = 0; k < n; ++k) {
-          double akp = a.At(k, p), akq = a.At(k, q);
-          a.At(k, p) = c * akp - s * akq;
-          a.At(k, q) = s * akp + c * akq;
+          double* ak = a.Row(k);
+          const double akp = ak[p], akq = ak[q];
+          ak[p] = c * akp - s * akq;
+          ak[q] = s * akp + c * akq;
         }
+        double* ap = a.Row(p);
+        double* aq = a.Row(q);
         for (int64_t k = 0; k < n; ++k) {
-          double apk = a.At(p, k), aqk = a.At(q, k);
-          a.At(p, k) = c * apk - s * aqk;
-          a.At(q, k) = s * apk + c * aqk;
+          const double apk = ap[k], aqk = aq[k];
+          ap[k] = c * apk - s * aqk;
+          aq[k] = s * apk + c * aqk;
         }
+        double* vp = vt.Row(p);
+        double* vq = vt.Row(q);
         for (int64_t k = 0; k < n; ++k) {
-          double vkp = v.At(k, p), vkq = v.At(k, q);
-          v.At(k, p) = c * vkp - s * vkq;
-          v.At(k, q) = s * vkp + c * vkq;
+          const double vpk = vp[k], vqk = vq[k];
+          vp[k] = c * vpk - s * vqk;
+          vq[k] = s * vpk + c * vqk;
         }
       }
     }
   }
 
-  // Sort eigenpairs by eigenvalue, descending.
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
-    return a.At(x, x) > a.At(y, y);
-  });
+  // The converged eigenvalues sit on the diagonal.
+  for (int64_t i = 0; i < n; ++i) d[i] = a.At(i, i);
+  return SortEigenPairs(d, vt, n, work, vectors, values);
+}
+
+Result<EigenResult> SymmetricEigen(Matrix a, int max_sweeps) {
   EigenResult out;
-  out.values.resize(static_cast<size_t>(n));
-  out.vectors = Matrix(n, n);
-  for (int64_t j = 0; j < n; ++j) {
-    int64_t src = order[static_cast<size_t>(j)];
-    out.values[static_cast<size_t>(j)] = a.At(src, src);
-    for (int64_t r = 0; r < n; ++r) {
-      out.vectors.At(r, j) = v.At(r, src);
-    }
-  }
+  SEAGULL_RETURN_NOT_OK(
+      SymmetricEigenInPlace(&a, &out.vectors, &out.values, max_sweeps));
   return out;
 }
 

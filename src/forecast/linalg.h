@@ -1,11 +1,25 @@
 /// \file linalg.h
-/// \brief Small dense linear algebra kernel for the forecast models.
+/// \brief Dense linear-algebra kernel engine for the forecast models.
 ///
-/// SSA needs an SVD of the trajectory matrix; the additive model and
-/// ARIMA need least-squares solves; the feed-forward network needs
-/// matrix products. Everything here is straightforward row-major double
-/// math — model inputs are at most a few thousand samples, so clarity
-/// beats blocking.
+/// SSA needs the eigendecomposition of its lag-covariance Gram; the
+/// additive model and ARIMA need least-squares solves; the feed-forward
+/// network needs matrix products. Per-server model fitting runs tens of
+/// thousands of times per pipeline pass, so these kernels are the
+/// compute floor of the whole training fan-out.
+///
+/// Layout contract: `Matrix` is guaranteed-contiguous row-major doubles
+/// (one flat allocation, row `r` starting at `Row(r)`), so kernels walk
+/// raw pointers instead of going through bounds arithmetic per element.
+///
+/// Determinism contract: every kernel reduces in one fixed order that
+/// does not depend on thread count, scheduling, or input values — the
+/// fleet engine's byte-identical `--jobs 1` vs `--jobs N` guarantee
+/// (tests/fleet_determinism_test.cc) extends through every trained
+/// model. The blocked/unrolled fast paths may round differently from
+/// the scalar reference paths (different — but still fixed —
+/// association), which is why the mode switch below exists: comparisons
+/// are only ever made within one mode. See DESIGN.md §"Forecast kernel
+/// engine".
 
 #pragma once
 
@@ -16,7 +30,40 @@
 
 namespace seagull {
 
-/// \brief Row-major dense matrix of doubles.
+class KernelScratch;
+
+/// \brief Selects between the tuned kernels and the textbook scalar
+/// reference implementations.
+///
+/// `kFast` (default) enables the O(n·L) Hankel Gram builder, the
+/// tridiagonal (Householder + QL) eigensolver, and the blocked/unrolled
+/// reductions. `kScalar` reproduces the original textbook loops — kept
+/// callable so benchmarks can emit before/after rows and property tests
+/// can cross-check the fast kernels against them.
+enum class KernelMode { kFast, kScalar };
+
+/// Sets the process-wide kernel mode. Not synchronized with in-flight
+/// kernels: flip it only from single-threaded sections (bench setup,
+/// test fixtures), never mid-fan-out.
+void SetKernelMode(KernelMode mode);
+KernelMode GetKernelMode();
+
+/// RAII guard: scalar reference kernels for the enclosed scope.
+class ScopedScalarKernels {
+ public:
+  ScopedScalarKernels() : saved_(GetKernelMode()) {
+    SetKernelMode(KernelMode::kScalar);
+  }
+  ~ScopedScalarKernels() { SetKernelMode(saved_); }
+  ScopedScalarKernels(const ScopedScalarKernels&) = delete;
+  ScopedScalarKernels& operator=(const ScopedScalarKernels&) = delete;
+
+ private:
+  KernelMode saved_;
+};
+
+/// \brief Row-major dense matrix of doubles in one contiguous
+/// allocation.
 class Matrix {
  public:
   Matrix() = default;
@@ -27,11 +74,24 @@ class Matrix {
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
 
+  /// Raw pointer to the start of row `r` — rows are contiguous and
+  /// consecutive, so `Row(0)` addresses the whole matrix.
+  double* Row(int64_t r) { return data_.data() + r * cols_; }
+  const double* Row(int64_t r) const { return data_.data() + r * cols_; }
+
   double& At(int64_t r, int64_t c) {
     return data_[static_cast<size_t>(r * cols_ + c)];
   }
   double At(int64_t r, int64_t c) const {
     return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Reshapes to rows×cols and zero-fills. Keeps the existing heap
+  /// allocation when capacity suffices — the scratch-arena reuse path.
+  void Resize(int64_t rows, int64_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows * cols), 0.0);
   }
 
   const std::vector<double>& data() const { return data_; }
@@ -48,24 +108,54 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// C = A * B.
+/// C = A * B. Cache-blocked over the reduction and output columns with a
+/// 4-way-unrolled inner kernel; the per-element accumulation order (k
+/// ascending) matches the scalar path exactly, so both modes agree
+/// bit-for-bit.
 Result<Matrix> MatMul(const Matrix& a, const Matrix& b);
 
 /// Aᵀ.
 Matrix Transpose(const Matrix& a);
 
+/// C = AᵀA + ridge·I (SYRK-style: walks rows of A contiguously and
+/// fills the upper triangle, then mirrors). The Gram step of
+/// `SolveLeastSquares`.
+Matrix AtA(const Matrix& a, double ridge = 0.0);
+
+/// y = Aᵀ b — the normal-equations right-hand side, accumulated row by
+/// row so A is read contiguously exactly once.
+std::vector<double> TransposeMatVec(const Matrix& a,
+                                    const std::vector<double>& b);
+
 /// y = A * x.
 Result<std::vector<double>> MatVec(const Matrix& a,
                                    const std::vector<double>& x);
 
-/// Dot product.
+/// Dot product over equal-length vectors (4 fixed lanes, deterministic
+/// combine). Checked precondition: aborts if the sizes differ — the old
+/// behaviour of silently truncating to the shorter vector hid shape
+/// bugs.
 double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Raw-pointer dot over `n` doubles, same fixed 4-lane reduction.
+double Dot(const double* a, const double* b, int64_t n);
+
+/// \brief Builds the L×L lag-covariance Gram C = AᵀA of the Hankel
+/// trajectory matrix A[i][j] = x[i+j] (i in [0, n-L], j in [0, L)).
+///
+/// Fast mode exploits the Hankel structure: C[a][b] depends only on the
+/// lag d = b−a and the offset a, so one prefix-sum pass over the
+/// products x[t]·x[t+d] per lag yields a whole diagonal — O(n·L) total
+/// instead of the O((n−L)·L²) triple loop, which remains the scalar
+/// reference. `out` is resized to L×L (scratch-arena friendly).
+void BuildLagGram(const double* x, int64_t n, int64_t L, Matrix* out);
 
 /// Solves the symmetric positive-definite system A x = b in place via
 /// Cholesky. Fails if A is not SPD (within tolerance).
 Result<std::vector<double>> CholeskySolve(Matrix a, std::vector<double> b);
 
-/// Solves min ‖A x − b‖² + ridge‖x‖² via the normal equations.
+/// Solves min ‖A x − b‖² + ridge‖x‖² via the normal equations
+/// (AtA + TransposeMatVec + CholeskySolve).
 Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
                                               const std::vector<double>& b,
                                               double ridge = 0.0);
@@ -78,9 +168,11 @@ struct SvdResult {
   Matrix v;               ///< n×n orthogonal
 };
 
-/// One-sided Jacobi SVD of an m×n matrix with m >= n. Iterates until
-/// column pairs are orthogonal to machine-precision scale or the sweep
-/// limit is hit.
+/// One-sided Jacobi SVD of an m×n matrix with m >= n. Internally
+/// operates on the transposed factors so every column-pair rotation
+/// walks two contiguous rows. Iterates until column pairs are
+/// orthogonal to machine-precision scale or the sweep limit is hit; a
+/// sweep with no rotations exits early.
 Result<SvdResult> JacobiSvd(const Matrix& a, int max_sweeps = 60);
 
 /// \brief Eigendecomposition of a symmetric matrix: A = V diag(λ) Vᵀ
@@ -90,10 +182,21 @@ struct EigenResult {
   std::vector<double> values; ///< n eigenvalues, descending
 };
 
-/// Cyclic Jacobi eigendecomposition of a symmetric n×n matrix. Used by
-/// SSA, which only needs the lag-space (right) singular vectors — the
-/// eigenvectors of AᵀA — making fitting O(K·L² + L³) instead of a full
-/// SVD of the K×L trajectory matrix.
+/// Eigendecomposition of a symmetric n×n matrix. Used by SSA, which
+/// only needs the lag-space (right) singular vectors — the eigenvectors
+/// of AᵀA. Fast mode runs Householder tridiagonalization followed by
+/// implicit-shift QL (an order of magnitude fewer flops than Jacobi at
+/// SSA's default L=72); the scalar reference is the original cyclic
+/// Jacobi iteration, which `max_sweeps` bounds.
 Result<EigenResult> SymmetricEigen(Matrix a, int max_sweeps = 100);
+
+/// In-place variant for scratch-driven fit loops: consumes `*a`
+/// (overwritten by the rotations), resizes `*vectors` to n×n and
+/// `*values` to n. The rotation accumulator lives in the calling
+/// thread's scratch arena, so passing scratch-owned outputs makes the
+/// whole decomposition heap-allocation-free at steady state.
+Status SymmetricEigenInPlace(Matrix* a, Matrix* vectors,
+                             std::vector<double>* values,
+                             int max_sweeps = 100);
 
 }  // namespace seagull

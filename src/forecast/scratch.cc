@@ -1,0 +1,46 @@
+#include "forecast/scratch.h"
+
+namespace seagull {
+
+KernelScratch& KernelScratch::Local() {
+  static thread_local KernelScratch scratch;
+  return scratch;
+}
+
+std::vector<double>& KernelScratch::Vec(int slot, size_t n) {
+  std::vector<double>& v = vecs_[slot];
+  v.resize(n);
+  return v;
+}
+
+std::vector<double>& KernelScratch::VecZero(int slot, size_t n) {
+  std::vector<double>& v = vecs_[slot];
+  v.assign(n, 0.0);
+  return v;
+}
+
+Matrix& KernelScratch::Mat(int slot, int64_t rows, int64_t cols) {
+  Matrix& m = mats_[slot];
+  m.Resize(rows, cols);
+  return m;
+}
+
+size_t KernelScratch::RetainedBytes() const {
+  size_t bytes = 0;
+  for (const auto& v : vecs_) bytes += v.capacity() * sizeof(double);
+  for (const auto& m : mats_) bytes += m.data().capacity() * sizeof(double);
+  return bytes;
+}
+
+void KernelScratch::Release() {
+  for (auto& v : vecs_) {
+    v.clear();
+    v.shrink_to_fit();
+  }
+  for (auto& m : mats_) {
+    m.Resize(0, 0);
+    m.data().shrink_to_fit();
+  }
+}
+
+}  // namespace seagull

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "forecast/linalg.h"
+#include "forecast/scratch.h"
 #include "timeseries/resample.h"
 
 namespace seagull {
@@ -18,37 +19,33 @@ Status SsaForecast::Fit(const LoadSeries& train) {
   int64_t L = options_.window;
   if (2 * L - 1 > n) L = (n + 1) / 2;
   if (L < 3) return Status::FailedPrecondition("series too short for SSA");
-  const int64_t k = n - L + 1;
 
   mean_ = filled.Mean();
 
   // The recurrence needs only the lag-space singular vectors — the
   // eigenvectors of the L×L lag covariance C = AᵀA where A is the K×L
-  // trajectory matrix A[i][j] = x_{i+j}. Building C directly costs
-  // O(K·L²) and its eigendecomposition O(L³), far below a full SVD.
-  std::vector<double> x(static_cast<size_t>(n));
+  // trajectory matrix A[i][j] = x_{i+j}. The Hankel structure lets
+  // BuildLagGram assemble C in O(n·L) (one prefix-sum pass per lag)
+  // instead of the O(K·L²) materialized product, and the
+  // eigendecomposition is O(L³) — far below a full SVD. The de-meaned
+  // series and the Gram live in the per-thread scratch arena so the
+  // training fan-out reuses them across servers.
+  KernelScratch& scratch = KernelScratch::Local();
+  std::vector<double>& x =
+      scratch.Vec(kscratch::kSsaSeries, static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     x[static_cast<size_t>(i)] = filled.ValueAt(i) - mean_;
   }
-  Matrix cov(L, L);
-  for (int64_t i = 0; i < k; ++i) {
-    for (int64_t a = 0; a < L; ++a) {
-      double xa = x[static_cast<size_t>(i + a)];
-      if (xa == 0.0) continue;
-      for (int64_t b = a; b < L; ++b) {
-        cov.At(a, b) += xa * x[static_cast<size_t>(i + b)];
-      }
-    }
-  }
-  for (int64_t a = 0; a < L; ++a) {
-    for (int64_t b = 0; b < a; ++b) cov.At(a, b) = cov.At(b, a);
-  }
-  SEAGULL_ASSIGN_OR_RETURN(EigenResult eig, SymmetricEigen(cov));
+  Matrix& cov = scratch.Mat(kscratch::kMatSsaGram, L, L);
+  BuildLagGram(x.data(), n, L, &cov);
+  Matrix& vectors = scratch.Mat(kscratch::kMatSsaEigVec, 0, 0);
+  std::vector<double>& values = scratch.Vec(kscratch::kSsaEigVals, 0);
+  SEAGULL_RETURN_NOT_OK(SymmetricEigenInPlace(&cov, &vectors, &values));
 
   // Retain leading components by energy (eigenvalues of C are squared
   // singular values of A).
   double total = 0.0;
-  for (double v : eig.values) total += std::max(v, 0.0);
+  for (double v : values) total += std::max(v, 0.0);
   if (total <= 0.0) {
     // Perfectly flat series: the mean is the whole forecast.
     lrf_.assign(static_cast<size_t>(L - 1), 0.0);
@@ -58,10 +55,10 @@ Status SsaForecast::Fit(const LoadSeries& train) {
   }
   int64_t r = 0;
   double acc = 0.0;
-  while (r < static_cast<int64_t>(eig.values.size()) &&
+  while (r < static_cast<int64_t>(values.size()) &&
          r < options_.max_components &&
          acc / total < options_.energy_threshold) {
-    acc += std::max(eig.values[static_cast<size_t>(r)], 0.0);
+    acc += std::max(values[static_cast<size_t>(r)], 0.0);
     ++r;
   }
   rank_ = std::max<int64_t>(r, 1);
@@ -70,14 +67,14 @@ Status SsaForecast::Fit(const LoadSeries& train) {
   // nu2 = sum of squared last components; R = (1/(1-nu2)) * sum pi_i u_i.
   double nu2 = 0.0;
   for (int64_t i = 0; i < rank_; ++i) {
-    double pi = eig.vectors.At(L - 1, i);
+    double pi = vectors.At(L - 1, i);
     nu2 += pi * pi;
   }
   if (nu2 >= 1.0 - 1e-9) {
     // Degenerate vertical component; drop trailing components until the
     // recurrence is well-defined.
     while (rank_ > 1 && nu2 >= 1.0 - 1e-9) {
-      double pi = eig.vectors.At(L - 1, rank_ - 1);
+      double pi = vectors.At(L - 1, rank_ - 1);
       nu2 -= pi * pi;
       --rank_;
     }
@@ -87,9 +84,9 @@ Status SsaForecast::Fit(const LoadSeries& train) {
   }
   lrf_.assign(static_cast<size_t>(L - 1), 0.0);
   for (int64_t i = 0; i < rank_; ++i) {
-    double pi = eig.vectors.At(L - 1, i);
+    double pi = vectors.At(L - 1, i);
     for (int64_t j = 0; j < L - 1; ++j) {
-      lrf_[static_cast<size_t>(j)] += pi * eig.vectors.At(j, i);
+      lrf_[static_cast<size_t>(j)] += pi * vectors.At(j, i);
     }
   }
   for (auto& c : lrf_) c /= (1.0 - nu2);
@@ -115,7 +112,8 @@ Result<LoadSeries> SsaForecast::Forecast(const LoadSeries& recent,
   // `start`.
   LoadSeries context =
       InterpolateMissing(recent.Slice(start - (lag + 4) * interval, start));
-  std::vector<double> window(static_cast<size_t>(lag), 0.0);
+  std::vector<double>& window = KernelScratch::Local().VecZero(
+      kscratch::kSsaWindow, static_cast<size_t>(lag));
   for (int64_t j = 0; j < lag; ++j) {
     double v = context.ValueAtTime(start - (lag - j) * interval);
     window[static_cast<size_t>(j)] = IsMissing(v) ? 0.0 : v - mean_;

@@ -1,6 +1,6 @@
 #include "pipeline/training.h"
 
-#include <mutex>
+#include <atomic>
 
 #include "common/obs/clock.h"
 #include "common/obs/metrics.h"
@@ -31,8 +31,9 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
   const int64_t min_history =
       ctx->fleet.min_history_days * kMinutesPerDay / kServerIntervalMinutes;
 
-  std::mutex mu;
-  int64_t skipped = 0, failed = 0;
+  // Plain tallies — relaxed atomics, not a mutex: nothing else is
+  // guarded by them and the fan-out only ever increments.
+  std::atomic<int64_t> skipped{0}, failed{0};
   std::vector<std::pair<std::string, Json>> fitted(ctx->servers.size());
   std::vector<int8_t> ok_flags(ctx->servers.size(), 0);
 
@@ -50,8 +51,7 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
     const ServerTelemetry& st = ctx->servers[static_cast<size_t>(i)];
     LoadSeries train = st.load.Slice(train_start, train_end);
     if (train.CountPresent() < min_history) {
-      std::lock_guard<std::mutex> lock(mu);
-      ++skipped;
+      skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     auto model = ModelFactory::Global().Create(ctx->model_name);
@@ -66,14 +66,12 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
       train_failures->Increment();
     }
     if (!fit.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      ++failed;
+      failed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     auto doc = (*model)->Serialize();
     if (!doc.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      ++failed;
+      failed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     fitted[static_cast<size_t>(i)] = {st.server_id,
@@ -95,12 +93,14 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
     }
   }
   ctx->stats["training.models"] = static_cast<double>(ctx->trained.size());
-  ctx->stats["training.skipped"] = static_cast<double>(skipped);
-  ctx->stats["training.failed"] = static_cast<double>(failed);
-  if (failed > 0) {
+  const int64_t n_skipped = skipped.load(std::memory_order_relaxed);
+  const int64_t n_failed = failed.load(std::memory_order_relaxed);
+  ctx->stats["training.skipped"] = static_cast<double>(n_skipped);
+  ctx->stats["training.failed"] = static_cast<double>(n_failed);
+  if (n_failed > 0) {
     ctx->AddIncident(IncidentSeverity::kWarning, name(),
                      StringPrintf("%lld servers failed model fitting",
-                                  static_cast<long long>(failed)));
+                                  static_cast<long long>(n_failed)));
   }
   if (ctx->trained.empty()) {
     ctx->AddIncident(IncidentSeverity::kError, name(),

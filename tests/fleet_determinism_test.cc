@@ -235,12 +235,14 @@ TEST_P(FleetDeterminismTest, CacheOnMatchesCacheOff) {
   EXPECT_EQ(CanonicalSnapshot(*uncached.docs), CanonicalSnapshot(*warm.docs));
 }
 
-// One heuristic family (no training) and one trained, RNG-seeded family:
-// the latter exercises the per-server training fan-out where a shared or
-// time-seeded RNG would break determinism.
+// One heuristic family (no training), one trained RNG-seeded family
+// (the per-server training fan-out where a shared or time-seeded RNG
+// would break determinism), and SSA (the family riding the tuned
+// linalg kernels — Gram builder, tridiagonal eigensolver, unrolled dot
+// — whose fixed reduction orders this suite pins across `--jobs`).
 INSTANTIATE_TEST_SUITE_P(Models, FleetDeterminismTest,
                          ::testing::Values("persistent_prev_day",
-                                           "additive"));
+                                           "additive", "ssa"));
 
 TEST_P(FleetDeterminismTest, MetricsSnapshotsMatchAcrossJobs) {
   // The observability layer must observe the same fleet identically at

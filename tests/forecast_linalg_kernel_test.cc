@@ -1,0 +1,321 @@
+/// \file forecast_linalg_kernel_test.cc
+/// \brief Property tests for the forecast kernel engine: every tuned
+/// kernel is cross-checked against its scalar reference implementation
+/// on randomized inputs, and the mode-independent invariants
+/// (orthogonality, reconstruction, determinism, layout) are asserted
+/// directly. The determinism contract (DESIGN.md §"Forecast kernel
+/// engine") is: within one mode every kernel is bit-stable run to run;
+/// kernels whose fast path keeps the scalar accumulation order
+/// (MatMul, CholeskySolve, JacobiSvd) agree bit-for-bit across modes;
+/// the rest (Dot, AtA, BuildLagGram, SymmetricEigen) agree to far
+/// tighter than forecast-relevant tolerances.
+
+#include "forecast/linalg.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "forecast/scratch.h"
+#include "gtest/gtest.h"
+
+namespace seagull {
+namespace {
+
+Matrix RandomMatrix(Rng* rng, int64_t rows, int64_t cols) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) m.At(i, j) = rng->Gaussian(0.0, 1.0);
+  }
+  return m;
+}
+
+std::vector<double> RandomVector(Rng* rng, int64_t n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng->Gaussian(0.0, 1.0);
+  return v;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double worst = 0.0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::fabs(a.At(i, j) - b.At(i, j)));
+    }
+  }
+  return worst;
+}
+
+TEST(KernelMatrixTest, RowPointersAreContiguous) {
+  Matrix m(5, 7);
+  for (int64_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(m.Row(r), m.Row(0) + r * 7) << "row " << r;
+  }
+  // Resize within capacity must keep the allocation (the scratch-arena
+  // reuse path) and zero-fill.
+  const double* before = m.Row(0);
+  m.Resize(4, 6);
+  EXPECT_EQ(m.Row(0), before);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 6; ++c) EXPECT_EQ(m.At(r, c), 0.0);
+  }
+}
+
+TEST(KernelScratchTest, SlotsReuseStorageAtSteadyState) {
+  KernelScratch& scratch = KernelScratch::Local();
+  constexpr int kSlot = KernelScratch::kVecSlots - 1;  // test-only slot
+  std::vector<double>& first = scratch.Vec(kSlot, 512);
+  const double* data = first.data();
+  first.assign(512, 3.5);
+  // Re-acquiring at the same or smaller size must not reallocate.
+  EXPECT_EQ(scratch.Vec(kSlot, 512).data(), data);
+  EXPECT_EQ(scratch.Vec(kSlot, 100).data(), data);
+  EXPECT_GE(scratch.RetainedBytes(), 512 * sizeof(double));
+}
+
+TEST(KernelModeTest, ScopedGuardRestoresMode) {
+  ASSERT_EQ(GetKernelMode(), KernelMode::kFast);
+  {
+    ScopedScalarKernels guard;
+    EXPECT_EQ(GetKernelMode(), KernelMode::kScalar);
+  }
+  EXPECT_EQ(GetKernelMode(), KernelMode::kFast);
+}
+
+TEST(KernelCrossCheckTest, BlockedMatMulIsBitIdenticalToScalar) {
+  Rng rng(101);
+  // Shapes straddling the 64/256 block boundaries, plus small odd ones.
+  const int64_t shapes[][3] = {
+      {3, 5, 4}, {17, 33, 9}, {70, 130, 65}, {96, 257, 80}};
+  for (const auto& s : shapes) {
+    Matrix a = RandomMatrix(&rng, s[0], s[1]);
+    Matrix b = RandomMatrix(&rng, s[1], s[2]);
+    auto fast = MatMul(a, b);
+    ASSERT_TRUE(fast.ok());
+    ScopedScalarKernels guard;
+    auto scalar = MatMul(a, b);
+    ASSERT_TRUE(scalar.ok());
+    // Same reduction order in both paths -> exactly equal, not just
+    // close.
+    EXPECT_EQ(MaxAbsDiff(*fast, *scalar), 0.0)
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(KernelCrossCheckTest, SyrkAtAMatchesScalarWithinTolerance) {
+  Rng rng(102);
+  for (int64_t cols : {3, 24, 61}) {
+    Matrix a = RandomMatrix(&rng, 211, cols);
+    Matrix fast = AtA(a, 0.5);
+    ScopedScalarKernels guard;
+    Matrix scalar = AtA(a, 0.5);
+    EXPECT_LT(MaxAbsDiff(fast, scalar), 1e-9) << "cols=" << cols;
+  }
+}
+
+TEST(KernelCrossCheckTest, TransposeMatVecMatchesScalar) {
+  Rng rng(103);
+  Matrix a = RandomMatrix(&rng, 187, 29);
+  std::vector<double> b = RandomVector(&rng, 187);
+  std::vector<double> fast = TransposeMatVec(a, b);
+  ScopedScalarKernels guard;
+  std::vector<double> scalar = TransposeMatVec(a, b);
+  ASSERT_EQ(fast.size(), scalar.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], scalar[i], 1e-9) << i;
+  }
+}
+
+TEST(KernelCrossCheckTest, UnrolledDotMatchesScalar) {
+  Rng rng(104);
+  for (int64_t n : {0, 1, 3, 4, 7, 1024, 4097}) {
+    std::vector<double> a = RandomVector(&rng, n);
+    std::vector<double> b = RandomVector(&rng, n);
+    const double fast = Dot(a, b);
+    const double fast_raw = Dot(a.data(), b.data(), n);
+    EXPECT_EQ(fast, fast_raw) << n;
+    ScopedScalarKernels guard;
+    const double scalar = Dot(a, b);
+    EXPECT_NEAR(fast, scalar, 1e-9 * (1.0 + std::fabs(scalar))) << n;
+  }
+}
+
+TEST(KernelCrossCheckTest, DotShapeMismatchAborts) {
+  std::vector<double> a(4, 1.0), b(5, 1.0);
+  EXPECT_DEATH(Dot(a, b), "shape mismatch");
+}
+
+TEST(KernelCrossCheckTest, LagGramMatchesScalarAndExplicitHankelProduct) {
+  Rng rng(105);
+  const int64_t n = 500, L = 37;
+  std::vector<double> x = RandomVector(&rng, n);
+
+  Matrix fast;
+  BuildLagGram(x.data(), n, L, &fast);
+  ASSERT_EQ(fast.rows(), L);
+  ASSERT_EQ(fast.cols(), L);
+
+  // Reference 1: the scalar triple loop.
+  Matrix scalar;
+  {
+    ScopedScalarKernels guard;
+    BuildLagGram(x.data(), n, L, &scalar);
+  }
+  // Reference 2: materialize the Hankel trajectory matrix and multiply.
+  const int64_t k = n - L + 1;
+  Matrix traj(k, L);
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < L; ++j) {
+      traj.At(i, j) = x[static_cast<size_t>(i + j)];
+    }
+  }
+  auto explicit_gram = MatMul(Transpose(traj), traj);
+  ASSERT_TRUE(explicit_gram.ok());
+
+  const double scale = 1.0 + std::fabs(fast.At(0, 0));
+  EXPECT_LT(MaxAbsDiff(fast, scalar), 1e-9 * scale);
+  EXPECT_LT(MaxAbsDiff(fast, *explicit_gram), 1e-9 * scale);
+  // Symmetry must be exact (the builder mirrors the upper triangle).
+  for (int64_t i = 0; i < L; ++i) {
+    for (int64_t j = 0; j < L; ++j) {
+      EXPECT_EQ(fast.At(i, j), fast.At(j, i));
+    }
+  }
+}
+
+/// Shared checks for an eigendecomposition of symmetric `a`.
+void CheckEigenProperties(const Matrix& a, const EigenResult& eig,
+                          double tol) {
+  const int64_t n = a.rows();
+  // Eigenvalues descending.
+  for (int64_t i = 1; i < n; ++i) {
+    EXPECT_GE(eig.values[static_cast<size_t>(i - 1)],
+              eig.values[static_cast<size_t>(i)]);
+  }
+  // VᵀV = I.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (int64_t r = 0; r < n; ++r) {
+        dot += eig.vectors.At(r, i) * eig.vectors.At(r, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, tol) << i << "," << j;
+    }
+  }
+  // A V = V diag(λ).
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t r = 0; r < n; ++r) {
+      double av = 0.0;
+      for (int64_t c = 0; c < n; ++c) {
+        av += a.At(r, c) * eig.vectors.At(c, j);
+      }
+      EXPECT_NEAR(av,
+                  eig.values[static_cast<size_t>(j)] * eig.vectors.At(r, j),
+                  tol * (1.0 + std::fabs(eig.values[0])))
+          << r << "," << j;
+    }
+  }
+}
+
+TEST(KernelEigenTest, TridiagonalSolverSatisfiesEigenProperties) {
+  Rng rng(106);
+  const int64_t n = 40;
+  Matrix b = RandomMatrix(&rng, n, n);
+  Matrix a = AtA(b);  // symmetric positive semi-definite
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  CheckEigenProperties(a, *eig, 1e-8);
+}
+
+TEST(KernelEigenTest, FastEigenvaluesMatchJacobiReference) {
+  Rng rng(107);
+  const int64_t n = 48;
+  Matrix b = RandomMatrix(&rng, n, n);
+  Matrix a = AtA(b);
+  auto fast = SymmetricEigen(a);
+  ASSERT_TRUE(fast.ok());
+  ScopedScalarKernels guard;
+  auto scalar = SymmetricEigen(a);
+  ASSERT_TRUE(scalar.ok());
+  CheckEigenProperties(a, *scalar, 1e-8);
+  const double scale = 1.0 + std::fabs(scalar->values[0]);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast->values[static_cast<size_t>(i)],
+                scalar->values[static_cast<size_t>(i)], 1e-7 * scale)
+        << i;
+  }
+}
+
+TEST(KernelEigenTest, FastEigenIsBitStableRunToRun) {
+  Rng rng(108);
+  const int64_t n = 33;
+  Matrix b = RandomMatrix(&rng, n, n);
+  Matrix a = AtA(b);
+  auto first = SymmetricEigen(a);
+  auto second = SymmetricEigen(a);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Same input, same thread-deterministic kernel -> byte-identical
+  // output, which is what lets fleet determinism extend through SSA.
+  EXPECT_EQ(first->values, second->values);
+  EXPECT_EQ(MaxAbsDiff(first->vectors, second->vectors), 0.0);
+}
+
+TEST(KernelEigenTest, ZeroMatrixYieldsZeroSpectrum) {
+  Matrix a(9, 9);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  for (double v : eig->values) EXPECT_EQ(v, 0.0);
+}
+
+TEST(KernelSvdTest, JacobiSvdIsBitIdenticalAcrossModesAndWellFormed) {
+  Rng rng(109);
+  Matrix a = RandomMatrix(&rng, 25, 9);
+  auto fast = JacobiSvd(a);
+  ASSERT_TRUE(fast.ok());
+  SvdResult scalar;
+  {
+    ScopedScalarKernels guard;
+    auto s = JacobiSvd(a);
+    ASSERT_TRUE(s.ok());
+    scalar = std::move(*s);
+  }
+  // The one-sided rotation sequence is mode-independent.
+  EXPECT_EQ(fast->s, scalar.s);
+  EXPECT_EQ(MaxAbsDiff(fast->u, scalar.u), 0.0);
+  EXPECT_EQ(MaxAbsDiff(fast->v, scalar.v), 0.0);
+
+  // Reconstruction: A = U diag(S) Vᵀ.
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      double sum = 0.0;
+      for (int64_t r = 0; r < a.cols(); ++r) {
+        sum += fast->u.At(i, r) * fast->s[static_cast<size_t>(r)] *
+               fast->v.At(j, r);
+      }
+      EXPECT_NEAR(sum, a.At(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(KernelCrossCheckTest, LeastSquaresSolutionsAgreeAcrossModes) {
+  Rng rng(110);
+  Matrix a = RandomMatrix(&rng, 120, 11);
+  std::vector<double> x_true = RandomVector(&rng, 11);
+  auto b = MatVec(a, x_true);
+  ASSERT_TRUE(b.ok());
+  auto fast = SolveLeastSquares(a, *b, 1e-8);
+  ASSERT_TRUE(fast.ok());
+  ScopedScalarKernels guard;
+  auto scalar = SolveLeastSquares(a, *b, 1e-8);
+  ASSERT_TRUE(scalar.ok());
+  for (size_t i = 0; i < x_true.size(); ++i) {
+    EXPECT_NEAR((*fast)[i], x_true[i], 1e-6) << i;
+    EXPECT_NEAR((*fast)[i], (*scalar)[i], 1e-8) << i;
+  }
+}
+
+}  // namespace
+}  // namespace seagull

@@ -24,8 +24,13 @@
 #                             # tests plus bench/micro_substrate, which
 #                             # writes BENCH_ingest.json (CSV vs
 #                             # SeriesBlock ingestion rates and the
-#                             # lake-cache hit trajectory) into the
-#                             # Release build directory
+#                             # lake-cache hit trajectory), and
+#                             # bench/micro_forecast, which writes
+#                             # BENCH_forecast.json (scalar-vs-fast
+#                             # kernel timings, per-model Fit p50/p99)
+#                             # and fails if a model exceeds the
+#                             # forecast_train_micros ceilings in
+#                             # tests/budgets.json
 #
 # Exits non-zero on the first build or test failure.
 set -eu
@@ -80,6 +85,10 @@ case "$MODE" in
     echo "=== [perf] bench/micro_substrate (writes BENCH_ingest.json) ==="
     (cd "$ROOT/build-release" &&
       ./bench/micro_substrate --benchmark_filter='Ingest|CacheHit')
+    echo "=== [perf] bench/micro_forecast (writes BENCH_forecast.json," \
+         "gates on tests/budgets.json forecast_train_micros) ==="
+    (cd "$ROOT/build-release" &&
+      ./bench/micro_forecast --budgets="$ROOT/tests/budgets.json")
     echo "=== [perf] OK ==="
     ;;
 esac
