@@ -1,0 +1,400 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+
+#include "common/fault.h"
+#include "common/obs/clock.h"
+#include "common/obs/op.h"
+#include "common/random.h"
+#include "metrics/ll_window.h"
+
+namespace seagull {
+
+namespace {
+
+std::string ErrorResponse(const Status& status) {
+  Json doc = Json::MakeObject();
+  doc["ok"] = false;
+  doc["error"] = status.message();
+  doc["code"] = StatusCodeToString(status.code());
+  return doc.Dump();
+}
+
+}  // namespace
+
+Json TickResult::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["tick"] = tick;
+  doc["ingests_applied"] = ingests_applied;
+  doc["refits"] = refits;
+  doc["refit_failures"] = refit_failures;
+  doc["clean_skips"] = clean_skips;
+  return doc;
+}
+
+ServingEngine::ServingEngine(ModelEndpoint endpoint, ServingOptions options)
+    : endpoint_(std::move(endpoint)), options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.horizon_minutes <= 0) options_.horizon_minutes = kMinutesPerDay;
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  auto& reg = MetricsRegistry::Global();
+  dirty_marks_ = reg.GetCounter("seagull.serving.dirty_marks");
+  refits_ = reg.GetCounter("seagull.serving.refits");
+  refit_failures_ = reg.GetCounter("seagull.serving.refit_failures");
+  ticks_ = reg.GetCounter("seagull.serving.ticks");
+  queue_depth_ = reg.GetGauge("seagull.serving.queue_depth");
+  servers_gauge_ = reg.GetGauge("seagull.serving.servers");
+  tick_micros_ = reg.GetHistogram("seagull.serving.tick_micros");
+}
+
+ServingEngine::Shard& ServingEngine::ShardOf(const std::string& server_id) {
+  return *shards_[Rng::HashString(server_id) %
+                  static_cast<uint64_t>(shards_.size())];
+}
+
+const ServingEngine::Shard& ServingEngine::ShardOf(
+    const std::string& server_id) const {
+  return *shards_[Rng::HashString(server_id) %
+                  static_cast<uint64_t>(shards_.size())];
+}
+
+Status ServingEngine::Bootstrap(const std::vector<ServerTelemetry>& fleet) {
+  for (const auto& st : fleet) {
+    if (st.server_id.empty()) {
+      return Status::Invalid("bootstrap telemetry has an empty server id");
+    }
+    Shard& shard = ShardOf(st.server_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ServerState& state = shard.servers[st.server_id];
+    state.tail = st.load;
+    if (state.tail.end() - state.tail.start() > options_.tail_cap_minutes) {
+      state.tail = state.tail.Slice(
+          state.tail.end() - options_.tail_cap_minutes, state.tail.end());
+    }
+    state.dirty = true;
+  }
+  dirty_marks_->Increment(static_cast<int64_t>(fleet.size()));
+  servers_gauge_->Set(static_cast<double>(server_count()));
+  return Status::OK();
+}
+
+int64_t ServingEngine::server_count() const {
+  int64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += static_cast<int64_t>(shard->servers.size());
+  }
+  return n;
+}
+
+Result<Json> ServingEngine::HandlePredict(const Json& request) {
+  SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
+                           request.GetString("server_id"));
+  if (request.Contains("recent")) {
+    // Stateless path: the ForecastService wire contract — the request
+    // carries its own telemetry and the endpoint predicts from it.
+    SEAGULL_ASSIGN_OR_RETURN(ForecastRequest req,
+                             ForecastRequest::FromJson(request));
+    SEAGULL_ASSIGN_OR_RETURN(
+        LoadSeries forecast,
+        endpoint_.Predict(req.server_id, req.recent, req.start,
+                          req.horizon_minutes));
+    Json doc = Json::MakeObject();
+    doc["ok"] = true;
+    doc["model_version"] = endpoint_.version();
+    doc["forecast"] = SeriesToJson(forecast);
+    return doc;
+  }
+
+  // Stateful path: serve the cached forecast installed by the last tick.
+  LoadSeries forecast;
+  int64_t refit_tick = -1;
+  {
+    const Shard& shard = ShardOf(server_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.servers.find(server_id);
+    if (it == shard.servers.end()) {
+      return Status::NotFound("engine serves no server " + server_id);
+    }
+    if (!it->second.has_forecast) {
+      return Status::FailedPrecondition(
+          "no forecast for server " + server_id +
+          (it->second.last_error.empty()
+               ? " yet (awaiting first tick)"
+               : ": last refit failed: " + it->second.last_error));
+    }
+    forecast = it->second.forecast;
+    refit_tick = it->second.last_refit_tick;
+  }
+  if (request.Contains("start") || request.Contains("horizon_minutes")) {
+    SEAGULL_ASSIGN_OR_RETURN(double start, request.GetNumber("start"));
+    SEAGULL_ASSIGN_OR_RETURN(double horizon,
+                             request.GetNumber("horizon_minutes"));
+    if (static_cast<int64_t>(horizon) <= 0) {
+      return Status::Invalid("horizon must be positive");
+    }
+    forecast = forecast.Slice(
+        static_cast<MinuteStamp>(start),
+        static_cast<MinuteStamp>(start) + static_cast<int64_t>(horizon));
+    if (forecast.empty()) {
+      return Status::FailedPrecondition(
+          "requested range is outside the cached forecast for " + server_id);
+    }
+  }
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["model_version"] = endpoint_.version();
+  doc["tick"] = refit_tick;
+  doc["forecast"] = SeriesToJson(forecast);
+  return doc;
+}
+
+Result<Json> ServingEngine::HandleLLWindow(const Json& request) {
+  SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
+                           request.GetString("server_id"));
+  const int64_t duration = static_cast<int64_t>(
+      request.Contains("duration_minutes")
+          ? request["duration_minutes"].AsDouble()
+          : 60);
+  if (duration <= 0) return Status::Invalid("duration must be positive");
+
+  LoadSeries forecast;
+  int64_t refit_tick = -1;
+  {
+    const Shard& shard = ShardOf(server_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.servers.find(server_id);
+    if (it == shard.servers.end()) {
+      return Status::NotFound("engine serves no server " + server_id);
+    }
+    if (!it->second.has_forecast) {
+      return Status::FailedPrecondition("no forecast for server " +
+                                        server_id + " yet");
+    }
+    forecast = it->second.forecast;
+    refit_tick = it->second.last_refit_tick;
+  }
+  const int64_t day = static_cast<int64_t>(
+      request.Contains("day") ? request["day"].AsDouble()
+                              : DayIndex(forecast.start()));
+  WindowResult window = LowestLoadWindow(forecast, day, duration);
+  if (!window.found) {
+    return Status::FailedPrecondition(
+        "cached forecast covers no complete window on day " +
+        std::to_string(day));
+  }
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["model_version"] = endpoint_.version();
+  doc["tick"] = refit_tick;
+  Json w = Json::MakeObject();
+  w["start"] = window.start;
+  w["duration_minutes"] = window.duration_minutes;
+  w["average_load"] = window.average_load;
+  doc["window"] = std::move(w);
+  return doc;
+}
+
+Result<Json> ServingEngine::HandleIngest(const Json& request) {
+  SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
+                           request.GetString("server_id"));
+  if (!request["series"].is_object()) {
+    return Status::Invalid("ingest request has no series object");
+  }
+  SEAGULL_ASSIGN_OR_RETURN(LoadSeries increment,
+                           SeriesFromJson(request["series"]));
+  if (increment.empty()) {
+    return Status::Invalid("ingest increment is empty");
+  }
+  const int64_t seq =
+      request.Contains("seq")
+          ? static_cast<int64_t>(request["seq"].AsDouble())
+          : arrival_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    Shard& shard = ShardOf(server_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ServerState& state = shard.servers[server_id];  // auto-registers
+    // Enforce one grid per server here so tick-time merges cannot fail:
+    // the increment must match the tail's interval, or — for a freshly
+    // registered server — the interval of any already-pending increment.
+    const int64_t grid = !state.tail.empty()
+                             ? state.tail.interval_minutes()
+                             : (!state.pending.empty()
+                                    ? state.pending.front()
+                                          .second.interval_minutes()
+                                    : increment.interval_minutes());
+    if (increment.interval_minutes() != grid) {
+      return Status::Invalid(
+          "increment interval does not match the server's telemetry grid");
+    }
+    state.pending.emplace_back(seq, std::move(increment));
+  }
+  pending_count_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_->Set(
+      static_cast<double>(pending_count_.load(std::memory_order_relaxed)));
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["server_id"] = server_id;
+  doc["seq"] = seq;
+  return doc;
+}
+
+std::string ServingEngine::Handle(const std::string& request_text) {
+  auto parsed = Json::Parse(request_text);
+  if (!parsed.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(parsed.status());
+  }
+  // Verb defaulting keeps the ForecastService wire form valid as-is.
+  const std::string verb =
+      parsed->Contains("verb") ? (*parsed)["verb"].AsString() : "predict";
+  Result<Json> response = Status::Invalid("unknown verb " + verb);
+  {
+    ObsOp op("seagull.serving", verb == "predict" || verb == "ll_window" ||
+                                        verb == "ingest"
+                                    ? verb
+                                    : "unknown");
+    if (verb == "predict") response = HandlePredict(*parsed);
+    if (verb == "ll_window") response = HandleLLWindow(*parsed);
+    if (verb == "ingest") response = HandleIngest(*parsed);
+    response = op.Done(std::move(response));
+  }
+  if (!response.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(response.status());
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return response->Dump();
+}
+
+TickResult ServingEngine::Tick() {
+  const int64_t t0 = ObsClock::NowMicros();
+  TickResult result;
+  result.tick = tick_.load(std::memory_order_acquire) + 1;
+
+  // Phase 1 — drain pending ingests into the tails, in seq order, and
+  // collect the dirty set. Per-shard locking; the sorted merge makes the
+  // outcome independent of arrival interleaving.
+  struct DirtyServer {
+    std::string id;
+    ServerState* state;  ///< stable: map nodes never move
+    Shard* shard;
+  };
+  std::vector<DirtyServer> dirty;
+  int64_t total_servers = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total_servers += static_cast<int64_t>(shard->servers.size());
+    for (auto& [id, state] : shard->servers) {
+      if (!state.pending.empty()) {
+        std::sort(state.pending.begin(), state.pending.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first < b.first;
+                  });
+        for (auto& [seq, increment] : state.pending) {
+          (void)seq;
+          state.tail.MergeFrom(increment).Abort();
+        }
+        result.ingests_applied +=
+            static_cast<int64_t>(state.pending.size());
+        pending_count_.fetch_sub(
+            static_cast<int64_t>(state.pending.size()),
+            std::memory_order_relaxed);
+        state.pending.clear();
+        if (state.tail.end() - state.tail.start() >
+            options_.tail_cap_minutes) {
+          state.tail = state.tail.Slice(
+              state.tail.end() - options_.tail_cap_minutes,
+              state.tail.end());
+        }
+        if (!state.dirty) {
+          state.dirty = true;
+          dirty_marks_->Increment();
+        }
+      }
+      if (state.dirty) {
+        dirty.push_back({id, &state, shard.get()});
+      } else {
+        ++result.clean_skips;
+      }
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const DirtyServer& a, const DirtyServer& b) {
+              return a.id < b.id;
+            });
+
+  // Phase 2 — re-forecast the dirty set. The tail is stable for the rest
+  // of the tick (ingests only enqueue), so the forecast computes without
+  // the shard lock; only the install swaps under it, keeping concurrent
+  // readers on a consistent (old or new, never torn) forecast.
+  auto refit = [&](int64_t i) {
+    DirtyServer& d = dirty[static_cast<size_t>(i)];
+    Status injected = FaultRegistry::Global().Inject("serving.refit", d.id);
+    Result<LoadSeries> forecast =
+        injected.ok()
+            ? endpoint_.Predict(d.id, d.state->tail, d.state->tail.end(),
+                                options_.horizon_minutes)
+            : Result<LoadSeries>(injected);
+    std::lock_guard<std::mutex> lock(d.shard->mu);
+    if (forecast.ok()) {
+      d.state->forecast = std::move(forecast).ValueUnsafe();
+      d.state->has_forecast = true;
+      d.state->last_refit_tick = result.tick;
+      d.state->last_error.clear();
+    } else {
+      d.state->last_error = forecast.status().ToString();
+    }
+    d.state->dirty = false;
+  };
+  const int64_t n = static_cast<int64_t>(dirty.size());
+  if (options_.pool != nullptr && n > 1) {
+    ParallelFor(options_.pool, n, refit);
+  } else {
+    SequentialFor(n, refit);
+  }
+  result.refits = n;
+  for (const auto& d : dirty) {
+    if (!d.state->last_error.empty()) ++result.refit_failures;
+  }
+
+  refits_->Increment(result.refits);
+  refit_failures_->Increment(result.refit_failures);
+  ticks_->Increment();
+  queue_depth_->Set(
+      static_cast<double>(pending_count_.load(std::memory_order_relaxed)));
+  servers_gauge_->Set(static_cast<double>(total_servers));
+  tick_micros_->Observe(static_cast<double>(ObsClock::NowMicros() - t0));
+  tick_.store(result.tick, std::memory_order_release);
+  return result;
+}
+
+std::string ServingEngine::SnapshotText() const {
+  Json doc = Json::MakeObject();
+  doc["tick"] = tick_.load(std::memory_order_acquire);
+  doc["family"] = endpoint_.family();
+  doc["model_version"] = endpoint_.version();
+  Json servers = Json::MakeObject();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, state] : shard->servers) {
+      Json s = Json::MakeObject();
+      s["tail"] = SeriesToJson(state.tail);
+      s["forecast"] =
+          state.has_forecast ? SeriesToJson(state.forecast) : Json();
+      s["dirty"] = state.dirty;
+      s["pending"] = static_cast<int64_t>(state.pending.size());
+      s["last_refit_tick"] = state.last_refit_tick;
+      s["last_error"] = state.last_error;
+      servers[id] = std::move(s);
+    }
+  }
+  doc["servers"] = std::move(servers);
+  return doc.Dump();
+}
+
+}  // namespace seagull

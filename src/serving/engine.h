@@ -1,0 +1,188 @@
+/// \file engine.h
+/// \brief Long-lived streaming forecast server over sharded fleet state.
+///
+/// The production deployment serves forecasts "through a REST endpoint"
+/// on rolling telemetry (§2.2). `ServingEngine` is that serving mode:
+/// it holds the deployed champion `ModelEndpoint` plus one rolling
+/// telemetry tail per server, ingests telemetry increments continuously,
+/// and re-forecasts on a simulated 5-minute tick — but only servers whose
+/// tail changed since the previous tick (dirty-set tracking). Predict and
+/// low-load-window queries are answered concurrently with the ingest
+/// stream from the per-server cached forecast.
+///
+/// Epoch model and stale-read semantics: ingest requests never mutate
+/// the tail in place — they enqueue the increment on the server's
+/// pending list. `Tick()` drains the pending lists in sequence-number
+/// order, merges them into the tails, and re-forecasts exactly the dirty
+/// servers. A query issued between ticks therefore always observes the
+/// forecast installed by the last completed tick, no matter how it
+/// interleaves with ingests; during a tick a query observes either the
+/// previous or the freshly installed forecast of that server (per-server
+/// atomic swap under the shard lock), never a torn one.
+///
+/// Determinism contract (tests/serving_determinism_test.cc): with a
+/// frozen clock and a fixed request schedule, the set of responses and
+/// the final `SnapshotText()` are byte-identical whatever the number of
+/// worker threads, because (a) responses depend only on (request, tick
+/// epoch), (b) pending increments merge in explicit sequence order, and
+/// (c) refits iterate the dirty set in sorted server order and each body
+/// writes only its own server's state. The refit path carries the
+/// `serving.refit` fault point, keyed per server, so injected failures
+/// are equally schedule-independent: a failed refit keeps the stale
+/// forecast and surfaces in `refit_failures`.
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/obs/metrics.h"
+#include "parallel/thread_pool.h"
+#include "pipeline/serving.h"
+#include "telemetry/records.h"
+
+namespace seagull {
+
+/// \brief Serving-engine knobs.
+struct ServingOptions {
+  /// Forecast horizon recomputed for each dirty server at every tick.
+  int64_t horizon_minutes = kMinutesPerDay;
+  /// Rolling telemetry kept per server; older samples are trimmed at
+  /// tick time so steady-state memory is O(servers * cap).
+  int64_t tail_cap_minutes = 14 * kMinutesPerDay;
+  /// Fleet-state shards (power of two recommended); each shard has its
+  /// own lock so queries on unrelated servers never contend.
+  int shards = 16;
+  /// Refit fan-out pool; nullptr re-forecasts sequentially.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Outcome of one simulated 5-minute tick.
+struct TickResult {
+  int64_t tick = 0;             ///< epoch number just completed (1-based)
+  int64_t ingests_applied = 0;  ///< pending increments merged into tails
+  int64_t refits = 0;           ///< dirty servers re-forecast (incl. failed)
+  int64_t refit_failures = 0;   ///< refits that kept the stale forecast
+  int64_t clean_skips = 0;      ///< servers left on their cached forecast
+
+  Json ToJson() const;
+};
+
+/// \brief Streaming forecast server: sharded fleet state + tick loop.
+class ServingEngine {
+ public:
+  explicit ServingEngine(ModelEndpoint endpoint, ServingOptions options = {});
+
+  /// Seeds the fleet state with one telemetry tail per server and marks
+  /// every server dirty; the first `Tick()` computes initial forecasts.
+  /// Re-registering an id replaces its tail.
+  Status Bootstrap(const std::vector<ServerTelemetry>& fleet);
+
+  /// Handles one JSON request (text in, text out; never throws/crashes).
+  /// Verbs, dispatched on the "verb" member:
+  ///   predict   {"verb":"predict","server_id":S,
+  ///              ["start":M,"horizon_minutes":H] | ["recent":{series}]}
+  ///     With "recent", computes through the endpoint directly (the
+  ///     stateless `ForecastService` wire contract; "verb" may then be
+  ///     omitted entirely). Without it, serves the cached per-server
+  ///     forecast, sliced to [start, start+horizon) when given.
+  ///   ll_window {"verb":"ll_window","server_id":S,
+  ///              ["day":D]["duration_minutes":B]}
+  ///     Lowest-load window (Definition 7) over the cached forecast;
+  ///     `day` defaults to the forecast's first day, duration to 60.
+  ///   ingest    {"verb":"ingest","server_id":S,["seq":N],
+  ///              "series":{series}}
+  ///     Enqueues the increment for the next tick. Unknown servers are
+  ///     auto-registered. `seq` orders same-server merges; omitted seqs
+  ///     draw from an arrival counter (schedule-dependent — loadgen
+  ///     always assigns explicit seqs).
+  /// Success responses carry {"ok":true,...}; failures the structured
+  /// {"ok":false,"error":...,"code":...} form shared with
+  /// `ForecastService`.
+  std::string Handle(const std::string& request_text);
+
+  /// Advances one epoch: drains pending ingests (per server, in seq
+  /// order), trims tails to `tail_cap_minutes`, re-forecasts the dirty
+  /// set in sorted server order, installs the new forecasts, and bumps
+  /// the tick counter. Must not run concurrently with itself; queries
+  /// and ingests may run concurrently with it (see stale-read semantics
+  /// above).
+  TickResult Tick();
+
+  int64_t tick() const { return tick_.load(std::memory_order_acquire); }
+  int64_t server_count() const;
+  const ModelEndpoint& endpoint() const { return endpoint_; }
+  const ServingOptions& options() const { return options_; }
+
+  /// Requests answered ok / with a structured error since construction.
+  int64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  int64_t requests_failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Pending increments not yet applied by a tick (the queue-depth
+  /// gauge's value).
+  int64_t pending_ingests() const {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Deterministic full-fleet dump: tick, endpoint identity, and every
+  /// server's tail, cached forecast, dirty flag, and last refit outcome,
+  /// in sorted server order. Byte-identical across runs that served the
+  /// same schedule (the determinism test's snapshot currency). Not
+  /// concurrent-safe with `Tick()`.
+  std::string SnapshotText() const;
+
+ private:
+  struct ServerState {
+    LoadSeries tail;
+    /// Increments queued since the last tick, in arrival order; merged
+    /// in ascending seq order at tick time.
+    std::vector<std::pair<int64_t, LoadSeries>> pending;
+    LoadSeries forecast;
+    bool has_forecast = false;
+    bool dirty = true;
+    int64_t last_refit_tick = -1;
+    std::string last_error;  ///< failure text of the last refit, if any
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, ServerState> servers;
+  };
+
+  Shard& ShardOf(const std::string& server_id);
+  const Shard& ShardOf(const std::string& server_id) const;
+
+  /// Verb bodies; each returns the response document or a status that
+  /// `Handle` renders as the structured error form.
+  Result<Json> HandlePredict(const Json& request);
+  Result<Json> HandleLLWindow(const Json& request);
+  Result<Json> HandleIngest(const Json& request);
+
+  ModelEndpoint endpoint_;
+  ServingOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> tick_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> pending_count_{0};
+  std::atomic<int64_t> arrival_seq_{0};  ///< fallback for seq-less ingests
+
+  // Obs instruments, resolved once (registry pointers are stable).
+  Counter* dirty_marks_;
+  Counter* refits_;
+  Counter* refit_failures_;
+  Counter* ticks_;
+  Gauge* queue_depth_;
+  Gauge* servers_gauge_;
+  Histogram* tick_micros_;
+};
+
+}  // namespace seagull

@@ -1,0 +1,357 @@
+#include "serving/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/obs/clock.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace seagull {
+
+namespace {
+
+/// Quantizes to the telemetry data plane's %.4f grid so ingest payloads
+/// survive a JSON round trip bit-for-bit.
+double Quantize4(double v) {
+  return std::floor(v * 10000.0 + 0.5) / 10000.0;
+}
+
+double Percentile(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const double idx = q * static_cast<double>(samples->size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, samples->size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return (*samples)[lo] + frac * ((*samples)[hi] - (*samples)[lo]);
+}
+
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+}  // namespace
+
+const char* LoadProfileName(LoadProfile profile) {
+  switch (profile) {
+    case LoadProfile::kRamp:
+      return "ramp";
+    case LoadProfile::kSpike:
+      return "spike";
+    case LoadProfile::kSoak:
+      return "soak";
+  }
+  return "unknown";
+}
+
+Result<LoadProfile> ParseLoadProfile(const std::string& name) {
+  if (name == "ramp") return LoadProfile::kRamp;
+  if (name == "spike") return LoadProfile::kSpike;
+  if (name == "soak") return LoadProfile::kSoak;
+  return Status::Invalid("unknown load profile: " + name);
+}
+
+const char* DriverModeName(DriverMode mode) {
+  return mode == DriverMode::kOpenLoop ? "open" : "closed";
+}
+
+Result<DriverMode> ParseDriverMode(const std::string& name) {
+  if (name == "open") return DriverMode::kOpenLoop;
+  if (name == "closed") return DriverMode::kClosedLoop;
+  return Status::Invalid("unknown driver mode: " + name);
+}
+
+int64_t ProfileRequestsAtTick(LoadProfile profile, int64_t base, int64_t t,
+                              int64_t ticks) {
+  if (base <= 0 || ticks <= 0 || t < 0 || t >= ticks) return 0;
+  switch (profile) {
+    case LoadProfile::kRamp:
+      // Linear climb ending at the full base rate on the last tick.
+      return base * (t + 1) / ticks;
+    case LoadProfile::kSpike: {
+      // Quiet baseline with a 3x burst over the middle tenth.
+      const int64_t burst_start = ticks / 2;
+      const int64_t burst_len = std::max<int64_t>(1, ticks / 10);
+      if (t >= burst_start && t < burst_start + burst_len) return base * 3;
+      return std::max<int64_t>(1, base / 4);
+    }
+    case LoadProfile::kSoak:
+      return base;
+  }
+  return 0;
+}
+
+int64_t ProfileTotalRequests(LoadProfile profile, int64_t base,
+                             int64_t ticks) {
+  int64_t total = 0;
+  for (int64_t t = 0; t < ticks; ++t) {
+    total += ProfileRequestsAtTick(profile, base, t, ticks);
+  }
+  return total;
+}
+
+namespace {
+
+/// Appends one request drawn from `rng` for epoch `tick` to `out`.
+void AppendRequest(const LoadgenOptions& options,
+                   const std::vector<std::string>& server_ids, Rng* rng,
+                   int64_t tick, int64_t seq, int64_t client,
+                   int64_t offset_micros,
+                   std::vector<ScheduledRequest>* out) {
+  const std::string& server =
+      server_ids[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(server_ids.size()) - 1))];
+  const double u = rng->Uniform();
+  ScheduledRequest req;
+  req.tick = tick;
+  req.seq = seq;
+  req.client = client;
+  req.offset_micros = offset_micros;
+  Json body = Json::MakeObject();
+  body["server_id"] = server;
+  if (u < options.predict_fraction) {
+    req.verb = "predict";
+    body["verb"] = "predict";
+  } else if (u < options.predict_fraction + options.ll_window_fraction) {
+    req.verb = "ll_window";
+    body["verb"] = "ll_window";
+    body["duration_minutes"] = 60;
+  } else {
+    req.verb = "ingest";
+    body["verb"] = "ingest";
+    body["seq"] = seq;
+    Json series = Json::MakeObject();
+    series["start"] =
+        options.epoch_start + tick * kServerIntervalMinutes;
+    series["interval"] = kServerIntervalMinutes;
+    Json values = Json::MakeArray();
+    values.Append(Quantize4(rng->Uniform(0.0, 100.0)));
+    series["values"] = std::move(values);
+    body["series"] = std::move(series);
+  }
+  req.body = body.Dump();
+  out->push_back(std::move(req));
+}
+
+}  // namespace
+
+std::vector<ScheduledRequest> BuildSchedule(
+    const LoadgenOptions& options,
+    const std::vector<std::string>& server_ids) {
+  std::vector<ScheduledRequest> schedule;
+  if (server_ids.empty() || options.ticks <= 0) return schedule;
+  Rng rng(options.seed);
+  int64_t seq = 0;
+  for (int64_t t = 0; t < options.ticks; ++t) {
+    const int64_t per_source = ProfileRequestsAtTick(
+        options.profile, options.base_requests_per_tick, t, options.ticks);
+    if (options.mode == DriverMode::kOpenLoop) {
+      // Fixed arrival schedule: exponential inter-arrival gaps spread
+      // over the simulated 5-minute epoch.
+      const double mean_gap_micros =
+          per_source > 0
+              ? static_cast<double>(kServerIntervalMinutes) * 60e6 /
+                    static_cast<double>(per_source)
+              : 0.0;
+      double offset = 0.0;
+      for (int64_t i = 0; i < per_source; ++i) {
+        offset += rng.Exponential(mean_gap_micros);
+        AppendRequest(options, server_ids, &rng, t, seq++, /*client=*/0,
+                      static_cast<int64_t>(offset), &schedule);
+      }
+    } else {
+      // Closed loop: every client issues `per_source` back-to-back
+      // requests this epoch; arrival offsets are meaningless (issue
+      // time depends on completion), so they stay 0.
+      for (int64_t c = 0; c < options.closed_loop_clients; ++c) {
+        for (int64_t i = 0; i < per_source; ++i) {
+          AppendRequest(options, server_ids, &rng, t, seq++, c,
+                        /*offset_micros=*/0, &schedule);
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+Json LatencySummary::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc["count"] = count;
+  doc["errors"] = errors;
+  doc["p50_micros"] = p50;
+  doc["p95_micros"] = p95;
+  doc["p99_micros"] = p99;
+  return doc;
+}
+
+Json LoadgenReport::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc["profile"] = LoadProfileName(profile);
+  doc["mode"] = DriverModeName(mode);
+  doc["requests"] = requests;
+  doc["ok"] = ok;
+  doc["errors"] = errors;
+  doc["wall_millis"] = wall_millis;
+  doc["throughput_rps"] = throughput_rps;
+  Json lat = Json::MakeObject();
+  for (const auto& [verb, summary] : latency) lat[verb] = summary.ToJson();
+  doc["latency_micros"] = std::move(lat);
+  Json ticks_doc = Json::MakeObject();
+  ticks_doc["ticks"] = ticks;
+  ticks_doc["refits"] = refits;
+  ticks_doc["refit_failures"] = refit_failures;
+  ticks_doc["clean_skips"] = clean_skips;
+  ticks_doc["ingests_applied"] = ingests_applied;
+  ticks_doc["refit_per_query"] = refit_per_query;
+  doc["tick_loop"] = std::move(ticks_doc);
+  doc["max_in_flight"] = max_in_flight;
+  doc["response_digest"] = StringPrintf("%016llx",
+                                        static_cast<unsigned long long>(
+                                            response_digest));
+  return doc;
+}
+
+LoadgenReport RunLoadTest(ServingEngine* engine,
+                          const LoadgenOptions& options,
+                          const std::vector<ScheduledRequest>& schedule) {
+  LoadgenReport report;
+  report.profile = options.profile;
+  report.mode = options.mode;
+  report.requests = static_cast<int64_t>(schedule.size());
+
+  struct Outcome {
+    double latency_micros = 0.0;
+    bool ok = false;
+  };
+  std::vector<Outcome> outcomes(schedule.size());
+  std::vector<std::string> responses(schedule.size());
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.jobs > 1) pool = std::make_unique<ThreadPool>(options.jobs);
+
+  std::atomic<int64_t> in_flight{0};
+  std::atomic<int64_t> max_in_flight{0};
+  auto execute = [&](int64_t i) {
+    const ScheduledRequest& req = schedule[static_cast<size_t>(i)];
+    const int64_t depth = in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int64_t seen = max_in_flight.load(std::memory_order_relaxed);
+    while (seen < depth &&
+           !max_in_flight.compare_exchange_weak(seen, depth,
+                                                std::memory_order_relaxed)) {
+    }
+    const int64_t t0 = ObsClock::NowMicros();
+    std::string response = engine->Handle(req.body);
+    Outcome& out = outcomes[static_cast<size_t>(i)];
+    out.latency_micros = static_cast<double>(ObsClock::NowMicros() - t0);
+    responses[static_cast<size_t>(i)] = std::move(response);
+    in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  const int64_t wall_t0 = ObsClock::NowMicros();
+  size_t cursor = 0;
+  for (int64_t t = 0; t < options.ticks; ++t) {
+    const size_t begin = cursor;
+    while (cursor < schedule.size() && schedule[cursor].tick == t) ++cursor;
+    const int64_t count = static_cast<int64_t>(cursor - begin);
+    if (count > 0 && options.mode == DriverMode::kOpenLoop) {
+      if (pool != nullptr) {
+        ParallelFor(pool.get(), count, [&](int64_t i) {
+          execute(static_cast<int64_t>(begin) + i);
+        });
+      } else {
+        SequentialFor(count, [&](int64_t i) {
+          execute(static_cast<int64_t>(begin) + i);
+        });
+      }
+    } else if (count > 0) {
+      // Closed loop: one sequential stream per virtual client. Clients'
+      // requests are contiguous within the epoch by construction.
+      std::vector<std::pair<size_t, size_t>> clients;
+      size_t c0 = begin;
+      for (size_t i = begin + 1; i <= static_cast<size_t>(cursor); ++i) {
+        if (i == static_cast<size_t>(cursor) ||
+            schedule[i].client != schedule[c0].client) {
+          clients.emplace_back(c0, i);
+          c0 = i;
+        }
+      }
+      auto run_client = [&](int64_t c) {
+        const auto [lo, hi] = clients[static_cast<size_t>(c)];
+        for (size_t i = lo; i < hi; ++i) {
+          execute(static_cast<int64_t>(i));
+        }
+      };
+      const int64_t n_clients = static_cast<int64_t>(clients.size());
+      if (pool != nullptr) {
+        ParallelForChunked(pool.get(), n_clients, /*grain=*/1,
+                           [&](int64_t lo, int64_t hi) {
+                             for (int64_t c = lo; c < hi; ++c) {
+                               run_client(c);
+                             }
+                           });
+      } else {
+        SequentialFor(n_clients, run_client);
+      }
+    }
+    TickResult tr = engine->Tick();
+    ++report.ticks;
+    report.refits += tr.refits;
+    report.refit_failures += tr.refit_failures;
+    report.clean_skips += tr.clean_skips;
+    report.ingests_applied += tr.ingests_applied;
+  }
+  report.wall_millis =
+      static_cast<double>(ObsClock::NowMicros() - wall_t0) / 1000.0;
+
+  // Aggregation in schedule order: deterministic however the requests
+  // actually interleaved.
+  std::map<std::string, std::vector<double>> samples;
+  int64_t queries = 0;
+  uint64_t digest = kFnvOffset;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const ScheduledRequest& req = schedule[i];
+    Outcome& out = outcomes[i];
+    auto parsed = Json::Parse(responses[i]);
+    out.ok = parsed.ok() && (*parsed)["ok"].is_bool() &&
+             (*parsed)["ok"].AsBool();
+    LatencySummary& summary = report.latency[req.verb];
+    ++summary.count;
+    if (out.ok) {
+      ++report.ok;
+    } else {
+      ++report.errors;
+      ++summary.errors;
+    }
+    samples[req.verb].push_back(out.latency_micros);
+    if (req.verb != "ingest") ++queries;
+    digest = Fnv1a(digest, &req.seq, sizeof(req.seq));
+    digest = Fnv1a(digest, responses[i].data(), responses[i].size());
+  }
+  for (auto& [verb, verb_samples] : samples) {
+    LatencySummary& summary = report.latency[verb];
+    summary.p50 = Percentile(&verb_samples, 0.5);
+    summary.p95 = Percentile(&verb_samples, 0.95);
+    summary.p99 = Percentile(&verb_samples, 0.99);
+  }
+  report.refit_per_query =
+      static_cast<double>(report.refits) /
+      static_cast<double>(std::max<int64_t>(1, queries));
+  report.max_in_flight = max_in_flight.load(std::memory_order_relaxed);
+  report.response_digest = digest;
+  report.throughput_rps =
+      report.wall_millis > 0.0
+          ? static_cast<double>(report.requests) * 1000.0 /
+                report.wall_millis
+          : 0.0;
+  return report;
+}
+
+}  // namespace seagull

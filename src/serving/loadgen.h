@@ -1,0 +1,150 @@
+/// \file loadgen.h
+/// \brief Deterministic load-test drivers for the serving engine.
+///
+/// Shaped after the open/closed-loop taxonomy in *Load Testing for
+/// Machine Learning Model Serving Systems at Scale* (PAPERS.md): an
+/// open-loop driver replays a fixed arrival schedule drawn once from a
+/// seeded RNG (arrival rate independent of completion — the overload
+/// probe), while a closed-loop driver runs N virtual clients that issue
+/// requests back-to-back (in-flight never exceeds N — the capacity
+/// probe). Three workload profiles shape the per-tick intensity: ramp
+/// (linear climb), spike (quiet baseline with a mid-run burst), soak
+/// (flat sustained rate over a longer horizon).
+///
+/// Everything is a pure function of the options: `BuildSchedule` emits
+/// the complete request list up front — verbs, target servers, ingest
+/// payloads, arrival offsets — so two runs with the same options execute
+/// byte-identical workloads at any `--jobs` count. `RunLoadTest` then
+/// plays the schedule against a `ServingEngine` tick by tick (requests
+/// of epoch k run concurrently, then `Tick()` advances the epoch) and
+/// reports latency percentiles, throughput, refit amortization, and an
+/// order-independent response digest (the determinism-test currency).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serving/engine.h"
+
+namespace seagull {
+
+/// \brief Per-tick intensity shape of a load test.
+enum class LoadProfile : int8_t { kRamp, kSpike, kSoak };
+
+const char* LoadProfileName(LoadProfile profile);
+Result<LoadProfile> ParseLoadProfile(const std::string& name);
+
+/// \brief Arrival discipline of the driver.
+enum class DriverMode : int8_t { kOpenLoop, kClosedLoop };
+
+const char* DriverModeName(DriverMode mode);
+Result<DriverMode> ParseDriverMode(const std::string& name);
+
+/// \brief Workload knobs. The defaults make a small smoke-size run;
+/// bench/loadgen scales them up to the 1200-server fleet.
+struct LoadgenOptions {
+  LoadProfile profile = LoadProfile::kRamp;
+  DriverMode mode = DriverMode::kOpenLoop;
+  /// Seeds the whole schedule: verbs, servers, payloads, offsets.
+  uint64_t seed = 1;
+  /// Simulated 5-minute epochs (soak runs typically use more).
+  int64_t ticks = 12;
+  /// Open loop: peak arrivals per tick (the profile scales each tick's
+  /// count off this). Closed loop: peak requests per client per tick.
+  int64_t base_requests_per_tick = 200;
+  /// Closed loop only: number of virtual clients (= in-flight bound).
+  int closed_loop_clients = 8;
+  /// Verb mix; the remainder after predict + ll_window is ingest.
+  double predict_fraction = 0.6;
+  double ll_window_fraction = 0.2;
+  /// Engine epoch origin: ingest increments for tick k carry the sample
+  /// at `epoch_start + k * 5min`. Point this at the bootstrap tails'
+  /// end so increments extend the tails.
+  MinuteStamp epoch_start = 0;
+  /// Request-execution concurrency; <= 1 runs the schedule sequentially
+  /// (the determinism reference).
+  int jobs = 1;
+};
+
+/// \brief One scheduled request, fully materialized.
+struct ScheduledRequest {
+  int64_t tick = 0;    ///< epoch the request arrives in
+  int64_t seq = 0;     ///< global arrival order; unique across the run
+  int64_t client = 0;  ///< closed loop: issuing virtual client
+  /// Open loop: simulated arrival offset within the tick, microseconds
+  /// (exponential inter-arrival gaps; purely descriptive for reporting).
+  int64_t offset_micros = 0;
+  std::string verb;  ///< predict | ll_window | ingest
+  std::string body;  ///< complete JSON request text
+};
+
+/// Arrivals the profile prescribes for tick `t` of `ticks`, given the
+/// peak-per-tick `base`: ramp climbs linearly to `base`, spike idles at
+/// base/4 except for a 3x-base burst in the middle tenth, soak holds
+/// `base` flat. Exposed so tests can assert the declared counts.
+int64_t ProfileRequestsAtTick(LoadProfile profile, int64_t base, int64_t t,
+                              int64_t ticks);
+
+/// Sum of `ProfileRequestsAtTick` over every tick (one virtual client's
+/// worth in closed-loop mode).
+int64_t ProfileTotalRequests(LoadProfile profile, int64_t base,
+                             int64_t ticks);
+
+/// Materializes the complete request schedule for `options` against the
+/// given server population. Pure: same arguments, same schedule.
+std::vector<ScheduledRequest> BuildSchedule(
+    const LoadgenOptions& options,
+    const std::vector<std::string>& server_ids);
+
+/// \brief Latency summary of one verb, microseconds.
+struct LatencySummary {
+  int64_t count = 0;
+  int64_t errors = 0;  ///< structured {"ok":false} responses
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  Json ToJson() const;
+};
+
+/// \brief Result of one load-test run.
+struct LoadgenReport {
+  LoadProfile profile = LoadProfile::kRamp;
+  DriverMode mode = DriverMode::kOpenLoop;
+  int64_t requests = 0;
+  int64_t ok = 0;
+  int64_t errors = 0;
+  double wall_millis = 0.0;
+  /// Served requests per second of wall time (0 under a frozen clock).
+  double throughput_rps = 0.0;
+  /// Per-verb latency percentiles over the run.
+  std::map<std::string, LatencySummary> latency;
+  /// Tick-loop accounting: how well dirty-set tracking amortizes refits.
+  int64_t ticks = 0;
+  int64_t refits = 0;
+  int64_t refit_failures = 0;
+  int64_t clean_skips = 0;
+  int64_t ingests_applied = 0;
+  /// refits / max(1, queries) — below 1.0 means caching pays.
+  double refit_per_query = 0.0;
+  /// Peak concurrently executing requests (closed loop: <= clients).
+  int64_t max_in_flight = 0;
+  /// FNV-1a over every (seq, response) pair in seq order — identical
+  /// across jobs counts when the engine honors its determinism contract.
+  uint64_t response_digest = 0;
+
+  Json ToJson() const;
+};
+
+/// Plays `schedule` against `engine`: for each tick, executes that
+/// epoch's requests (concurrently across `options.jobs` workers, or per
+/// virtual client in closed-loop mode), then calls `engine->Tick()`.
+/// The schedule must come from `BuildSchedule` with the same options.
+LoadgenReport RunLoadTest(ServingEngine* engine,
+                          const LoadgenOptions& options,
+                          const std::vector<ScheduledRequest>& schedule);
+
+}  // namespace seagull

@@ -1,0 +1,198 @@
+#include "serving/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include "serving_test_util.h"
+
+namespace seagull {
+namespace {
+
+std::vector<std::string> Ids(int n) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < n; ++i) ids.push_back("srv-" + std::to_string(i));
+  return ids;
+}
+
+TEST(LoadProfileTest, ShapesMatchTheirNames) {
+  const int64_t base = 100, ticks = 10;
+  // Ramp: non-decreasing, ends at the full base rate.
+  int64_t prev = 0;
+  for (int64_t t = 0; t < ticks; ++t) {
+    int64_t now = ProfileRequestsAtTick(LoadProfile::kRamp, base, t, ticks);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_EQ(ProfileRequestsAtTick(LoadProfile::kRamp, base, ticks - 1, ticks),
+            base);
+  // Spike: quiet baseline except a 3x burst in the middle.
+  EXPECT_EQ(ProfileRequestsAtTick(LoadProfile::kSpike, base, 0, ticks),
+            base / 4);
+  EXPECT_EQ(ProfileRequestsAtTick(LoadProfile::kSpike, base, ticks / 2, ticks),
+            base * 3);
+  // Soak: flat.
+  for (int64_t t = 0; t < ticks; ++t) {
+    EXPECT_EQ(ProfileRequestsAtTick(LoadProfile::kSoak, base, t, ticks), base);
+  }
+  // Out-of-range ticks prescribe nothing.
+  EXPECT_EQ(ProfileRequestsAtTick(LoadProfile::kSoak, base, -1, ticks), 0);
+  EXPECT_EQ(ProfileRequestsAtTick(LoadProfile::kSoak, base, ticks, ticks), 0);
+}
+
+TEST(LoadProfileTest, ParseRoundTrip) {
+  for (LoadProfile p :
+       {LoadProfile::kRamp, LoadProfile::kSpike, LoadProfile::kSoak}) {
+    auto back = ParseLoadProfile(LoadProfileName(p));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, p);
+  }
+  for (DriverMode m : {DriverMode::kOpenLoop, DriverMode::kClosedLoop}) {
+    auto back = ParseDriverMode(DriverModeName(m));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_FALSE(ParseLoadProfile("tsunami").ok());
+  EXPECT_FALSE(ParseDriverMode("ajar").ok());
+}
+
+TEST(BuildScheduleTest, ProfilesProduceDeclaredCounts) {
+  for (LoadProfile profile :
+       {LoadProfile::kRamp, LoadProfile::kSpike, LoadProfile::kSoak}) {
+    LoadgenOptions options;
+    options.profile = profile;
+    options.ticks = 9;
+    options.base_requests_per_tick = 50;
+
+    // Open loop: schedule size is exactly the profile's total.
+    options.mode = DriverMode::kOpenLoop;
+    auto open = BuildSchedule(options, Ids(10));
+    EXPECT_EQ(static_cast<int64_t>(open.size()),
+              ProfileTotalRequests(profile, 50, 9));
+
+    // Closed loop: one profile's worth per virtual client.
+    options.mode = DriverMode::kClosedLoop;
+    options.closed_loop_clients = 3;
+    auto closed = BuildSchedule(options, Ids(10));
+    EXPECT_EQ(static_cast<int64_t>(closed.size()),
+              3 * ProfileTotalRequests(profile, 50, 9));
+
+    // Per-tick counts match the profile's prescription.
+    std::map<int64_t, int64_t> per_tick;
+    for (const auto& req : open) ++per_tick[req.tick];
+    for (int64_t t = 0; t < 9; ++t) {
+      EXPECT_EQ(per_tick[t], ProfileRequestsAtTick(profile, 50, t, 9))
+          << LoadProfileName(profile) << " tick " << t;
+    }
+  }
+}
+
+TEST(BuildScheduleTest, SeedDeterminesTheSchedule) {
+  LoadgenOptions options;
+  options.profile = LoadProfile::kSpike;
+  options.ticks = 8;
+  options.base_requests_per_tick = 40;
+  options.seed = 123;
+  auto a = BuildSchedule(options, Ids(20));
+  auto b = BuildSchedule(options, Ids(20));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].tick, b[i].tick);
+    EXPECT_EQ(a[i].offset_micros, b[i].offset_micros);
+    EXPECT_EQ(a[i].body, b[i].body);
+  }
+
+  options.seed = 124;
+  auto c = BuildSchedule(options, Ids(20));
+  ASSERT_EQ(a.size(), c.size());  // counts are profile-, not seed-, driven
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_differs = any_differs || a[i].body != c[i].body;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BuildScheduleTest, ScheduleInvariants) {
+  LoadgenOptions options;
+  options.profile = LoadProfile::kRamp;
+  options.ticks = 6;
+  options.base_requests_per_tick = 30;
+  auto schedule = BuildSchedule(options, Ids(5));
+  int64_t prev_offset = 0, prev_tick = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    // Seqs are the global arrival order.
+    EXPECT_EQ(schedule[i].seq, static_cast<int64_t>(i));
+    // Open-loop offsets are monotone within each tick.
+    if (schedule[i].tick != prev_tick) prev_offset = 0;
+    EXPECT_GE(schedule[i].offset_micros, prev_offset);
+    prev_offset = schedule[i].offset_micros;
+    prev_tick = schedule[i].tick;
+    // Every body is parseable JSON with a known verb.
+    auto body = Json::Parse(schedule[i].body);
+    ASSERT_TRUE(body.ok());
+    EXPECT_TRUE(schedule[i].verb == "predict" ||
+                schedule[i].verb == "ll_window" ||
+                schedule[i].verb == "ingest");
+  }
+}
+
+TEST(RunLoadTestTest, ClosedLoopNeverExceedsClientBound) {
+  const std::vector<ServerTelemetry> tails = {
+      MakeTail("srv-0", DayOfLoad()), MakeTail("srv-1", DayOfLoad()),
+      MakeTail("srv-2", DayOfLoad())};
+  ServingEngine engine(MakePrevDayEndpoint());
+  engine.Bootstrap(tails).Abort();
+  engine.Tick();
+
+  LoadgenOptions options;
+  options.profile = LoadProfile::kSoak;
+  options.mode = DriverMode::kClosedLoop;
+  options.ticks = 4;
+  options.base_requests_per_tick = 25;
+  options.closed_loop_clients = 3;
+  options.jobs = 8;  // more workers than clients: the bound must hold
+  options.epoch_start = kMinutesPerDay;
+  std::vector<std::string> ids = {"srv-0", "srv-1", "srv-2"};
+
+  LoadgenReport report =
+      RunLoadTest(&engine, options, BuildSchedule(options, ids));
+  EXPECT_EQ(report.requests, 4 * 25 * 3);
+  EXPECT_GT(report.max_in_flight, 0);
+  EXPECT_LE(report.max_in_flight, 3);
+  EXPECT_EQ(report.ok + report.errors, report.requests);
+}
+
+TEST(RunLoadTestTest, ReportAccountingAddsUp) {
+  const std::vector<ServerTelemetry> tails = {
+      MakeTail("srv-0", DayOfLoad()), MakeTail("srv-1", DayOfLoad())};
+  ServingEngine engine(MakePrevDayEndpoint());
+  engine.Bootstrap(tails).Abort();
+  engine.Tick();
+
+  LoadgenOptions options;
+  options.profile = LoadProfile::kRamp;
+  options.ticks = 5;
+  options.base_requests_per_tick = 40;
+  options.epoch_start = kMinutesPerDay;
+  std::vector<std::string> ids = {"srv-0", "srv-1"};
+  LoadgenReport report =
+      RunLoadTest(&engine, options, BuildSchedule(options, ids));
+
+  EXPECT_EQ(report.ticks, 5);
+  int64_t latency_count = 0;
+  for (const auto& [verb, summary] : report.latency) {
+    latency_count += summary.count;
+    EXPECT_GE(summary.p95, summary.p50);
+    EXPECT_GE(summary.p99, summary.p95);
+  }
+  EXPECT_EQ(latency_count, report.requests);
+  EXPECT_NE(report.response_digest, 0u);
+  // Dirty-set tracking amortizes: with 2 servers and many queries,
+  // refits per query stay well below 1.
+  EXPECT_LT(report.refit_per_query, 1.0);
+  Json doc = report.ToJson();
+  EXPECT_EQ(doc["requests"].AsInt(), report.requests);
+  EXPECT_TRUE(doc["latency_micros"].is_object());
+}
+
+}  // namespace
+}  // namespace seagull

@@ -2,29 +2,10 @@
 
 #include <gtest/gtest.h>
 
-#include "forecast/persistent.h"
+#include "serving_test_util.h"
 
 namespace seagull {
 namespace {
-
-ModelEndpoint MakeEndpoint() {
-  PersistentForecast model(PersistentVariant::kPreviousDay);
-  Json body = Json::MakeObject();
-  body["family"] = "persistent_prev_day";
-  body["version"] = 7;
-  Json models = Json::MakeObject();
-  models[""] = std::move(model.Serialize()).ValueOrDie();
-  body["models"] = std::move(models);
-  return std::move(ModelEndpoint::FromVersionDoc(body)).ValueOrDie();
-}
-
-LoadSeries DayOfLoad() {
-  std::vector<double> values(288);
-  for (int64_t i = 0; i < 288; ++i) {
-    values[static_cast<size_t>(i)] = i < 48 ? 5.0 : 40.0;
-  }
-  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
-}
 
 TEST(SeriesWireTest, RoundTripWithMissing) {
   LoadSeries s = DayOfLoad();
@@ -62,14 +43,44 @@ TEST(ForecastRequestTest, RoundTrip) {
   EXPECT_EQ(back->recent.size(), 288);
 }
 
-TEST(ForecastServiceTest, ServesForecast) {
-  ForecastService service(MakeEndpoint());
+/// The wire contract runs against two handler paths: the stateless
+/// `ForecastService` and the streaming `ServingEngine`, whose
+/// verb-defaulting predict path accepts the exact same request form
+/// (the "recent" series routes it through the endpoint directly). Both
+/// must produce the same success shape, the same structured errors, and
+/// the same served/failed accounting.
+class ServingContractTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  ServingContractTest()
+      : service_(MakePrevDayEndpoint()), engine_(MakePrevDayEndpoint()) {}
+
+  bool UsesEngine() const { return std::string(GetParam()) == "engine"; }
+
+  std::string Handle(const std::string& request_text) {
+    return UsesEngine() ? engine_.Handle(request_text)
+                        : service_.HandleRequest(request_text);
+  }
+
+  int64_t served() const {
+    return UsesEngine() ? engine_.requests_served()
+                        : service_.requests_served();
+  }
+  int64_t failed() const {
+    return UsesEngine() ? engine_.requests_failed()
+                        : service_.requests_failed();
+  }
+
+  ForecastService service_;
+  ServingEngine engine_;
+};
+
+TEST_P(ServingContractTest, ServesForecast) {
   ForecastRequest req;
   req.server_id = "srv-1";
   req.start = kMinutesPerDay;
   req.horizon_minutes = kMinutesPerDay;
   req.recent = DayOfLoad();
-  std::string response_text = service.HandleRequest(req.ToJson().Dump());
+  std::string response_text = Handle(req.ToJson().Dump());
 
   auto response = Json::Parse(response_text);
   ASSERT_TRUE(response.ok());
@@ -81,19 +92,18 @@ TEST(ForecastServiceTest, ServesForecast) {
   // Previous-day forecast replicates the valley.
   EXPECT_DOUBLE_EQ(forecast->ValueAt(0), 5.0);
   EXPECT_DOUBLE_EQ(forecast->ValueAt(100), 40.0);
-  EXPECT_EQ(service.requests_served(), 1);
-  EXPECT_EQ(service.requests_failed(), 0);
+  EXPECT_EQ(served(), 1);
+  EXPECT_EQ(failed(), 0);
 }
 
-TEST(ForecastServiceTest, StructuredErrors) {
-  ForecastService service(MakeEndpoint());
+TEST_P(ServingContractTest, StructuredErrors) {
   // Not JSON.
-  auto r1 = Json::Parse(service.HandleRequest("not json at all"));
+  auto r1 = Json::Parse(Handle("not json at all"));
   ASSERT_TRUE(r1.ok());
   EXPECT_FALSE((*r1)["ok"].AsBool());
   EXPECT_EQ((*r1)["code"].AsString(), "Invalid");
   // JSON but missing fields.
-  auto r2 = Json::Parse(service.HandleRequest("{}"));
+  auto r2 = Json::Parse(Handle("{}"));
   ASSERT_TRUE(r2.ok());
   EXPECT_FALSE((*r2)["ok"].AsBool());
   // Valid shape but misaligned range -> model error surfaces.
@@ -102,15 +112,14 @@ TEST(ForecastServiceTest, StructuredErrors) {
   req.start = kMinutesPerDay + 2;
   req.horizon_minutes = 60;
   req.recent = DayOfLoad();
-  auto r3 = Json::Parse(service.HandleRequest(req.ToJson().Dump()));
+  auto r3 = Json::Parse(Handle(req.ToJson().Dump()));
   ASSERT_TRUE(r3.ok());
   EXPECT_FALSE((*r3)["ok"].AsBool());
-  EXPECT_EQ(service.requests_served(), 0);
-  EXPECT_EQ(service.requests_failed(), 3);
+  EXPECT_EQ(served(), 0);
+  EXPECT_EQ(failed(), 3);
 }
 
-TEST(ForecastServiceTest, NegativeHorizonRejected) {
-  ForecastService service(MakeEndpoint());
+TEST_P(ServingContractTest, NegativeHorizonRejected) {
   ForecastRequest req;
   req.server_id = "srv";
   req.start = 0;
@@ -118,10 +127,16 @@ TEST(ForecastServiceTest, NegativeHorizonRejected) {
   req.recent = DayOfLoad();
   Json doc = req.ToJson();
   doc["horizon_minutes"] = -5;
-  auto response = Json::Parse(service.HandleRequest(doc.Dump()));
+  auto response = Json::Parse(Handle(doc.Dump()));
   ASSERT_TRUE(response.ok());
   EXPECT_FALSE((*response)["ok"].AsBool());
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServingContractTest,
+                         ::testing::Values("service", "engine"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 TEST(ForecastServiceTest, EndToEndThroughDeployedRegistry) {
   // Deploy through the registry, load the active endpoint, serve.

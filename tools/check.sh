@@ -31,6 +31,18 @@
 #                             # and fails if a model exceeds the
 #                             # forecast_train_micros ceilings in
 #                             # tests/budgets.json
+#   tools/check.sh serving    # serving engine slice: the serving unit /
+#                             # determinism suites in Release, then
+#                             # bench/loadgen at the full 1200-server
+#                             # fleet (writes BENCH_serving.json, fails
+#                             # on the serving_micros per-verb ceilings
+#                             # or the serving_min_throughput_rps floor
+#                             # in tests/budgets.json), then a smaller
+#                             # soak profile plus the determinism tests
+#                             # under tsan+ubsan — query/ingest/tick
+#                             # races only show up while all three run
+#                             # concurrently (latency budgets are NOT
+#                             # gated under tsan; only races are)
 #
 # Exits non-zero on the first build or test failure.
 set -eu
@@ -91,6 +103,28 @@ case "$MODE" in
       ./bench/micro_forecast --budgets="$ROOT/tests/budgets.json")
     echo "=== [perf] OK ==="
     ;;
+  serving)
+    run_config release "$ROOT/build-release" 'serving' \
+      -DCMAKE_BUILD_TYPE=Release
+    echo "=== [serving] bench/loadgen (writes BENCH_serving.json," \
+         "gates on tests/budgets.json serving_micros) ==="
+    (cd "$ROOT/build-release" &&
+      ./bench/loadgen --servers=1200 --budgets="$ROOT/tests/budgets.json")
+    echo "=== [serving] tsan soak ==="
+    TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp ${TSAN_OPTIONS:-}"
+    export TSAN_OPTIONS
+    cmake -B "$ROOT/build-sanitize" -S "$ROOT" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
+    cmake --build "$ROOT/build-sanitize" -j "$JOBS" \
+      --target serving_determinism_test loadgen
+    (cd "$ROOT/build-sanitize" &&
+      ctest --output-on-failure -R serving_determinism_test)
+    (cd "$ROOT/build-sanitize" &&
+      ./bench/loadgen --servers=200 --ticks=6 --base=100 --jobs=4)
+    echo "=== [serving] OK ==="
+    ;;
 esac
 
 case "$MODE" in
@@ -103,9 +137,10 @@ case "$MODE" in
 esac
 
 case "$MODE" in
-  release|sanitize|chaos|obs|perf|all) ;;
+  release|sanitize|chaos|obs|perf|serving|all) ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|chaos|obs|perf|all]" >&2
+    echo "usage: tools/check.sh" \
+         "[release|sanitize|chaos|obs|perf|serving|all]" >&2
     exit 2
     ;;
 esac

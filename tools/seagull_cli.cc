@@ -26,6 +26,22 @@
 ///   seagull incidents --docs FILE --region NAME
 ///   seagull advise    --lake DIR --docs FILE --region NAME --server ID
 ///                     --day D --start HH:MM [--duration MIN]
+///   seagull serve     --lake DIR --docs FILE --region NAME [--week K]
+///                     | --synthetic [--servers N] [--seed S]
+///                     [--horizon MIN] [--threads N]
+///   seagull loadtest  (same bootstrap flags as serve)
+///                     [--profile ramp|spike|soak] [--mode open|closed]
+///                     [--ticks N] [--base N] [--clients N] [--jobs N]
+///                     [--out FILE]
+///
+/// `serve` boots the streaming `ServingEngine` (src/serving) over the
+/// region's telemetry tails and active model, then answers JSON-line
+/// requests from stdin (predict / ll_window / ingest); the extra
+/// `{"verb":"tick"}` line advances the simulated 5-minute epoch the way
+/// a production timer would. `loadtest` drives the same engine with the
+/// deterministic open/closed-loop generators from bench/loadgen.
+/// `--synthetic` serves a generated fleet with the persistent-prev-day
+/// champion instead of lake + docs state — no prior pipeline run needed.
 ///
 /// `generate` plays the role of Azure telemetry + Load Extraction
 /// (`--format binary` writes columnar SeriesBlock blobs instead of CSV);
@@ -34,13 +50,19 @@
 /// enables the shared-buffer lake blob cache. Everything else is the
 /// production path.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/fault.h"
+#include "forecast/persistent.h"
+#include "serving/loadgen.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "common/strings.h"
@@ -579,6 +601,195 @@ int CmdTranscode(const Args& args) {
   return 0;
 }
 
+/// Bootstrap inputs of the serving engine: the deployed endpoint plus
+/// one telemetry tail per server.
+struct ServingSetup {
+  ModelEndpoint endpoint;
+  std::vector<ServerTelemetry> tails;
+};
+
+/// `--synthetic` serving state: a generated one-week fleet with the
+/// fleet-wide persistent-prev-day champion (heuristic family, so one
+/// model serves every server) — lets serve/loadtest run without a lake
+/// or a prior pipeline deployment.
+Result<ServingSetup> SyntheticSetup(const Args& args) {
+  RegionConfig config;
+  config.name = args.Get("region", "serve");
+  config.num_servers = static_cast<int>(args.GetInt("servers", 200));
+  config.weeks = 1;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  Fleet fleet = Fleet::Generate(config);
+
+  ServingSetup setup;
+  setup.tails.reserve(fleet.servers().size());
+  for (const auto& profile : fleet.servers()) {
+    ServerTelemetry st;
+    st.server_id = profile.server_id;
+    st.load = fleet.ObservedLoad(profile, 0, kMinutesPerWeek);
+    setup.tails.push_back(std::move(st));
+  }
+
+  PersistentForecast model(PersistentVariant::kPreviousDay);
+  Json body = Json::MakeObject();
+  body["family"] = "persistent_prev_day";
+  body["version"] = 1;
+  Json models = Json::MakeObject();
+  SEAGULL_ASSIGN_OR_RETURN(Json serialized, model.Serialize());
+  models[""] = std::move(serialized);
+  body["models"] = std::move(models);
+  SEAGULL_ASSIGN_OR_RETURN(setup.endpoint,
+                           ModelEndpoint::FromVersionDoc(body));
+  return setup;
+}
+
+/// Production serving state: the region's active model version from the
+/// doc store plus its latest telemetry week from the lake.
+Result<ServingSetup> LakeSetup(const Args& args) {
+  SEAGULL_ASSIGN_OR_RETURN(std::string lake_dir, args.Require("lake"));
+  SEAGULL_ASSIGN_OR_RETURN(std::string docs_path, args.Require("docs"));
+  SEAGULL_ASSIGN_OR_RETURN(std::string region, args.Require("region"));
+  SEAGULL_ASSIGN_OR_RETURN(LakeStore lake, LakeStore::Open(lake_dir));
+  SEAGULL_ASSIGN_OR_RETURN(DocStore * docs, OpenDocs(docs_path));
+
+  ServingSetup setup;
+  SEAGULL_ASSIGN_OR_RETURN(setup.endpoint,
+                           LoadActiveEndpoint(docs, region));
+  ResilientStore store(&lake, docs, ConfigureResilience(args));
+  SEAGULL_ASSIGN_OR_RETURN(
+      setup.tails,
+      LoadTelemetry(store, region, args.GetInt("week", 12)));
+  return setup;
+}
+
+Result<ServingSetup> BuildServingSetup(const Args& args) {
+  return args.Has("synthetic") ? SyntheticSetup(args) : LakeSetup(args);
+}
+
+/// Latest sample boundary across the fleet: where ingest increments
+/// should start so they extend the tails.
+MinuteStamp TailsEnd(const std::vector<ServerTelemetry>& tails) {
+  MinuteStamp end = 0;
+  for (const auto& st : tails) end = std::max(end, st.load.end());
+  return end;
+}
+
+int CmdServe(const Args& args) {
+  auto setup = BuildServingSetup(args);
+  if (!setup.ok()) return Fail(setup.status());
+
+  ServingOptions options;
+  options.horizon_minutes =
+      args.GetInt("horizon", options.horizon_minutes);
+  std::unique_ptr<ThreadPool> pool;
+  const int64_t threads = args.GetInt("threads", 0);
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<int>(threads));
+    options.pool = pool.get();
+  }
+
+  ServingEngine engine(std::move(setup->endpoint), options);
+  Status st = engine.Bootstrap(setup->tails);
+  if (!st.ok()) return Fail(st);
+  TickResult boot = engine.Tick();  // initial fleet-wide forecasts
+  std::fprintf(stderr,
+               "serving %lld servers (model %s v%lld): %lld initial "
+               "forecasts, %lld failed\n",
+               static_cast<long long>(engine.server_count()),
+               engine.endpoint().family().c_str(),
+               static_cast<long long>(engine.endpoint().version()),
+               static_cast<long long>(boot.refits),
+               static_cast<long long>(boot.refit_failures));
+  std::fprintf(stderr,
+               "reading JSON requests from stdin; {\"verb\":\"tick\"} "
+               "advances the 5-minute epoch\n");
+
+  // JSON-lines REPL: one request per line, one response per line. The
+  // tick verb is handled here, not in the engine — advancing the epoch
+  // is the operator's (or timer's) call, not a client request.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (parsed.ok() && parsed->Contains("verb") &&
+        (*parsed)["verb"].AsString() == "tick") {
+      std::printf("%s\n", engine.Tick().ToJson().Dump().c_str());
+    } else {
+      std::printf("%s\n", engine.Handle(line).c_str());
+    }
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr,
+               "served %lld requests (%lld errors) over %lld ticks\n",
+               static_cast<long long>(engine.requests_served()),
+               static_cast<long long>(engine.requests_failed()),
+               static_cast<long long>(engine.tick()));
+  return 0;
+}
+
+int CmdLoadtest(const Args& args) {
+  auto setup = BuildServingSetup(args);
+  if (!setup.ok()) return Fail(setup.status());
+  auto profile = ParseLoadProfile(args.Get("profile", "ramp"));
+  if (!profile.ok()) return Fail(profile.status());
+  auto mode = ParseDriverMode(args.Get("mode", "open"));
+  if (!mode.ok()) return Fail(mode.status());
+
+  LoadgenOptions options;
+  options.profile = *profile;
+  options.mode = *mode;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.ticks = args.GetInt("ticks", options.ticks);
+  options.base_requests_per_tick =
+      args.GetInt("base", options.base_requests_per_tick);
+  options.closed_loop_clients = static_cast<int>(
+      args.GetInt("clients", options.closed_loop_clients));
+  options.jobs = static_cast<int>(args.GetInt("jobs", 1));
+  options.epoch_start = TailsEnd(setup->tails);
+
+  std::unique_ptr<ThreadPool> pool;
+  ServingOptions serving;
+  if (options.jobs > 1) {
+    pool = std::make_unique<ThreadPool>(options.jobs);
+    serving.pool = pool.get();
+  }
+  ServingEngine engine(std::move(setup->endpoint), serving);
+  Status st = engine.Bootstrap(setup->tails);
+  if (!st.ok()) return Fail(st);
+  engine.Tick();  // initial forecasts so epoch-0 queries are served
+
+  std::vector<std::string> ids;
+  ids.reserve(setup->tails.size());
+  for (const auto& tail : setup->tails) ids.push_back(tail.server_id);
+  const auto schedule = BuildSchedule(options, ids);
+  const LoadgenReport report = RunLoadTest(&engine, options, schedule);
+
+  const LatencySummary predict = report.latency.count("predict")
+                                     ? report.latency.at("predict")
+                                     : LatencySummary{};
+  std::printf(
+      "%s/%s: %lld requests, %lld ok, %lld errors, %.0f rps\n"
+      "  predict p50/p95/p99 %.0f/%.0f/%.0f us\n"
+      "  ticks %lld, refits %lld (%.3f per query), max in-flight %lld\n"
+      "  response digest %016llx\n",
+      LoadProfileName(*profile), DriverModeName(*mode),
+      static_cast<long long>(report.requests),
+      static_cast<long long>(report.ok),
+      static_cast<long long>(report.errors), report.throughput_rps,
+      predict.p50, predict.p95, predict.p99,
+      static_cast<long long>(report.ticks),
+      static_cast<long long>(report.refits), report.refit_per_query,
+      static_cast<long long>(report.max_in_flight),
+      static_cast<unsigned long long>(report.response_digest));
+
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    Status ws = WriteObsArtifact(out, report.ToJson().DumpPretty());
+    if (!ws.ok()) return Fail(ws);
+    std::printf("wrote report to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
@@ -596,7 +807,13 @@ void Usage() {
       "  dashboard --docs FILE\n"
       "  incidents --docs FILE --region NAME\n"
       "  advise    --lake DIR --docs FILE --region NAME --server ID "
-      "--day D --start HH:MM [--duration MIN]\n");
+      "--day D --start HH:MM [--duration MIN]\n"
+      "  serve     (--lake DIR --docs FILE --region NAME [--week K] | "
+      "--synthetic [--servers N] [--seed S]) [--horizon MIN] "
+      "[--threads N]\n"
+      "  loadtest  (same bootstrap flags as serve) "
+      "[--profile ramp|spike|soak] [--mode open|closed] [--ticks N] "
+      "[--base N] [--clients N] [--jobs N] [--out FILE]\n");
 }
 
 }  // namespace
@@ -615,6 +832,8 @@ int main(int argc, char** argv) {
   if (command == "dashboard") return CmdDashboard(args);
   if (command == "incidents") return CmdIncidents(args);
   if (command == "advise") return CmdAdvise(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "loadtest") return CmdLoadtest(args);
   Usage();
   return 2;
 }
