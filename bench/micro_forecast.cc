@@ -11,7 +11,11 @@
 /// With `--budgets=<path>` the fast-mode per-model fit times are checked
 /// against the "forecast_train_micros" p50/p99 ceilings in the given
 /// budgets file (tools/check.sh perf wires this up); a violation exits
-/// non-zero so the gate fails loudly.
+/// non-zero so the gate fails loudly. Two assertions are always on,
+/// budgets file or not: every model's fit_fast p50 must be <=
+/// fit_scalar p50 * 1.05 (fast mode must never lose), and the batched
+/// fleet row measures 1200 same-grid additive servers through the
+/// BatchTrainer against the plain per-server loop.
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +33,7 @@
 #include "common/random.h"
 #include "forecast/additive.h"
 #include "forecast/arima.h"
+#include "forecast/batch.h"
 #include "forecast/feedforward.h"
 #include "forecast/linalg.h"
 #include "forecast/model.h"
@@ -240,6 +245,68 @@ Json KernelRows() {
   return rows;
 }
 
+/// Fleet-scale batched training: 1200 servers on one telemetry grid,
+/// additive family, BatchTrainer vs the plain per-server loop
+/// training.cc used to run. The emitted row's fit_fast percentiles are
+/// the amortized per-server cost — each server's own fit time plus its
+/// share of the group overhead (the shared design/Gram build) — so the
+/// budget gate fails if batching ever stops paying for itself.
+Json BatchFleetRow() {
+  constexpr int64_t kServers = 1200;
+  std::vector<LoadSeries> fleet;
+  fleet.reserve(kServers);
+  for (int64_t s = 0; s < kServers; ++s) {
+    fleet.push_back(SyntheticWeek(1000 + static_cast<uint64_t>(s)));
+  }
+
+  const auto t_ref = Clock::now();
+  for (const LoadSeries& series : fleet) {
+    auto model = ModelFactory::Global().Create("additive");
+    model.status().Abort();
+    (*model)->Fit(series).Abort();
+    benchmark::DoNotOptimize((*model)->name());
+  }
+  const double per_server_total = MicrosSince(t_ref);
+
+  std::vector<BatchTrainItem> items(fleet.size());
+  for (size_t i = 0; i < fleet.size(); ++i) items[i].train = &fleet[i];
+  BatchTrainStats stats;
+  const auto t_batch = Clock::now();
+  auto results = BatchTrainer::Fit("additive", items, /*pool=*/nullptr,
+                                   &stats);
+  const double batch_total = MicrosSince(t_batch);
+  results.status().Abort();
+
+  std::vector<double> item_micros;
+  double item_sum = 0.0;
+  for (const BatchTrainResult& r : *results) {
+    r.status.Abort();
+    item_micros.push_back(r.fit_micros);
+    item_sum += r.fit_micros;
+  }
+  const double overhead = std::max(0.0, batch_total - item_sum) /
+                          static_cast<double>(kServers);
+  const double speedup =
+      batch_total > 0.0 ? per_server_total / batch_total : 0.0;
+  std::printf("%-14s %lld servers  per-server %9.0f us -> batched "
+              "%9.0f us  (%5.2fx, %lld groups)\n",
+              "batch additive", static_cast<long long>(kServers),
+              per_server_total, batch_total, speedup,
+              static_cast<long long>(stats.groups));
+
+  Json row = Json::MakeObject();
+  Json fast_j = Json::MakeObject();
+  fast_j["p50"] = Percentile(item_micros, 0.5) + overhead;
+  fast_j["p99"] = Percentile(item_micros, 0.99) + overhead;
+  row["fit_fast"] = std::move(fast_j);
+  row["servers"] = static_cast<double>(kServers);
+  row["groups"] = static_cast<double>(stats.groups);
+  row["per_server_total_micros"] = per_server_total;
+  row["batch_total_micros"] = batch_total;
+  row["batch_speedup"] = speedup;
+  return row;
+}
+
 /// Checks fast-mode fit timings against the "forecast_train_micros"
 /// section of the budgets file. Returns the number of violations.
 int CheckBudgets(const std::string& path, const Json& models) {
@@ -316,6 +383,7 @@ int main(int argc, char** argv) {
 
   Json models = Json::MakeObject();
   double ssa_speedup = 0.0;
+  int regressions = 0;
   for (const ModelPlan& plan : kPlans) {
     FitTiming fast = TimeModel(plan.name, plan.reps);
     FitTiming scalar;
@@ -327,6 +395,15 @@ int main(int argc, char** argv) {
                                ? scalar.p50_micros / fast.p50_micros
                                : 0.0;
     if (std::strcmp(plan.name, "ssa") == 0) ssa_speedup = speedup;
+    // Fast mode must never lose to its own scalar reference (5% grace
+    // absorbs timer jitter on models whose paths genuinely tie).
+    if (fast.p50_micros > scalar.p50_micros * 1.05) {
+      std::fprintf(stderr,
+                   "fast-path regression: %s fit p50 %.0fus > scalar "
+                   "p50 %.0fus * 1.05\n",
+                   plan.name, fast.p50_micros, scalar.p50_micros);
+      ++regressions;
+    }
     std::printf("%-14s fit p50 %9.0f us -> %9.0f us  (%5.2fx)   "
                 "predict %7.0f us\n",
                 plan.name, scalar.p50_micros, fast.p50_micros, speedup,
@@ -345,6 +422,8 @@ int main(int argc, char** argv) {
     models[plan.name] = std::move(row);
   }
   std::printf("%-14s %5.2fx  (target >= 3x)\n", "ssa speedup", ssa_speedup);
+
+  models["batch"] = BatchFleetRow();
 
   Json kernels = KernelRows();
   for (const auto& [name, row] : kernels.AsObject()) {
@@ -370,9 +449,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write BENCH_forecast.json\n");
   }
 
-  int violations = 0;
+  int violations = regressions;
   if (!budgets_path.empty()) {
-    violations = CheckBudgets(budgets_path, out["models"]);
+    violations += CheckBudgets(budgets_path, out["models"]);
   }
   return violations == 0 ? 0 : 1;
 }

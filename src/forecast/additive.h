@@ -18,6 +18,9 @@
 
 namespace seagull {
 
+class BatchTrainer;
+class Matrix;
+
 /// \brief Model structure and optimizer parameters.
 struct AdditiveOptions {
   /// Fourier order of the daily / weekly seasonal blocks.
@@ -55,8 +58,23 @@ class AdditiveForecast final : public ForecastModel {
   Status Deserialize(const Json& doc) override;
 
  private:
+  /// BatchTrainer builds one design matrix (and Gram) per shape group
+  /// and runs the per-server optimizer loop below against it.
+  friend class BatchTrainer;
+
   /// Number of model coefficients.
   int64_t NumFeatures() const;
+  /// Anchors the feature time scale to `filled`'s range. Must run
+  /// before FeaturesAt / FitWithDesign.
+  void SetTrainRange(const LoadSeries& filled);
+  /// The optimizer core: fits `coef_` against a design matrix whose
+  /// row i is FeaturesAt(filled.TimeAt(i)). With `gram == nullptr`
+  /// runs the row-streaming scalar reference loop; with the AᵀA Gram
+  /// supplied, iterates in Gram space — O(p²) per step instead of
+  /// O(n·p) — which is also what lets batched training share one
+  /// design+Gram across every server in a shape group.
+  Status FitWithDesign(const LoadSeries& filled, const Matrix& design,
+                       const Matrix* gram);
   /// Writes the NumFeatures() feature values at absolute minute `t`
   /// into `phi` (raw pointer so callers can hand out design-matrix rows
   /// or scratch-arena storage directly).

@@ -63,6 +63,98 @@ void ProjectStationary(std::vector<double>* params, int p) {
   }
 }
 
+/// Fast-path candidate optimizer: CSS fit of an ARMA(p,q) by Adam on
+/// the *analytic* gradient. The scalar reference above differentiates
+/// numerically — two full residual recursions per parameter per
+/// iteration (2·np passes). Here one fused, scratch-backed pass per
+/// iteration computes the residuals and, via the sensitivity recursion
+///
+///   s_t[k] = ∂e_t/∂θ_k = −x_k(t) − Σ_j θ_j · s_{t−j}[k]
+///
+/// (x_k(t) the direct regressor: 1, z_{t−i}, or e_{t−j}), accumulates
+/// dSSE/dθ_k = Σ_t 2·e_t·s_t[k] incrementally. Only the last q+1
+/// sensitivity rows are live, so the recursion runs in a small ring
+/// buffer and the loop body is branch-free pointer arithmetic. A
+/// plateau early-exit stops once the loss stops improving (Adam orbits
+/// the optimum instead of settling, so the loss signal is the stable
+/// stopping criterion). Returns the SSE at the returned parameters.
+double FitCandidateCss(const std::vector<double>& z, int p, int q,
+                       int64_t max_iters, double lr,
+                       std::vector<double>* params_io,
+                       std::vector<double>* e_ws) {
+  const int64_t n = static_cast<int64_t>(z.size());
+  const int np = 1 + p + q;
+  const int64_t warm = std::max(p, q);
+  const int64_t ring = q + 1;
+  KernelScratch& scratch = KernelScratch::Local();
+  std::vector<double>& sens = scratch.Vec(
+      kscratch::kArimaSens, static_cast<size_t>(ring * np));
+  std::vector<double>& grad =
+      scratch.Vec(kscratch::kArimaGrad, static_cast<size_t>(np));
+  std::vector<double>& adam =
+      scratch.VecZero(kscratch::kArimaAdam, static_cast<size_t>(2 * np));
+  double* mom = adam.data();
+  double* vel = mom + np;
+  e_ws->assign(static_cast<size_t>(n), 0.0);
+  double* ep = e_ws->data();
+  const double* zp = z.data();
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  double pow_b1 = 1.0, pow_b2 = 1.0;
+  double prev_sse = std::numeric_limits<double>::infinity();
+  int plateau = 0;
+  for (int64_t it = 0; it < max_iters; ++it) {
+    double* pp = params_io->data();
+    std::fill(sens.begin(), sens.end(), 0.0);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    std::fill(ep, ep + warm, 0.0);
+    double* sp = sens.data();
+    double* gp = grad.data();
+    double sse = 0.0;
+    for (int64_t t = warm; t < n; ++t) {
+      double pred = pp[0];
+      for (int i = 1; i <= p; ++i) pred += pp[i] * zp[t - i];
+      for (int j = 1; j <= q; ++j) pred += pp[p + j] * ep[t - j];
+      const double err = zp[t] - pred;
+      ep[t] = err;
+      sse += err * err;
+      double* st = sp + (t % ring) * np;
+      st[0] = -1.0;
+      for (int i = 1; i <= p; ++i) st[i] = -zp[t - i];
+      for (int j = 1; j <= q; ++j) st[p + j] = -ep[t - j];
+      for (int j = 1; j <= q; ++j) {
+        const double th = pp[p + j];
+        const double* sj = sp + ((t - j) % ring) * np;
+        for (int k = 0; k < np; ++k) st[k] -= th * sj[k];
+      }
+      const double err2 = 2.0 * err;
+      for (int k = 0; k < np; ++k) gp[k] += err2 * st[k];
+    }
+    // Plateau exit: three consecutive iterations without a relative
+    // loss improvement of 1e-8 end the candidate. Deterministic — the
+    // decision depends only on the (fixed-order) arithmetic above.
+    if (sse >= prev_sse - 1e-8 * std::max(prev_sse, 1e-12)) {
+      if (++plateau >= 3) break;
+    } else {
+      plateau = 0;
+    }
+    prev_sse = std::min(prev_sse, sse);
+    // One joint Adam step over all np parameters (the scalar reference
+    // updates coordinates sequentially inside its numeric-diff loop).
+    pow_b1 *= b1;
+    pow_b2 *= b2;
+    for (int k = 0; k < np; ++k) {
+      const double g = gp[k];
+      mom[k] = b1 * mom[k] + (1 - b1) * g;
+      vel[k] = b2 * vel[k] + (1 - b2) * g * g;
+      const double mh = mom[k] / (1 - pow_b1);
+      const double vh = vel[k] / (1 - pow_b2);
+      pp[k] -= lr * mh / (std::sqrt(vh) + eps);
+    }
+    ProjectStationary(params_io, p);
+  }
+  return CssLoss(z, p, q, *params_io, e_ws);
+}
+
 }  // namespace
 
 Status ArimaForecast::Fit(const LoadSeries& train) {
@@ -81,6 +173,18 @@ Status ArimaForecast::Fit(const LoadSeries& train) {
   // Optimizer state is tiny (≤ 8 doubles per vector) but lives inside
   // the candidate loop; hoist so each fit allocates it at most once.
   std::vector<double> params, m, v;
+  const bool fast = GetKernelMode() == KernelMode::kFast;
+  // Warm-start lattice (fast path): converged parameters of each
+  // already-fitted (p,q) candidate at the current d. The layout
+  // [c, φ₁..φ_p, θ₁..θ_q] makes seeding (p,q) from (p,q−1) — or
+  // (p,0) from (p−1,0) — a prefix copy plus a zero-appended new
+  // coefficient, which lands the optimizer near the optimum and lets
+  // the plateau exit fire after a handful of iterations.
+  std::vector<std::vector<double>> lattice(
+      static_cast<size_t>((options_.max_p + 1) * (options_.max_q + 1)));
+  auto lattice_at = [&](int lp, int lq) -> std::vector<double>& {
+    return lattice[static_cast<size_t>(lp * (options_.max_q + 1) + lq)];
+  };
 
   double best_aic = std::numeric_limits<double>::infinity();
   // pmdarima-style exhaustive order search: this loop is the documented
@@ -99,6 +203,7 @@ Status ArimaForecast::Fit(const LoadSeries& train) {
     }
     const int64_t n = static_cast<int64_t>(z.size());
     if (n < 16) continue;
+    for (auto& slot : lattice) slot.clear();
     for (int p = 0; p <= options_.max_p; ++p) {
       for (int q = 0; q <= options_.max_q; ++q) {
         if (p == 0 && q == 0 && d == 0) continue;
@@ -106,29 +211,56 @@ Status ArimaForecast::Fit(const LoadSeries& train) {
         params.assign(static_cast<size_t>(np), 0.0);
         // Warm start: small positive AR(1)-ish prior.
         if (p > 0) params[1] = 0.5;
-        // Adam on a central-difference numeric gradient.
-        m.assign(params.size(), 0.0);
-        v.assign(params.size(), 0.0);
-        const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
-        const double h = 1e-4;
-        for (int64_t it = 0; it < options_.iterations; ++it) {
-          for (size_t k = 0; k < params.size(); ++k) {
-            double orig = params[k];
-            params[k] = orig + h;
-            double up = CssLoss(z, p, q, params, &e);
-            params[k] = orig - h;
-            double dn = CssLoss(z, p, q, params, &e);
-            params[k] = orig;
-            double g = (up - dn) / (2 * h);
-            m[k] = b1 * m[k] + (1 - b1) * g;
-            v[k] = b2 * v[k] + (1 - b2) * g * g;
-            double mh = m[k] / (1 - std::pow(b1, static_cast<double>(it + 1)));
-            double vh = v[k] / (1 - std::pow(b2, static_cast<double>(it + 1)));
-            params[k] -= options_.learning_rate * mh / (std::sqrt(vh) + eps);
+        double sse;
+        if (fast) {
+          auto seed_from = [&](int sp, int sq) {
+            const std::vector<double>& src = lattice_at(sp, sq);
+            if (src.empty()) return;
+            params.assign(static_cast<size_t>(np), 0.0);
+            params[0] = src[0];
+            for (int i = 1; i <= std::min(p, sp); ++i) params[i] = src[i];
+            for (int j = 1; j <= std::min(q, sq); ++j) {
+              params[static_cast<size_t>(p + j)] =
+                  src[static_cast<size_t>(sp + j)];
+            }
+          };
+          if (q > 0) {
+            seed_from(p, q - 1);
+          } else if (p > 0) {
+            seed_from(p - 1, 0);
           }
-          ProjectStationary(&params, p);
+          sse = FitCandidateCss(z, p, q, options_.iterations,
+                                options_.learning_rate, &params, &e);
+          lattice_at(p, q) = params;
+        } else {
+          // Scalar reference: Adam on a central-difference numeric
+          // gradient — two full residual recursions per parameter per
+          // iteration.
+          m.assign(params.size(), 0.0);
+          v.assign(params.size(), 0.0);
+          const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+          const double h = 1e-4;
+          for (int64_t it = 0; it < options_.iterations; ++it) {
+            for (size_t k = 0; k < params.size(); ++k) {
+              double orig = params[k];
+              params[k] = orig + h;
+              double up = CssLoss(z, p, q, params, &e);
+              params[k] = orig - h;
+              double dn = CssLoss(z, p, q, params, &e);
+              params[k] = orig;
+              double g = (up - dn) / (2 * h);
+              m[k] = b1 * m[k] + (1 - b1) * g;
+              v[k] = b2 * v[k] + (1 - b2) * g * g;
+              double mh =
+                  m[k] / (1 - std::pow(b1, static_cast<double>(it + 1)));
+              double vh =
+                  v[k] / (1 - std::pow(b2, static_cast<double>(it + 1)));
+              params[k] -= options_.learning_rate * mh / (std::sqrt(vh) + eps);
+            }
+            ProjectStationary(&params, p);
+          }
+          sse = CssLoss(z, p, q, params, &e);
         }
-        double sse = CssLoss(z, p, q, params, &e);
         int64_t eff = n - std::max(p, q);
         if (eff <= np + 1 || sse <= 0) continue;
         double aic = static_cast<double>(eff) *

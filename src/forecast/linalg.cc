@@ -195,6 +195,106 @@ Result<std::vector<double>> MatVec(const Matrix& a,
   return y;
 }
 
+void MatMulNT(const Matrix& a, const double* b, int64_t b_rows,
+              Matrix* out) {
+  const int64_t m = a.rows(), kk = a.cols();
+  out->Resize(m, b_rows);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    for (int64_t i = 0; i < m; ++i) {
+      const double* ai = a.Row(i);
+      double* ci = out->Row(i);
+      for (int64_t j = 0; j < b_rows; ++j) {
+        const double* bj = b + j * kk;
+        double s = 0.0;
+        for (int64_t k = 0; k < kk; ++k) s += ai[k] * bj[k];
+        ci[j] = s;
+      }
+    }
+    return;
+  }
+  // Each element is a contiguous-row dot; the 4-lane Dot keeps the
+  // reduction order fixed per length.
+  for (int64_t i = 0; i < m; ++i) {
+    const double* ai = a.Row(i);
+    double* ci = out->Row(i);
+    for (int64_t j = 0; j < b_rows; ++j) {
+      ci[j] = Dot(ai, b + j * kk, kk);
+    }
+  }
+}
+
+void MatMulNN(const Matrix& a, const double* b, int64_t b_cols,
+              Matrix* out) {
+  const int64_t m = a.rows(), kk = a.cols();
+  out->Resize(m, b_cols);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    for (int64_t i = 0; i < m; ++i) {
+      const double* ai = a.Row(i);
+      double* ci = out->Row(i);
+      for (int64_t k = 0; k < kk; ++k) {
+        const double aik = ai[k];
+        if (aik == 0.0) continue;
+        const double* bk = b + k * b_cols;
+        for (int64_t j = 0; j < b_cols; ++j) ci[j] += aik * bk[j];
+      }
+    }
+    return;
+  }
+  // Same i-k-j kernel as MatMul: ascending-k contributions per element.
+  for (int64_t i = 0; i < m; ++i) {
+    const double* ai = a.Row(i);
+    double* ci = out->Row(i);
+    for (int64_t k = 0; k < kk; ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b + k * b_cols;
+      int64_t j = 0;
+      for (; j + 4 <= b_cols; j += 4) {
+        ci[j] += aik * bk[j];
+        ci[j + 1] += aik * bk[j + 1];
+        ci[j + 2] += aik * bk[j + 2];
+        ci[j + 3] += aik * bk[j + 3];
+      }
+      for (; j < b_cols; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void MatMulTN(const Matrix& a, const Matrix& b, Matrix* out) {
+  const int64_t m = a.rows(), p = a.cols(), q = b.cols();
+  out->Resize(p, q);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    for (int64_t i = 0; i < p; ++i) {
+      double* ci = out->Row(i);
+      for (int64_t j = 0; j < q; ++j) {
+        double s = 0.0;
+        for (int64_t r = 0; r < m; ++r) s += a.At(r, i) * b.At(r, j);
+        ci[j] = s;
+      }
+    }
+    return;
+  }
+  // Rank-1 row-pair accumulation: both inputs stream contiguously once;
+  // every output element still sums in ascending sample order.
+  for (int64_t r = 0; r < m; ++r) {
+    const double* ar = a.Row(r);
+    const double* br = b.Row(r);
+    for (int64_t i = 0; i < p; ++i) {
+      const double v = ar[i];
+      if (v == 0.0) continue;
+      double* ci = out->Row(i);
+      int64_t j = 0;
+      for (; j + 4 <= q; j += 4) {
+        ci[j] += v * br[j];
+        ci[j + 1] += v * br[j + 1];
+        ci[j + 2] += v * br[j + 2];
+        ci[j + 3] += v * br[j + 3];
+      }
+      for (; j < q; ++j) ci[j] += v * br[j];
+    }
+  }
+}
+
 double Dot(const double* a, const double* b, int64_t n) {
   if (GetKernelMode() == KernelMode::kScalar) {
     double sum = 0.0;

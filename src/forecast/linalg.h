@@ -131,6 +131,28 @@ std::vector<double> TransposeMatVec(const Matrix& a,
 Result<std::vector<double>> MatVec(const Matrix& a,
                                    const std::vector<double>& x);
 
+/// C = A · Bᵀ where `b` points at `b_rows` contiguous rows of
+/// `a.cols()` doubles (a row-major b_rows×a.cols() block). Every output
+/// element is one dot of two contiguous rows — the natural layout for
+/// the feed-forward forward pass, whose weight matrices are stored
+/// row-major per output unit. `out` is resized (scratch-arena
+/// friendly); the reduction runs in ascending-k order in both modes.
+void MatMulNT(const Matrix& a, const double* b, int64_t b_rows,
+              Matrix* out);
+
+/// C = A · B where `b` points at a row-major a.cols()×b_cols block.
+/// Raw-pointer twin of `MatMul` for operands living in flat parameter
+/// vectors; same blocked kernel, same ascending-k accumulation order.
+void MatMulNN(const Matrix& a, const double* b, int64_t b_cols,
+              Matrix* out);
+
+/// C = Aᵀ · B for equal-row-count operands (a: m×p, b: m×q → p×q),
+/// accumulated row pair by row pair so both inputs stream contiguously
+/// exactly once — the gradient contraction of batched training
+/// (gW = activationsᵀ · deltas). Contributions arrive in ascending row
+/// order, matching the sample order of the per-sample reference loop.
+void MatMulTN(const Matrix& a, const Matrix& b, Matrix* out);
+
 /// Dot product over equal-length vectors (4 fixed lanes, deterministic
 /// combine). Checked precondition: aborts if the sizes differ — the old
 /// behaviour of silently truncating to the shorter vector hid shape

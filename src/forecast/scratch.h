@@ -47,6 +47,7 @@ inline constexpr int kSsaEigVals = 6;
 inline constexpr int kArimaSeries = 8;
 inline constexpr int kArimaDiff = 9;
 inline constexpr int kArimaResiduals = 10;
+inline constexpr int kArimaSens = 11;       // rolling ∂e/∂θ window
 // Feed-forward network
 inline constexpr int kFfGradW1 = 12;
 inline constexpr int kFfGradB1 = 13;
@@ -55,10 +56,16 @@ inline constexpr int kFfGradB2 = 15;
 inline constexpr int kFfAdamM = 16;
 inline constexpr int kFfAdamV = 17;
 inline constexpr int kFfActivations = 18;
+inline constexpr int kFfParams = 19;        // concatenated [w1|b1|w2|b2]
+// ARIMA (optimizer state, fast path)
+inline constexpr int kArimaGrad = 20;
+inline constexpr int kArimaAdam = 21;       // [m | v], 2·np doubles
 // Additive model
 inline constexpr int kAddTargets = 22;
 inline constexpr int kAddGrad = 23;
 inline constexpr int kAddFeatures = 24;
+inline constexpr int kAddRhs = 25;          // b = Aᵀy (fast Gram path)
+inline constexpr int kAddGramCoef = 26;     // G·coef per iteration
 // Matrix slots
 inline constexpr int kMatSsaGram = 0;
 inline constexpr int kMatFfInputs = 1;
@@ -66,13 +73,20 @@ inline constexpr int kMatFfTargets = 2;
 inline constexpr int kMatAddDesign = 3;
 inline constexpr int kMatSsaEigVec = 4;
 inline constexpr int kMatLinalgEigenVt = 5;
+inline constexpr int kMatAddGram = 6;       // G = AᵀA of the design
+inline constexpr int kMatFfHidden = 7;      // batched pre-activations
+inline constexpr int kMatFfOut = 8;         // batched outputs / deltas
+inline constexpr int kMatFfDh = 9;          // batched hidden deltas
+inline constexpr int kMatFfRelu = 10;       // batched ReLU activations
+inline constexpr int kMatFfGradW1 = 11;     // gW1 = dHᵀ·X (row-major w1)
+inline constexpr int kMatFfGradW2 = 12;     // gW2 = dYᵀ·H (row-major w2)
 }  // namespace kscratch
 
 /// \brief Per-thread pool of capacity-retaining buffers.
 class KernelScratch {
  public:
   static constexpr int kVecSlots = 28;
-  static constexpr int kMatSlots = 6;
+  static constexpr int kMatSlots = 14;
 
   /// The calling thread's arena.
   static KernelScratch& Local();

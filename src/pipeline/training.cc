@@ -1,10 +1,8 @@
 #include "pipeline/training.h"
 
-#include <atomic>
-
-#include "common/obs/clock.h"
 #include "common/obs/metrics.h"
 #include "common/strings.h"
+#include "forecast/batch.h"
 #include "forecast/model.h"
 
 namespace seagull {
@@ -31,14 +29,9 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
   const int64_t min_history =
       ctx->fleet.min_history_days * kMinutesPerDay / kServerIntervalMinutes;
 
-  // Plain tallies — relaxed atomics, not a mutex: nothing else is
-  // guarded by them and the fan-out only ever increments.
-  std::atomic<int64_t> skipped{0}, failed{0};
-  std::vector<std::pair<std::string, Json>> fitted(ctx->servers.size());
-  std::vector<int8_t> ok_flags(ctx->servers.size(), 0);
-
-  // Per-model train telemetry; thread-safe instruments shared by every
-  // worker of the fan-out below.
+  // Per-model train telemetry. The batched engine runs the fan-out and
+  // reports per-item outcomes in input order, so the tallies and
+  // instrument observations below are plain sequential code.
   const MetricLabels model_labels{{"model", ctx->model_name}};
   Histogram* train_micros = MetricsRegistry::Global().GetHistogram(
       "seagull.forecast.train_micros", model_labels);
@@ -47,56 +40,50 @@ Status ModelTrainingModule::Run(PipelineContext* ctx) {
   Counter* train_failures = MetricsRegistry::Global().GetCounter(
       "seagull.forecast.train_failures", model_labels);
 
-  auto work = [&](int64_t i) {
-    const ServerTelemetry& st = ctx->servers[static_cast<size_t>(i)];
-    LoadSeries train = st.load.Slice(train_start, train_end);
+  // Eligibility filter, then hand the survivors to the batched trainer
+  // as one item list (slices stay alive in `slices` for its duration).
+  int64_t n_skipped = 0;
+  std::vector<LoadSeries> slices;
+  std::vector<size_t> item_server;
+  slices.reserve(ctx->servers.size());
+  item_server.reserve(ctx->servers.size());
+  for (size_t i = 0; i < ctx->servers.size(); ++i) {
+    LoadSeries train = ctx->servers[i].load.Slice(train_start, train_end);
     if (train.CountPresent() < min_history) {
-      skipped.fetch_add(1, std::memory_order_relaxed);
-      return;
+      ++n_skipped;
+      continue;
     }
-    auto model = ModelFactory::Global().Create(ctx->model_name);
-    if (!model.ok()) return;
-    const int64_t fit_start = ObsClock::NowMicros();
-    Status fit = (*model)->Fit(train);
-    train_micros->Observe(
-        static_cast<double>(ObsClock::NowMicros() - fit_start));
-    if (fit.ok()) {
+    slices.push_back(std::move(train));
+    item_server.push_back(i);
+  }
+  std::vector<BatchTrainItem> items(slices.size());
+  for (size_t k = 0; k < slices.size(); ++k) items[k].train = &slices[k];
+
+  BatchTrainStats batch_stats;
+  SEAGULL_ASSIGN_OR_RETURN(
+      std::vector<BatchTrainResult> results,
+      BatchTrainer::Fit(ctx->model_name, items, ctx->pool, &batch_stats));
+
+  int64_t n_failed = 0;
+  for (size_t k = 0; k < results.size(); ++k) {
+    BatchTrainResult& r = results[k];
+    train_micros->Observe(r.fit_micros);
+    if (r.status.ok()) {
       models_trained->Increment();
+      ctx->trained.emplace(ctx->servers[item_server[k]].server_id,
+                           std::move(r.doc));
     } else {
       train_failures->Increment();
-    }
-    if (!fit.ok()) {
-      failed.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    auto doc = (*model)->Serialize();
-    if (!doc.ok()) {
-      failed.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    fitted[static_cast<size_t>(i)] = {st.server_id,
-                                      std::move(doc).ValueUnsafe()};
-    ok_flags[static_cast<size_t>(i)] = 1;
-  };
-
-  const int64_t n = static_cast<int64_t>(ctx->servers.size());
-  if (ctx->pool != nullptr) {
-    ParallelFor(ctx->pool, n, work);
-  } else {
-    SequentialFor(n, work);
-  }
-
-  for (int64_t i = 0; i < n; ++i) {
-    if (ok_flags[static_cast<size_t>(i)]) {
-      ctx->trained.emplace(std::move(fitted[static_cast<size_t>(i)].first),
-                           std::move(fitted[static_cast<size_t>(i)].second));
+      ++n_failed;
     }
   }
   ctx->stats["training.models"] = static_cast<double>(ctx->trained.size());
-  const int64_t n_skipped = skipped.load(std::memory_order_relaxed);
-  const int64_t n_failed = failed.load(std::memory_order_relaxed);
   ctx->stats["training.skipped"] = static_cast<double>(n_skipped);
   ctx->stats["training.failed"] = static_cast<double>(n_failed);
+  ctx->stats["training.batch_groups"] =
+      static_cast<double>(batch_stats.groups);
+  ctx->stats["training.batch_shared"] =
+      static_cast<double>(batch_stats.shared_fits);
   if (n_failed > 0) {
     ctx->AddIncident(IncidentSeverity::kWarning, name(),
                      StringPrintf("%lld servers failed model fitting",

@@ -16,6 +16,8 @@
 
 #include "common/obs/clock.h"
 #include "common/obs/metrics.h"
+#include "forecast/arima.h"
+#include "forecast/feedforward.h"
 #include "pipeline/accuracy.h"
 #include "pipeline/dashboard.h"
 #include "pipeline/deployment.h"
@@ -104,8 +106,34 @@ struct FleetOutcome {
   FleetRunResult result;
 };
 
+/// Down-sized ARIMA/feed-forward families: the full configurations are
+/// too slow to sweep 40 servers × 3 regions × many runs, but the quick
+/// variants exercise the same batched optimizer cores, warm-start
+/// lattice, and shared-design grouping the production settings use.
+/// Registered before any parallel execution (ModelFactory contract).
+void RegisterQuickFamilies() {
+  static const bool registered = [] {
+    ModelFactory::Global().Register("arima_quick", [] {
+      ArimaOptions opt;
+      opt.max_p = 1;
+      opt.max_d = 1;
+      opt.max_q = 1;
+      opt.iterations = 40;
+      return std::make_unique<ArimaForecast>(opt);
+    });
+    ModelFactory::Global().Register("feedforward_quick", [] {
+      FeedForwardOptions opt;
+      opt.epochs = 30;
+      return std::make_unique<FeedForwardForecast>(opt);
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
 FleetOutcome RunFleetOn(const LakeStore& lake, int jobs,
                         const std::string& model) {
+  RegisterQuickFamilies();
   FleetOutcome out;
   out.docs = std::make_unique<DocStore>();
   FleetOptions options;
@@ -235,14 +263,17 @@ TEST_P(FleetDeterminismTest, CacheOnMatchesCacheOff) {
   EXPECT_EQ(CanonicalSnapshot(*uncached.docs), CanonicalSnapshot(*warm.docs));
 }
 
-// One heuristic family (no training), one trained RNG-seeded family
-// (the per-server training fan-out where a shared or time-seeded RNG
-// would break determinism), and SSA (the family riding the tuned
-// linalg kernels — Gram builder, tridiagonal eigensolver, unrolled dot
-// — whose fixed reduction orders this suite pins across `--jobs`).
+// One heuristic family (no training), the additive family (RNG-seeded
+// inference + Gram-space batched training), SSA (tuned linalg kernels —
+// Gram builder, tridiagonal eigensolver, unrolled dot), and the quick
+// ARIMA/feed-forward variants (warm-start CSS lattice and batched-matmul
+// epochs through the BatchTrainer's shared-group fan-out) — so every
+// batched training path is pinned parallel==sequential end-to-end.
 INSTANTIATE_TEST_SUITE_P(Models, FleetDeterminismTest,
                          ::testing::Values("persistent_prev_day",
-                                           "additive", "ssa"));
+                                           "additive", "ssa",
+                                           "arima_quick",
+                                           "feedforward_quick"));
 
 TEST_P(FleetDeterminismTest, MetricsSnapshotsMatchAcrossJobs) {
   // The observability layer must observe the same fleet identically at

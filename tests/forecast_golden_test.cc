@@ -1,0 +1,215 @@
+/// \file forecast_golden_test.cc
+/// \brief Frozen-fixture golden regression suite for the forecast
+/// models: checked-in synthetic series per load archetype → expected
+/// next-day forecasts and NRMSE at fixed tolerance, so future kernel
+/// rewrites cannot silently drift model outputs.
+///
+/// Regenerating after an *intentional* output change:
+///   ./forecast_golden_test --update-golden
+/// rewrites tests/golden/forecast_golden.json in the source tree (the
+/// binary knows the path via SEAGULL_TEST_DATA_DIR). Review the diff —
+/// every changed number is a behavior change shipping to the fleet.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "forecast/arima.h"
+#include "forecast/feedforward.h"
+#include "forecast/model.h"
+
+namespace seagull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+bool g_update_golden = false;
+
+std::string GoldenPath() {
+  return std::string(SEAGULL_TEST_DATA_DIR) + "/golden/forecast_golden.json";
+}
+
+/// Down-sized ARIMA/feed-forward variants; the full configurations are
+/// exercised (and timed) by the bench and fleet suites.
+void RegisterQuickFamilies() {
+  static const bool registered = [] {
+    ModelFactory::Global().Register("arima_quick", [] {
+      ArimaOptions opt;
+      opt.max_p = 1;
+      opt.max_d = 1;
+      opt.max_q = 1;
+      opt.iterations = 40;
+      return std::make_unique<ArimaForecast>(opt);
+    });
+    ModelFactory::Global().Register("feedforward_quick", [] {
+      FeedForwardOptions opt;
+      opt.epochs = 30;
+      return std::make_unique<FeedForwardForecast>(opt);
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+/// Eight days of one archetype: seven to train on, the eighth as the
+/// held-out day the NRMSE is scored against. Everything is seeded —
+/// the same bytes every run, on every machine.
+LoadSeries ArchetypeSeries(const std::string& archetype) {
+  Rng rng(archetype == "daily_cycle"     ? 11
+          : archetype == "weekly_batch"  ? 23
+                                         : 37);
+  std::vector<double> values;
+  for (int64_t i = 0; i < 8 * 288; ++i) {
+    const double day_phase = static_cast<double>(i % 288) / 288.0;
+    const double week_phase =
+        static_cast<double>(i % (7 * 288)) / (7.0 * 288.0);
+    double v = 0.0;
+    if (archetype == "daily_cycle") {
+      v = 40.0 + 18.0 * std::sin(kTwoPi * day_phase) +
+          rng.Gaussian(0.0, 1.0);
+    } else if (archetype == "weekly_batch") {
+      v = 30.0 + 8.0 * std::sin(kTwoPi * day_phase) +
+          12.0 * std::sin(kTwoPi * week_phase) + rng.Gaussian(0.0, 1.5);
+    } else {  // "noisy_drift"
+      v = 35.0 + 6.0 * std::sin(kTwoPi * day_phase) +
+          10.0 * week_phase + rng.Gaussian(0.0, 3.0);
+    }
+    values.push_back(std::clamp(v, 0.0, 100.0));
+  }
+  return std::move(LoadSeries::Make(0, 5, std::move(values))).ValueOrDie();
+}
+
+const std::vector<std::string>& Models() {
+  static const std::vector<std::string> models = {
+      "persistent_prev_day", "ssa", "additive", "feedforward_quick",
+      "arima_quick"};
+  return models;
+}
+
+const std::vector<std::string>& Archetypes() {
+  static const std::vector<std::string> archetypes = {
+      "daily_cycle", "weekly_batch", "noisy_drift"};
+  return archetypes;
+}
+
+struct GoldenCase {
+  std::vector<double> forecast;  ///< next-day point forecast
+  double nrmse = 0.0;            ///< vs the held-out eighth day
+};
+
+/// Fits `model` on days 1–7 and forecasts day 8 in the current kernel
+/// mode (fast — the production configuration).
+GoldenCase RunCase(const std::string& model_name,
+                   const std::string& archetype) {
+  const LoadSeries full = ArchetypeSeries(archetype);
+  const MinuteStamp split = 7 * kMinutesPerDay;
+  const LoadSeries train = full.Slice(0, split);
+  auto model =
+      std::move(ModelFactory::Global().Create(model_name)).ValueOrDie();
+  model->Fit(train).Abort();
+  const LoadSeries forecast =
+      std::move(model->Forecast(train, split, kMinutesPerDay)).ValueOrDie();
+  GoldenCase out;
+  double sq = 0.0, mean = 0.0;
+  for (int64_t i = 0; i < forecast.size(); ++i) {
+    const double predicted = forecast.ValueAt(i);
+    const double actual = full.ValueAtTime(split + i * 5);
+    out.forecast.push_back(predicted);
+    sq += (predicted - actual) * (predicted - actual);
+    mean += actual;
+  }
+  mean /= static_cast<double>(forecast.size());
+  out.nrmse =
+      std::sqrt(sq / static_cast<double>(forecast.size())) / mean;
+  return out;
+}
+
+std::string CaseKey(const std::string& model, const std::string& archetype) {
+  return model + "/" + archetype;
+}
+
+Json LoadGoldenFile() {
+  std::ifstream in(GoldenPath());
+  EXPECT_TRUE(in.good()) << "cannot open " << GoldenPath()
+                         << " — run with --update-golden to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::Parse(buffer.str());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? *parsed : Json::MakeObject();
+}
+
+TEST(ForecastGolden, OutputsMatchCheckedInFixtures) {
+  RegisterQuickFamilies();
+  if (g_update_golden) {
+    Json doc = Json::MakeObject();
+    Json cases = Json::MakeObject();
+    for (const std::string& model : Models()) {
+      for (const std::string& archetype : Archetypes()) {
+        const GoldenCase result = RunCase(model, archetype);
+        Json entry = Json::MakeObject();
+        Json fc = Json::MakeArray();
+        for (double v : result.forecast) fc.Append(v);
+        entry["forecast"] = std::move(fc);
+        entry["nrmse"] = result.nrmse;
+        cases[CaseKey(model, archetype)] = std::move(entry);
+      }
+    }
+    doc["cases"] = std::move(cases);
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << doc.DumpPretty();
+    GTEST_SKIP() << "golden file regenerated at " << GoldenPath();
+  }
+
+  const Json golden = LoadGoldenFile();
+  ASSERT_TRUE(golden.Contains("cases"));
+  const Json& cases = golden["cases"];
+  // Doubles round-trip the JSON file losslessly (%.17g), so the
+  // tolerance only absorbs libm variation across toolchains.
+  const double tol = 1e-6;
+  for (const std::string& model : Models()) {
+    for (const std::string& archetype : Archetypes()) {
+      SCOPED_TRACE(CaseKey(model, archetype));
+      const GoldenCase result = RunCase(model, archetype);
+      const Json& expected = cases[CaseKey(model, archetype)];
+      ASSERT_TRUE(expected.is_object())
+          << "missing golden case — rerun with --update-golden";
+      const Json& fc = expected["forecast"];
+      ASSERT_TRUE(fc.is_array());
+      ASSERT_EQ(fc.AsArray().size(), result.forecast.size());
+      for (size_t i = 0; i < result.forecast.size(); ++i) {
+        const double want = fc.AsArray()[i].AsDouble();
+        const double got = result.forecast[i];
+        ASSERT_NEAR(got, want, tol + tol * std::fabs(want))
+            << "forecast tick " << i;
+      }
+      const double want_nrmse =
+          std::move(expected.GetNumber("nrmse")).ValueOrDie();
+      EXPECT_NEAR(result.nrmse, want_nrmse, tol + tol * want_nrmse);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seagull
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      seagull::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
