@@ -15,7 +15,10 @@
 /// (tools/check.sh serving wires this up); a violation exits non-zero.
 ///
 /// Flags: --servers=N --ticks=N --base=N --clients=N --seed=S --jobs=N
-///        --budgets=PATH  (all optional)
+///        --budgets=PATH --profile=NAME --fault-rate=F --fault-seed=S
+///        (all optional; --profile restricts the matrix to one profile,
+///        --fault-rate enables the deterministic serving.refit fault
+///        point — the soak CI mode runs spike at 10%)
 
 #include <algorithm>
 #include <cstdio>
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/fault.h"
 #include "forecast/persistent.h"
 #include "serving/loadgen.h"
 
@@ -52,6 +56,11 @@ std::string FlagStr(int argc, char** argv, const char* name) {
     }
   }
   return "";
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  const std::string text = FlagStr(argc, argv, name);
+  return text.empty() ? fallback : std::atof(text.c_str());
 }
 
 /// Fleet-wide persistent-prev-day endpoint (the paper's champion for
@@ -132,6 +141,24 @@ int CheckBudgets(const std::string& path, const Json& soak_row) {
                  rps, min_rps);
     ++violations;
   }
+  // Subscription freshness: the mean window-move lag must stay under
+  // its ceiling (clean runs sit at ~0; refit faults push it up).
+  if ((*doc).Contains("serving_notify_lag_ticks_max")) {
+    const double lag_max = (*doc)["serving_notify_lag_ticks_max"].AsDouble();
+    const double lag = soak_row["notify_lag_ticks"].AsDouble();
+    const int64_t fired = soak_row["notifications"].AsInt();
+    if (fired <= 0) {
+      std::fprintf(stderr,
+                   "BUDGET VIOLATION: no subscription notifications fired\n");
+      ++violations;
+    } else if (lag > lag_max) {
+      std::fprintf(stderr,
+                   "BUDGET VIOLATION: notify lag %.3f ticks > max %.3f "
+                   "(tests/budgets.json)\n",
+                   lag, lag_max);
+      ++violations;
+    }
+  }
   if (violations == 0) {
     std::printf("serving budgets OK (%s)\n", path.c_str());
   }
@@ -153,6 +180,19 @@ int main(int argc, char** argv) {
     if (jobs <= 0) jobs = 4;
   }
   const std::string budgets_path = FlagStr(argc, argv, "budgets");
+  const std::string only_profile = FlagStr(argc, argv, "profile");
+  const double fault_rate = FlagDouble(argc, argv, "fault-rate", 0.0);
+  const uint64_t fault_seed =
+      static_cast<uint64_t>(FlagInt(argc, argv, "fault-seed", 5));
+
+  std::unique_ptr<ScopedFaultInjection> faults;
+  if (fault_rate > 0.0) {
+    FaultConfig config;
+    config.seed = fault_seed;
+    config.rate = 0.0;  // only the serving.refit point faults
+    faults = std::make_unique<ScopedFaultInjection>(config);
+    faults->registry().SetPointRate("serving.refit", fault_rate);
+  }
 
   bench::PrintHeader("Serving load test",
                      "open/closed-loop drivers vs the streaming engine");
@@ -186,10 +226,20 @@ int main(int argc, char** argv) {
   Json profiles = Json::MakeObject();
   Json soak_open_row;
   for (const Run& run : kRuns) {
+    if (!only_profile.empty() && only_profile != LoadProfileName(run.profile)) {
+      continue;
+    }
     LoadgenOptions options;
     options.profile = run.profile;
     options.mode = run.mode;
     options.seed = seed;
+    // Production verb mix: single + batch predicts dominate, a steady
+    // subscription churn rides along, the rest is ingest.
+    options.predict_fraction = 0.5;
+    options.ll_window_fraction = 0.2;
+    options.batch_fraction = 0.08;
+    options.batch_size = 16;
+    options.subscribe_fraction = 0.05;
     // Soak holds the peak rate over a doubled horizon.
     options.ticks = run.profile == LoadProfile::kSoak ? ticks * 2 : ticks;
     // Closed loop: `base` arrivals per tick split across the clients.
@@ -213,12 +263,18 @@ int main(int argc, char** argv) {
     const LatencySummary& predict = report.latency.count("predict")
                                         ? report.latency.at("predict")
                                         : LatencySummary{};
+    const LatencySummary& batch = report.latency.count("batch_predict")
+                                      ? report.latency.at("batch_predict")
+                                      : LatencySummary{};
     std::printf(
         "%-6s %-7s %7lld req %7.0f rps  predict p50/p95/p99 "
-        "%6.0f/%6.0f/%6.0f us  refit/query %.3f  errors %lld\n",
+        "%6.0f/%6.0f/%6.0f us  batch p99 %6.0f us  notify %lld "
+        "(lag %.2f)  refit/query %.3f  errors %lld\n",
         LoadProfileName(run.profile), DriverModeName(run.mode),
         static_cast<long long>(report.requests), report.throughput_rps,
-        predict.p50, predict.p95, predict.p99, report.refit_per_query,
+        predict.p50, predict.p95, predict.p99, batch.p99,
+        static_cast<long long>(report.notifications),
+        report.notify_lag_ticks, report.refit_per_query,
         static_cast<long long>(report.errors));
 
     Json row = report.ToJson();
@@ -243,6 +299,7 @@ int main(int argc, char** argv) {
   fleet_doc["closed_loop_clients"] = clients;
   fleet_doc["seed"] = static_cast<int64_t>(seed);
   fleet_doc["jobs"] = jobs;
+  fleet_doc["fault_rate"] = fault_rate;
   out["fleet"] = std::move(fleet_doc);
   out["profiles"] = std::move(profiles);
 
@@ -260,7 +317,14 @@ int main(int argc, char** argv) {
 
   int violations = 0;
   if (!budgets_path.empty()) {
-    violations = CheckBudgets(budgets_path, soak_open_row);
+    if (!soak_open_row.is_object()) {
+      std::fprintf(stderr,
+                   "--budgets requires the soak/open row (drop --profile "
+                   "or include soak)\n");
+      violations = 1;
+    } else {
+      violations = CheckBudgets(budgets_path, soak_open_row);
+    }
   }
   return violations == 0 ? 0 : 1;
 }

@@ -42,6 +42,9 @@ Result<LoadSeries> SeriesFromJson(const Json& doc) {
 Result<ForecastRequest> ForecastRequest::FromJson(const Json& doc) {
   ForecastRequest req;
   SEAGULL_ASSIGN_OR_RETURN(req.server_id, doc.GetString("server_id"));
+  if (req.server_id.empty()) {
+    return Status::Invalid("server id must not be empty");
+  }
   SEAGULL_ASSIGN_OR_RETURN(double start, doc.GetNumber("start"));
   SEAGULL_ASSIGN_OR_RETURN(double horizon,
                            doc.GetNumber("horizon_minutes"));

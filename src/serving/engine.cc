@@ -6,6 +6,8 @@
 #include "common/obs/clock.h"
 #include "common/obs/op.h"
 #include "common/random.h"
+#include "forecast/batch.h"
+#include "forecast/model.h"
 #include "metrics/ll_window.h"
 
 namespace seagull {
@@ -20,7 +22,26 @@ std::string ErrorResponse(const Status& status) {
   return doc.Dump();
 }
 
+Json WindowToJson(const WindowResult& window) {
+  Json doc = Json::MakeObject();
+  doc["start"] = window.start;
+  doc["duration_minutes"] = window.duration_minutes;
+  doc["average_load"] = window.average_load;
+  return doc;
+}
+
 }  // namespace
+
+Json Notification::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc["type"] = "notification";
+  doc["id"] = subscription_id;
+  doc["server_id"] = server_id;
+  doc["tick"] = tick;
+  doc["window"] = WindowToJson(window);
+  doc["previous_start"] = previous_start;
+  return doc;
+}
 
 Json TickResult::ToJson() const {
   Json doc = Json::MakeObject();
@@ -30,6 +51,15 @@ Json TickResult::ToJson() const {
   doc["refits"] = refits;
   doc["refit_failures"] = refit_failures;
   doc["clean_skips"] = clean_skips;
+  if (batch_groups > 0) {
+    doc["batch_groups"] = batch_groups;
+    doc["batch_shared"] = batch_shared;
+  }
+  if (!notifications.empty()) {
+    Json records = Json::MakeArray();
+    for (const auto& n : notifications) records.Append(n.ToJson());
+    doc["notifications"] = std::move(records);
+  }
   return doc;
 }
 
@@ -37,17 +67,22 @@ ServingEngine::ServingEngine(ModelEndpoint endpoint, ServingOptions options)
     : endpoint_(std::move(endpoint)), options_(options) {
   if (options_.shards < 1) options_.shards = 1;
   if (options_.horizon_minutes <= 0) options_.horizon_minutes = kMinutesPerDay;
+  if (options_.max_batch_servers < 1) options_.max_batch_servers = 1;
   shards_.reserve(static_cast<size_t>(options_.shards));
   for (int i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  published_.store(std::make_shared<const FleetEpoch>(),
+                   std::memory_order_release);
   auto& reg = MetricsRegistry::Global();
   dirty_marks_ = reg.GetCounter("seagull.serving.dirty_marks");
   refits_ = reg.GetCounter("seagull.serving.refits");
   refit_failures_ = reg.GetCounter("seagull.serving.refit_failures");
   ticks_ = reg.GetCounter("seagull.serving.ticks");
+  notifications_ = reg.GetCounter("seagull.serving.notifications");
   queue_depth_ = reg.GetGauge("seagull.serving.queue_depth");
   servers_gauge_ = reg.GetGauge("seagull.serving.servers");
+  subscriptions_gauge_ = reg.GetGauge("seagull.serving.subscriptions");
   tick_micros_ = reg.GetHistogram("seagull.serving.tick_micros");
 }
 
@@ -77,6 +112,15 @@ Status ServingEngine::Bootstrap(const std::vector<ServerTelemetry>& fleet) {
     }
     state.dirty = true;
   }
+  // Publish entries (without forecasts) for the new servers so queries
+  // distinguish "awaiting first tick" from "unknown server" without
+  // touching the shards.
+  auto prev = Snapshot();
+  auto next = std::make_shared<FleetEpoch>();
+  next->epoch = prev->epoch;
+  next->servers = prev->servers;
+  for (const auto& st : fleet) next->servers.try_emplace(st.server_id);
+  published_.store(std::move(next), std::memory_order_release);
   dirty_marks_->Increment(static_cast<int64_t>(fleet.size()));
   servers_gauge_->Set(static_cast<double>(server_count()));
   return Status::OK();
@@ -91,9 +135,67 @@ int64_t ServingEngine::server_count() const {
   return n;
 }
 
+int64_t ServingEngine::subscription_count() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  return static_cast<int64_t>(subs_.size());
+}
+
+bool ServingEngine::IsRegistered(const std::string& server_id) const {
+  const Shard& shard = ShardOf(server_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.servers.find(server_id) != shard.servers.end();
+}
+
+Result<Json> ServingEngine::PredictFromSnapshot(const FleetEpoch& snap,
+                                                const std::string& server_id,
+                                                const Json& request) {
+  if (server_id.empty()) {
+    return Status::Invalid("server id must not be empty");
+  }
+  auto it = snap.servers.find(server_id);
+  if (it == snap.servers.end()) {
+    // Cold path: an ingest may have registered the server after this
+    // epoch published.
+    if (IsRegistered(server_id)) {
+      return Status::FailedPrecondition("no forecast for server " +
+                                        server_id +
+                                        " yet (awaiting first tick)");
+    }
+    return Status::NotFound("engine serves no server " + server_id);
+  }
+  const EpochEntry& entry = it->second;
+  if (entry.forecast == nullptr) {
+    return Status::FailedPrecondition(
+        "no forecast for server " + server_id +
+        (entry.last_error.empty() ? " yet (awaiting first tick)"
+                                  : ": last refit failed: " +
+                                        entry.last_error));
+  }
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["tick"] = entry.last_refit_tick;
+  if (request.Contains("start") || request.Contains("horizon_minutes")) {
+    SEAGULL_ASSIGN_OR_RETURN(double start, request.GetNumber("start"));
+    SEAGULL_ASSIGN_OR_RETURN(double horizon,
+                             request.GetNumber("horizon_minutes"));
+    if (static_cast<int64_t>(horizon) <= 0) {
+      return Status::Invalid("horizon must be positive");
+    }
+    LoadSeries sliced = entry.forecast->Slice(
+        static_cast<MinuteStamp>(start),
+        static_cast<MinuteStamp>(start) + static_cast<int64_t>(horizon));
+    if (sliced.empty()) {
+      return Status::FailedPrecondition(
+          "requested range is outside the cached forecast for " + server_id);
+    }
+    doc["forecast"] = SeriesToJson(sliced);
+  } else {
+    doc["forecast"] = SeriesToJson(*entry.forecast);
+  }
+  return doc;
+}
+
 Result<Json> ServingEngine::HandlePredict(const Json& request) {
-  SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
-                           request.GetString("server_id"));
   if (request.Contains("recent")) {
     // Stateless path: the ForecastService wire contract — the request
     // carries its own telemetry and the endpoint predicts from it.
@@ -110,74 +212,94 @@ Result<Json> ServingEngine::HandlePredict(const Json& request) {
     return doc;
   }
 
-  // Stateful path: serve the cached forecast installed by the last tick.
-  LoadSeries forecast;
-  int64_t refit_tick = -1;
-  {
-    const Shard& shard = ShardOf(server_id);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.servers.find(server_id);
-    if (it == shard.servers.end()) {
-      return Status::NotFound("engine serves no server " + server_id);
-    }
-    if (!it->second.has_forecast) {
-      return Status::FailedPrecondition(
-          "no forecast for server " + server_id +
-          (it->second.last_error.empty()
-               ? " yet (awaiting first tick)"
-               : ": last refit failed: " + it->second.last_error));
-    }
-    forecast = it->second.forecast;
-    refit_tick = it->second.last_refit_tick;
+  // Stateful path: one snapshot load, no locks, no waiting on refits.
+  SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
+                           request.GetString("server_id"));
+  std::shared_ptr<const FleetEpoch> snap = Snapshot();
+  SEAGULL_ASSIGN_OR_RETURN(Json doc,
+                           PredictFromSnapshot(*snap, server_id, request));
+  doc["model_version"] = endpoint_.version();
+  doc["epoch"] = snap->epoch;
+  return doc;
+}
+
+Result<Json> ServingEngine::HandleBatchPredict(const Json& request) {
+  const Json& servers = request["servers"];
+  if (!servers.is_array()) {
+    return Status::Invalid("servers must be an array of server ids");
   }
-  if (request.Contains("start") || request.Contains("horizon_minutes")) {
-    SEAGULL_ASSIGN_OR_RETURN(double start, request.GetNumber("start"));
-    SEAGULL_ASSIGN_OR_RETURN(double horizon,
-                             request.GetNumber("horizon_minutes"));
-    if (static_cast<int64_t>(horizon) <= 0) {
-      return Status::Invalid("horizon must be positive");
+  const auto& list = servers.AsArray();
+  if (list.empty()) {
+    return Status::Invalid("servers array is empty");
+  }
+  if (static_cast<int64_t>(list.size()) > options_.max_batch_servers) {
+    return Status::Invalid(
+        "batch predict exceeds max_batch_servers (" +
+        std::to_string(options_.max_batch_servers) + ")");
+  }
+  for (const auto& id : list) {
+    if (!id.is_string()) {
+      return Status::Invalid("servers array holds a non-string id");
     }
-    forecast = forecast.Slice(
-        static_cast<MinuteStamp>(start),
-        static_cast<MinuteStamp>(start) + static_cast<int64_t>(horizon));
-    if (forecast.empty()) {
-      return Status::FailedPrecondition(
-          "requested range is outside the cached forecast for " + server_id);
+  }
+
+  // Every entry answers from this one snapshot: a tick swapping halfway
+  // through the loop cannot split the batch across epochs.
+  std::shared_ptr<const FleetEpoch> snap = Snapshot();
+  Json results = Json::MakeArray();
+  int64_t ok_count = 0;
+  for (const auto& id : list) {
+    const std::string server_id = id.AsString();
+    Result<Json> entry = PredictFromSnapshot(*snap, server_id, request);
+    if (entry.ok()) {
+      (*entry)["server_id"] = server_id;
+      ++ok_count;
+      results.Append(std::move(*entry));
+    } else {
+      Json failure = Json::MakeObject();
+      failure["server_id"] = server_id;
+      failure["ok"] = false;
+      failure["error"] = entry.status().message();
+      failure["code"] = StatusCodeToString(entry.status().code());
+      results.Append(std::move(failure));
     }
   }
   Json doc = Json::MakeObject();
   doc["ok"] = true;
   doc["model_version"] = endpoint_.version();
-  doc["tick"] = refit_tick;
-  doc["forecast"] = SeriesToJson(forecast);
+  doc["epoch"] = snap->epoch;
+  doc["served"] = ok_count;
+  doc["failed"] = static_cast<int64_t>(list.size()) - ok_count;
+  doc["results"] = std::move(results);
   return doc;
 }
 
 Result<Json> ServingEngine::HandleLLWindow(const Json& request) {
   SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
                            request.GetString("server_id"));
+  if (server_id.empty()) {
+    return Status::Invalid("server id must not be empty");
+  }
   const int64_t duration = static_cast<int64_t>(
       request.Contains("duration_minutes")
           ? request["duration_minutes"].AsDouble()
           : 60);
   if (duration <= 0) return Status::Invalid("duration must be positive");
 
-  LoadSeries forecast;
-  int64_t refit_tick = -1;
-  {
-    const Shard& shard = ShardOf(server_id);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.servers.find(server_id);
-    if (it == shard.servers.end()) {
-      return Status::NotFound("engine serves no server " + server_id);
-    }
-    if (!it->second.has_forecast) {
+  std::shared_ptr<const FleetEpoch> snap = Snapshot();
+  auto it = snap->servers.find(server_id);
+  if (it == snap->servers.end()) {
+    if (IsRegistered(server_id)) {
       return Status::FailedPrecondition("no forecast for server " +
                                         server_id + " yet");
     }
-    forecast = it->second.forecast;
-    refit_tick = it->second.last_refit_tick;
+    return Status::NotFound("engine serves no server " + server_id);
   }
+  if (it->second.forecast == nullptr) {
+    return Status::FailedPrecondition("no forecast for server " + server_id +
+                                      " yet");
+  }
+  const LoadSeries& forecast = *it->second.forecast;
   const int64_t day = static_cast<int64_t>(
       request.Contains("day") ? request["day"].AsDouble()
                               : DayIndex(forecast.start()));
@@ -190,18 +312,86 @@ Result<Json> ServingEngine::HandleLLWindow(const Json& request) {
   Json doc = Json::MakeObject();
   doc["ok"] = true;
   doc["model_version"] = endpoint_.version();
-  doc["tick"] = refit_tick;
-  Json w = Json::MakeObject();
-  w["start"] = window.start;
-  w["duration_minutes"] = window.duration_minutes;
-  w["average_load"] = window.average_load;
-  doc["window"] = std::move(w);
+  doc["tick"] = it->second.last_refit_tick;
+  doc["epoch"] = snap->epoch;
+  doc["window"] = WindowToJson(window);
+  return doc;
+}
+
+Result<Json> ServingEngine::HandleSubscribe(const Json& request) {
+  SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
+                           request.GetString("server_id"));
+  if (server_id.empty()) {
+    return Status::Invalid("server id must not be empty");
+  }
+  const int64_t duration = static_cast<int64_t>(
+      request.Contains("duration_minutes")
+          ? request["duration_minutes"].AsDouble()
+          : 60);
+  if (duration <= 0) return Status::Invalid("duration must be positive");
+  std::string id;
+  if (request.Contains("id")) {
+    SEAGULL_ASSIGN_OR_RETURN(id, request.GetString("id"));
+    if (id.empty()) return Status::Invalid("subscription id must not be empty");
+  } else {
+    id = "sub-" +
+         std::to_string(sub_seq_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  std::shared_ptr<const FleetEpoch> snap = Snapshot();
+  auto it = snap->servers.find(server_id);
+  if (it == snap->servers.end() && !IsRegistered(server_id)) {
+    return Status::NotFound("engine serves no server " + server_id);
+  }
+
+  Subscription sub;
+  sub.server_id = server_id;
+  sub.duration_minutes = duration;
+  if (it != snap->servers.end() && it->second.forecast != nullptr) {
+    const LoadSeries& forecast = *it->second.forecast;
+    sub.watermark = LowestLoadWindow(
+        forecast, DayIndex(forecast.start()), duration);
+    sub.armed = sub.watermark.found;
+  }
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_[id] = sub;
+    subscriptions_gauge_->Set(static_cast<double>(subs_.size()));
+  }
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["id"] = id;
+  doc["server_id"] = server_id;
+  doc["duration_minutes"] = duration;
+  doc["epoch"] = snap->epoch;
+  doc["armed"] = sub.armed;
+  if (sub.armed) doc["window"] = WindowToJson(sub.watermark);
+  return doc;
+}
+
+Result<Json> ServingEngine::HandleUnsubscribe(const Json& request) {
+  SEAGULL_ASSIGN_OR_RETURN(std::string id, request.GetString("id"));
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subs_.find(id);
+    if (it == subs_.end()) {
+      return Status::NotFound("no subscription " + id);
+    }
+    subs_.erase(it);
+    subscriptions_gauge_->Set(static_cast<double>(subs_.size()));
+  }
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["id"] = id;
   return doc;
 }
 
 Result<Json> ServingEngine::HandleIngest(const Json& request) {
   SEAGULL_ASSIGN_OR_RETURN(std::string server_id,
                            request.GetString("server_id"));
+  if (server_id.empty()) {
+    return Status::Invalid("server id must not be empty");
+  }
   if (!request["series"].is_object()) {
     return Status::Invalid("ingest request has no series object");
   }
@@ -252,16 +442,24 @@ std::string ServingEngine::Handle(const std::string& request_text) {
   // Verb defaulting keeps the ForecastService wire form valid as-is.
   const std::string verb =
       parsed->Contains("verb") ? (*parsed)["verb"].AsString() : "predict";
+  const bool batch = verb == "predict" && parsed->Contains("servers");
   Result<Json> response = Status::Invalid("unknown verb " + verb);
   {
-    ObsOp op("seagull.serving", verb == "predict" || verb == "ll_window" ||
-                                        verb == "ingest"
-                                    ? verb
-                                    : "unknown");
-    if (verb == "predict") response = HandlePredict(*parsed);
+    const char* op = "unknown";
+    if (verb == "predict") op = batch ? "batch_predict" : "predict";
+    if (verb == "ll_window") op = "ll_window";
+    if (verb == "subscribe_ll") op = "subscribe";
+    if (verb == "unsubscribe") op = "unsubscribe";
+    if (verb == "ingest") op = "ingest";
+    ObsOp obs_op("seagull.serving", op);
+    if (verb == "predict") {
+      response = batch ? HandleBatchPredict(*parsed) : HandlePredict(*parsed);
+    }
     if (verb == "ll_window") response = HandleLLWindow(*parsed);
+    if (verb == "subscribe_ll") response = HandleSubscribe(*parsed);
+    if (verb == "unsubscribe") response = HandleUnsubscribe(*parsed);
     if (verb == "ingest") response = HandleIngest(*parsed);
-    response = op.Done(std::move(response));
+    response = obs_op.Done(std::move(response));
   }
   if (!response.ok()) {
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -276,15 +474,18 @@ TickResult ServingEngine::Tick() {
   TickResult result;
   result.tick = tick_.load(std::memory_order_acquire) + 1;
 
-  // Phase 1 — drain pending ingests into the tails, in seq order, and
-  // collect the dirty set. Per-shard locking; the sorted merge makes the
-  // outcome independent of arrival interleaving.
-  struct DirtyServer {
+  // Phase 1 — drain pending ingests into the tick-owned tails, in seq
+  // order, and collect the dirty set. Per-shard locking; the sorted
+  // merge makes the outcome independent of arrival interleaving. Dirty
+  // flags clear at collection time: a server collected here is refit
+  // (or fails its refit) this tick either way.
+  struct RefitTask {
     std::string id;
     ServerState* state;  ///< stable: map nodes never move
-    Shard* shard;
+    EpochEntry* entry = nullptr;  ///< this task's shadow slot
+    Status injected;              ///< serving.refit fault decision
   };
-  std::vector<DirtyServer> dirty;
+  std::vector<RefitTask> tasks;
   int64_t total_servers = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -317,65 +518,168 @@ TickResult ServingEngine::Tick() {
         }
       }
       if (state.dirty) {
-        dirty.push_back({id, &state, shard.get()});
+        state.dirty = false;
+        tasks.push_back({id, &state, nullptr, Status::OK()});
       } else {
         ++result.clean_skips;
       }
     }
   }
-  std::sort(dirty.begin(), dirty.end(),
-            [](const DirtyServer& a, const DirtyServer& b) {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const RefitTask& a, const RefitTask& b) {
               return a.id < b.id;
             });
 
-  // Phase 2 — re-forecast the dirty set. The tail is stable for the rest
-  // of the tick (ingests only enqueue), so the forecast computes without
-  // the shard lock; only the install swaps under it, keeping concurrent
-  // readers on a consistent (old or new, never torn) forecast.
-  auto refit = [&](int64_t i) {
-    DirtyServer& d = dirty[static_cast<size_t>(i)];
-    Status injected = FaultRegistry::Global().Inject("serving.refit", d.id);
-    Result<LoadSeries> forecast =
-        injected.ok()
-            ? endpoint_.Predict(d.id, d.state->tail, d.state->tail.end(),
-                                options_.horizon_minutes)
-            : Result<LoadSeries>(injected);
-    std::lock_guard<std::mutex> lock(d.shard->mu);
+  // Phase 2 — build the shadow epoch: copy the published entry table
+  // (forecast series are shared, so this is O(servers) pointer copies)
+  // and pin one slot per dirty server. Queries keep reading the
+  // published epoch untouched for the entire refit fan-out.
+  auto prev = Snapshot();
+  auto next = std::make_shared<FleetEpoch>();
+  next->epoch = result.tick;
+  next->servers = prev->servers;
+  for (auto& task : tasks) {
+    task.entry = &next->servers.try_emplace(task.id).first->second;
+    // One fault decision per dirty server per tick, on the tick thread
+    // in sorted order — schedule-independent because decisions key on
+    // (point, server id, per-key attempt index).
+    task.injected = FaultRegistry::Global().Inject("serving.refit", task.id);
+  }
+
+  // Phase 3 — re-forecast the dirty set into the shadow entries. The
+  // tails are stable for the rest of the tick (ingests only enqueue)
+  // and each body writes only its own pre-pinned entry, so the fan-out
+  // runs without any lock. A failed refit keeps the stale forecast.
+  auto install = [&](RefitTask& task, Result<LoadSeries> forecast) {
     if (forecast.ok()) {
-      d.state->forecast = std::move(forecast).ValueUnsafe();
-      d.state->has_forecast = true;
-      d.state->last_refit_tick = result.tick;
-      d.state->last_error.clear();
+      task.entry->forecast = std::make_shared<const LoadSeries>(
+          std::move(forecast).ValueUnsafe());
+      task.entry->last_refit_tick = result.tick;
+      task.entry->last_error.clear();
     } else {
-      d.state->last_error = forecast.status().ToString();
+      task.entry->last_error = forecast.status().ToString();
     }
-    d.state->dirty = false;
   };
-  const int64_t n = static_cast<int64_t>(dirty.size());
-  if (options_.pool != nullptr && n > 1) {
-    ParallelFor(options_.pool, n, refit);
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  if (options_.refit_model.empty()) {
+    auto refit = [&](int64_t i) {
+      RefitTask& task = tasks[static_cast<size_t>(i)];
+      install(task,
+              task.injected.ok()
+                  ? endpoint_.Predict(task.id, task.state->tail,
+                                      task.state->tail.end(),
+                                      options_.horizon_minutes)
+                  : Result<LoadSeries>(task.injected));
+    };
+    if (options_.pool != nullptr && n > 1) {
+      ParallelFor(options_.pool, n, refit);
+    } else {
+      SequentialFor(n, refit);
+    }
   } else {
-    SequentialFor(n, refit);
+    // Batched refit: group the non-faulted dirty tails by shape so the
+    // expensive per-fit structures are built once per group, then each
+    // fitted model forecasts its own horizon.
+    std::vector<BatchTrainItem> items;
+    std::vector<size_t> item_task;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (!tasks[i].injected.ok()) {
+        install(tasks[i], tasks[i].injected);
+        continue;
+      }
+      items.push_back({&tasks[i].state->tail});
+      item_task.push_back(i);
+    }
+    BatchTrainStats batch_stats;
+    auto fits = BatchTrainer::Fit(options_.refit_model, items,
+                                  options_.pool, &batch_stats);
+    result.batch_groups = batch_stats.groups;
+    result.batch_shared = batch_stats.shared_fits;
+    auto finish = [&](int64_t j) {
+      RefitTask& task = tasks[item_task[static_cast<size_t>(j)]];
+      auto forecast = [&]() -> Result<LoadSeries> {
+        if (!fits.ok()) return fits.status();
+        const BatchTrainResult& fit = (*fits)[static_cast<size_t>(j)];
+        if (!fit.status.ok()) return fit.status;
+        SEAGULL_ASSIGN_OR_RETURN(auto model,
+                                 ModelFactory::Global().Restore(fit.doc));
+        return model->Forecast(task.state->tail, task.state->tail.end(),
+                               options_.horizon_minutes);
+      }();
+      install(task, std::move(forecast));
+    };
+    const int64_t fit_count = static_cast<int64_t>(items.size());
+    if (options_.pool != nullptr && fit_count > 1) {
+      ParallelFor(options_.pool, fit_count, finish);
+    } else {
+      SequentialFor(fit_count, finish);
+    }
   }
   result.refits = n;
-  for (const auto& d : dirty) {
-    if (!d.state->last_error.empty()) ++result.refit_failures;
+  for (const auto& task : tasks) {
+    if (!task.entry->last_error.empty()) ++result.refit_failures;
+  }
+
+  // Phase 4 — publish: one atomic swap moves every query from the old
+  // epoch to the new one. Readers holding the old snapshot finish on it
+  // (stale-but-consistent); the shared_ptr keeps it alive until the
+  // last of them drops it.
+  published_.store(next, std::memory_order_release);
+  tick_.store(result.tick, std::memory_order_release);
+
+  // Phase 5 — subscriptions: evaluate against the epoch just published,
+  // in sorted subscription-id order. Only servers refit this tick can
+  // have moved their window, so clean servers cost nothing.
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto& [id, sub] : subs_) {
+      auto it = next->servers.find(sub.server_id);
+      if (it == next->servers.end() || it->second.forecast == nullptr) {
+        continue;
+      }
+      if (it->second.last_refit_tick != result.tick) continue;
+      const LoadSeries& forecast = *it->second.forecast;
+      WindowResult window = LowestLoadWindow(
+          forecast, DayIndex(forecast.start()), sub.duration_minutes);
+      if (!window.found) continue;
+      if (!sub.armed) {
+        // First window this subscription observes: arm silently.
+        sub.watermark = window;
+        sub.armed = true;
+        continue;
+      }
+      if (window.start == sub.watermark.start) {
+        sub.watermark = window;  // refresh average, position unchanged
+        continue;
+      }
+      Notification record;
+      record.subscription_id = id;
+      record.server_id = sub.server_id;
+      record.tick = result.tick;
+      record.window = window;
+      record.previous_start = sub.watermark.start;
+      result.notifications.push_back(std::move(record));
+      sub.watermark = window;
+    }
   }
 
   refits_->Increment(result.refits);
   refit_failures_->Increment(result.refit_failures);
   ticks_->Increment();
+  notifications_->Increment(
+      static_cast<int64_t>(result.notifications.size()));
   queue_depth_->Set(
       static_cast<double>(pending_count_.load(std::memory_order_relaxed)));
   servers_gauge_->Set(static_cast<double>(total_servers));
   tick_micros_->Observe(static_cast<double>(ObsClock::NowMicros() - t0));
-  tick_.store(result.tick, std::memory_order_release);
   return result;
 }
 
 std::string ServingEngine::SnapshotText() const {
+  std::shared_ptr<const FleetEpoch> snap = Snapshot();
   Json doc = Json::MakeObject();
   doc["tick"] = tick_.load(std::memory_order_acquire);
+  doc["epoch"] = snap->epoch;
   doc["family"] = endpoint_.family();
   doc["model_version"] = endpoint_.version();
   Json servers = Json::MakeObject();
@@ -384,16 +688,34 @@ std::string ServingEngine::SnapshotText() const {
     for (const auto& [id, state] : shard->servers) {
       Json s = Json::MakeObject();
       s["tail"] = SeriesToJson(state.tail);
-      s["forecast"] =
-          state.has_forecast ? SeriesToJson(state.forecast) : Json();
+      auto it = snap->servers.find(id);
+      const EpochEntry* entry =
+          it != snap->servers.end() ? &it->second : nullptr;
+      s["forecast"] = entry != nullptr && entry->forecast != nullptr
+                          ? SeriesToJson(*entry->forecast)
+                          : Json();
       s["dirty"] = state.dirty;
       s["pending"] = static_cast<int64_t>(state.pending.size());
-      s["last_refit_tick"] = state.last_refit_tick;
-      s["last_error"] = state.last_error;
+      s["last_refit_tick"] =
+          entry != nullptr ? entry->last_refit_tick : int64_t{-1};
+      s["last_error"] = entry != nullptr ? entry->last_error : "";
       servers[id] = std::move(s);
     }
   }
   doc["servers"] = std::move(servers);
+  Json subs = Json::MakeObject();
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (const auto& [id, sub] : subs_) {
+      Json s = Json::MakeObject();
+      s["server_id"] = sub.server_id;
+      s["duration_minutes"] = sub.duration_minutes;
+      s["armed"] = sub.armed;
+      if (sub.armed) s["window"] = WindowToJson(sub.watermark);
+      subs[id] = std::move(s);
+    }
+  }
+  doc["subscriptions"] = std::move(subs);
   return doc.Dump();
 }
 

@@ -100,33 +100,83 @@ int64_t ProfileTotalRequests(LoadProfile profile, int64_t base,
 
 namespace {
 
+/// Build-time subscription registry: ids live from their subscribe draw
+/// until an unsubscribe draw picks them. Entries carry the tick they
+/// were created in so unsubscribes only target earlier-tick ids (a
+/// same-tick pair could race across workers and break determinism).
+struct SubSchedule {
+  std::vector<std::pair<std::string, int64_t>> live;  ///< (id, born tick)
+  int64_t next_id = 0;
+};
+
 /// Appends one request drawn from `rng` for epoch `tick` to `out`.
 void AppendRequest(const LoadgenOptions& options,
                    const std::vector<std::string>& server_ids, Rng* rng,
-                   int64_t tick, int64_t seq, int64_t client,
-                   int64_t offset_micros,
+                   SubSchedule* subs, int64_t tick, int64_t seq,
+                   int64_t client, int64_t offset_micros,
                    std::vector<ScheduledRequest>* out) {
   const std::string& server =
       server_ids[static_cast<size_t>(rng->UniformInt(
           0, static_cast<int64_t>(server_ids.size()) - 1))];
   const double u = rng->Uniform();
+  const double predict_hi = options.predict_fraction;
+  const double ll_hi = predict_hi + options.ll_window_fraction;
+  const double batch_hi = ll_hi + options.batch_fraction;
+  const double subscribe_hi = batch_hi + options.subscribe_fraction;
   ScheduledRequest req;
   req.tick = tick;
   req.seq = seq;
   req.client = client;
   req.offset_micros = offset_micros;
   Json body = Json::MakeObject();
-  body["server_id"] = server;
-  if (u < options.predict_fraction) {
+  if (u < predict_hi) {
     req.verb = "predict";
     body["verb"] = "predict";
-  } else if (u < options.predict_fraction + options.ll_window_fraction) {
+    body["server_id"] = server;
+  } else if (u < ll_hi) {
     req.verb = "ll_window";
     body["verb"] = "ll_window";
+    body["server_id"] = server;
     body["duration_minutes"] = 60;
+  } else if (u < batch_hi) {
+    req.verb = "batch_predict";
+    body["verb"] = "predict";
+    Json servers = Json::MakeArray();
+    servers.Append(Json(server));
+    for (int64_t i = 1; i < options.batch_size; ++i) {
+      servers.Append(Json(server_ids[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(server_ids.size()) - 1))]));
+    }
+    body["servers"] = std::move(servers);
+  } else if (u < subscribe_hi) {
+    // Count the ids born before this tick (they form a prefix: births
+    // arrive in tick order).
+    size_t eligible = 0;
+    while (eligible < subs->live.size() &&
+           subs->live[eligible].second < tick) {
+      ++eligible;
+    }
+    if (eligible > 0 && rng->Uniform() < 0.5) {
+      const size_t pick = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(eligible) - 1));
+      req.verb = "unsubscribe";
+      body["verb"] = "unsubscribe";
+      body["id"] = subs->live[pick].first;
+      subs->live.erase(subs->live.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+    } else {
+      std::string id = "lg-sub-" + std::to_string(subs->next_id++);
+      req.verb = "subscribe_ll";
+      body["verb"] = "subscribe_ll";
+      body["id"] = id;
+      body["server_id"] = server;
+      body["duration_minutes"] = 60;
+      subs->live.emplace_back(std::move(id), tick);
+    }
   } else {
     req.verb = "ingest";
     body["verb"] = "ingest";
+    body["server_id"] = server;
     body["seq"] = seq;
     Json series = Json::MakeObject();
     series["start"] =
@@ -149,6 +199,7 @@ std::vector<ScheduledRequest> BuildSchedule(
   std::vector<ScheduledRequest> schedule;
   if (server_ids.empty() || options.ticks <= 0) return schedule;
   Rng rng(options.seed);
+  SubSchedule subs;
   int64_t seq = 0;
   for (int64_t t = 0; t < options.ticks; ++t) {
     const int64_t per_source = ProfileRequestsAtTick(
@@ -164,8 +215,8 @@ std::vector<ScheduledRequest> BuildSchedule(
       double offset = 0.0;
       for (int64_t i = 0; i < per_source; ++i) {
         offset += rng.Exponential(mean_gap_micros);
-        AppendRequest(options, server_ids, &rng, t, seq++, /*client=*/0,
-                      static_cast<int64_t>(offset), &schedule);
+        AppendRequest(options, server_ids, &rng, &subs, t, seq++,
+                      /*client=*/0, static_cast<int64_t>(offset), &schedule);
       }
     } else {
       // Closed loop: every client issues `per_source` back-to-back
@@ -173,7 +224,7 @@ std::vector<ScheduledRequest> BuildSchedule(
       // time depends on completion), so they stay 0.
       for (int64_t c = 0; c < options.closed_loop_clients; ++c) {
         for (int64_t i = 0; i < per_source; ++i) {
-          AppendRequest(options, server_ids, &rng, t, seq++, c,
+          AppendRequest(options, server_ids, &rng, &subs, t, seq++, c,
                         /*offset_micros=*/0, &schedule);
         }
       }
@@ -201,6 +252,8 @@ Json LoadgenReport::ToJson() const {
   doc["errors"] = errors;
   doc["wall_millis"] = wall_millis;
   doc["throughput_rps"] = throughput_rps;
+  doc["predictions"] = predictions;
+  doc["prediction_throughput_ps"] = prediction_throughput_ps;
   Json lat = Json::MakeObject();
   for (const auto& [verb, summary] : latency) lat[verb] = summary.ToJson();
   doc["latency_micros"] = std::move(lat);
@@ -213,6 +266,8 @@ Json LoadgenReport::ToJson() const {
   ticks_doc["refit_per_query"] = refit_per_query;
   doc["tick_loop"] = std::move(ticks_doc);
   doc["max_in_flight"] = max_in_flight;
+  doc["notifications"] = notifications;
+  doc["notify_lag_ticks"] = notify_lag_ticks;
   doc["response_digest"] = StringPrintf("%016llx",
                                         static_cast<unsigned long long>(
                                             response_digest));
@@ -254,6 +309,20 @@ LoadgenReport RunLoadTest(ServingEngine* engine,
     responses[static_cast<size_t>(i)] = std::move(response);
     in_flight.fetch_sub(1, std::memory_order_acq_rel);
   };
+
+  // Every ingest's schedule tick, per server, in seq order — consumed
+  // as subscription notifications fire to measure how many ticks an
+  // ingested change waited before its window move was reported.
+  std::map<std::string, std::vector<int64_t>> ingest_ticks;
+  for (const auto& req : schedule) {
+    if (req.verb != "ingest") continue;
+    auto parsed = Json::Parse(req.body);
+    ingest_ticks[(*parsed)["server_id"].AsString()].push_back(req.tick);
+  }
+  std::map<std::string, size_t> ingest_cursor;
+  double lag_sum = 0.0;
+  int64_t notify_count = 0;
+  uint64_t notify_digest = kFnvOffset;
 
   const int64_t wall_t0 = ObsClock::NowMicros();
   size_t cursor = 0;
@@ -307,6 +376,29 @@ LoadgenReport RunLoadTest(ServingEngine* engine,
     report.refit_failures += tr.refit_failures;
     report.clean_skips += tr.clean_skips;
     report.ingests_applied += tr.ingests_applied;
+    for (const Notification& n : tr.notifications) {
+      ++notify_count;
+      const std::string dump = n.ToJson().Dump();
+      notify_digest = Fnv1a(notify_digest, dump.data(), dump.size());
+      // Consume this server's ingests up to the fire tick; the oldest
+      // one consumed bounds how long the move waited to surface. The
+      // server's first notification only sets the baseline — it drains
+      // the backlog that accumulated before any subscription watched
+      // (window moves without a subscriber consume nothing).
+      auto it = ingest_ticks.find(n.server_id);
+      if (it == ingest_ticks.end()) continue;
+      const bool baseline =
+          ingest_cursor.find(n.server_id) == ingest_cursor.end();
+      size_t& pos = ingest_cursor[n.server_id];
+      int64_t oldest = -1;
+      while (pos < it->second.size() && it->second[pos] <= t) {
+        if (oldest < 0) oldest = it->second[pos];
+        ++pos;
+      }
+      if (!baseline && oldest >= 0) {
+        lag_sum += static_cast<double>(t - oldest);
+      }
+    }
   }
   report.wall_millis =
       static_cast<double>(ObsClock::NowMicros() - wall_t0) / 1000.0;
@@ -332,6 +424,13 @@ LoadgenReport RunLoadTest(ServingEngine* engine,
     }
     samples[req.verb].push_back(out.latency_micros);
     if (req.verb != "ingest") ++queries;
+    if (req.verb == "predict") {
+      ++report.predictions;
+    } else if (req.verb == "batch_predict") {
+      auto body = Json::Parse(req.body);
+      report.predictions +=
+          static_cast<int64_t>((*body)["servers"].AsArray().size());
+    }
     digest = Fnv1a(digest, &req.seq, sizeof(req.seq));
     digest = Fnv1a(digest, responses[i].data(), responses[i].size());
   }
@@ -345,10 +444,19 @@ LoadgenReport RunLoadTest(ServingEngine* engine,
       static_cast<double>(report.refits) /
       static_cast<double>(std::max<int64_t>(1, queries));
   report.max_in_flight = max_in_flight.load(std::memory_order_relaxed);
+  report.notifications = notify_count;
+  report.notify_lag_ticks =
+      notify_count > 0 ? lag_sum / static_cast<double>(notify_count) : 0.0;
+  digest = Fnv1a(digest, &notify_digest, sizeof(notify_digest));
   report.response_digest = digest;
   report.throughput_rps =
       report.wall_millis > 0.0
           ? static_cast<double>(report.requests) * 1000.0 /
+                report.wall_millis
+          : 0.0;
+  report.prediction_throughput_ps =
+      report.wall_millis > 0.0
+          ? static_cast<double>(report.predictions) * 1000.0 /
                 report.wall_millis
           : 0.0;
   return report;

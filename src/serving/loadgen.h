@@ -57,9 +57,22 @@ struct LoadgenOptions {
   int64_t base_requests_per_tick = 200;
   /// Closed loop only: number of virtual clients (= in-flight bound).
   int closed_loop_clients = 8;
-  /// Verb mix; the remainder after predict + ll_window is ingest.
+  /// Verb mix; the remainder after predict + ll_window + batch +
+  /// subscribe is ingest. The batch and subscribe fractions default to
+  /// zero so schedules built without them are byte-identical to the
+  /// PR 6 generation (no RNG draw happens for a zero-width range).
   double predict_fraction = 0.6;
   double ll_window_fraction = 0.2;
+  /// Batch predicts: one request covering `batch_size` drawn servers
+  /// (duplicates allowed), answered from one epoch snapshot.
+  double batch_fraction = 0.0;
+  int64_t batch_size = 8;
+  /// Subscription churn: half of these draws register an `ll`-window
+  /// subscription (ids "lg-sub-N", assigned at build time), the other
+  /// half unsubscribe one registered in an *earlier* tick — same-tick
+  /// unsubscribes could race their own subscribe across workers and
+  /// break response determinism.
+  double subscribe_fraction = 0.0;
   /// Engine epoch origin: ingest increments for tick k carry the sample
   /// at `epoch_start + k * 5min`. Point this at the bootstrap tails'
   /// end so increments extend the tails.
@@ -77,7 +90,10 @@ struct ScheduledRequest {
   /// Open loop: simulated arrival offset within the tick, microseconds
   /// (exponential inter-arrival gaps; purely descriptive for reporting).
   int64_t offset_micros = 0;
-  std::string verb;  ///< predict | ll_window | ingest
+  /// predict | batch_predict | ll_window | subscribe_ll | unsubscribe |
+  /// ingest (batch_predict is the reporting label; on the wire it is a
+  /// "predict" with a `servers` array).
+  std::string verb;
   std::string body;  ///< complete JSON request text
 };
 
@@ -120,6 +136,10 @@ struct LoadgenReport {
   double wall_millis = 0.0;
   /// Served requests per second of wall time (0 under a frozen clock).
   double throughput_rps = 0.0;
+  /// Per-server predictions answered (a batch of 16 counts 16) — the
+  /// mix-independent work unit for cross-run throughput comparison.
+  int64_t predictions = 0;
+  double prediction_throughput_ps = 0.0;
   /// Per-verb latency percentiles over the run.
   std::map<std::string, LatencySummary> latency;
   /// Tick-loop accounting: how well dirty-set tracking amortizes refits.
@@ -132,8 +152,16 @@ struct LoadgenReport {
   double refit_per_query = 0.0;
   /// Peak concurrently executing requests (closed loop: <= clients).
   int64_t max_in_flight = 0;
-  /// FNV-1a over every (seq, response) pair in seq order — identical
-  /// across jobs counts when the engine honors its determinism contract.
+  /// Subscription records fired across the run's ticks.
+  int64_t notifications = 0;
+  /// Mean, over notifications, of (fire tick − oldest unconsumed ingest
+  /// tick for that server): ~0 when every ingest's refit lands on its
+  /// own tick, positive when refit faults delay the window move to a
+  /// later tick's refit.
+  double notify_lag_ticks = 0.0;
+  /// FNV-1a over every (seq, response) pair in seq order, folded with a
+  /// digest of the notification stream — identical across jobs counts
+  /// when the engine honors its determinism contract.
   uint64_t response_digest = 0;
 
   Json ToJson() const;

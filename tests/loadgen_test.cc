@@ -135,6 +135,71 @@ TEST(BuildScheduleTest, ScheduleInvariants) {
   }
 }
 
+TEST(BuildScheduleTest, MixedVerbScheduleIsDeterministic) {
+  LoadgenOptions options;
+  options.profile = LoadProfile::kSoak;
+  options.ticks = 8;
+  options.base_requests_per_tick = 60;
+  options.seed = 42;
+  options.predict_fraction = 0.4;
+  options.ll_window_fraction = 0.15;
+  options.batch_fraction = 0.15;
+  options.batch_size = 5;
+  options.subscribe_fraction = 0.15;
+
+  auto a = BuildSchedule(options, Ids(12));
+  auto b = BuildSchedule(options, Ids(12));
+  ASSERT_EQ(a.size(), b.size());
+  std::map<std::string, int64_t> verbs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].verb, b[i].verb);
+    EXPECT_EQ(a[i].body, b[i].body);
+    ++verbs[a[i].verb];
+  }
+  // Every verb class is represented at this size and mix.
+  for (const char* verb : {"predict", "batch_predict", "ll_window",
+                           "subscribe_ll", "unsubscribe", "ingest"}) {
+    EXPECT_GT(verbs[verb], 0) << verb;
+  }
+
+  // Structural invariants of the new verbs: every batch body carries
+  // exactly batch_size servers, and every unsubscribe targets a
+  // subscription registered in an *earlier* tick (same-tick pairs could
+  // race across workers and break response determinism).
+  std::map<std::string, int64_t> sub_birth_tick;
+  for (const auto& req : a) {
+    auto body = Json::Parse(req.body);
+    ASSERT_TRUE(body.ok()) << req.body;
+    if (req.verb == "batch_predict") {
+      ASSERT_TRUE((*body)["servers"].is_array());
+      EXPECT_EQ(static_cast<int64_t>((*body)["servers"].AsArray().size()),
+                options.batch_size);
+    } else if (req.verb == "subscribe_ll") {
+      sub_birth_tick[(*body)["id"].AsString()] = req.tick;
+    } else if (req.verb == "unsubscribe") {
+      const std::string id = (*body)["id"].AsString();
+      ASSERT_TRUE(sub_birth_tick.count(id)) << id;
+      EXPECT_LT(sub_birth_tick[id], req.tick) << id;
+    }
+  }
+}
+
+TEST(BuildScheduleTest, DefaultMixIsByteCompatibleWithOldVerbSet) {
+  // The batch/subscribe fractions default to zero and a zero-width verb
+  // range draws no RNG, so the default-mix schedule must contain only
+  // the PR 6 verbs — the determinism currency of earlier baselines.
+  LoadgenOptions options;
+  options.profile = LoadProfile::kSpike;
+  options.ticks = 8;
+  options.base_requests_per_tick = 40;
+  options.seed = 123;
+  for (const auto& req : BuildSchedule(options, Ids(20))) {
+    EXPECT_TRUE(req.verb == "predict" || req.verb == "ll_window" ||
+                req.verb == "ingest")
+        << req.verb;
+  }
+}
+
 TEST(RunLoadTestTest, ClosedLoopNeverExceedsClientBound) {
   const std::vector<ServerTelemetry> tails = {
       MakeTail("srv-0", DayOfLoad()), MakeTail("srv-1", DayOfLoad()),
@@ -159,6 +224,49 @@ TEST(RunLoadTestTest, ClosedLoopNeverExceedsClientBound) {
   EXPECT_GT(report.max_in_flight, 0);
   EXPECT_LE(report.max_in_flight, 3);
   EXPECT_EQ(report.ok + report.errors, report.requests);
+}
+
+TEST(RunLoadTestTest, ClosedLoopBoundHoldsWithNotificationsInterleaved) {
+  // Subscription churn in a closed-loop run: notification records land
+  // between ticks while clients hold the in-flight bound, and the
+  // per-prediction accounting counts batch entries individually.
+  const std::vector<ServerTelemetry> tails = {
+      MakeTail("srv-0", DayOfLoad()), MakeTail("srv-1", DayOfLoad()),
+      MakeTail("srv-2", DayOfLoad())};
+  ServingEngine engine(MakePrevDayEndpoint());
+  engine.Bootstrap(tails).Abort();
+  engine.Tick();
+
+  LoadgenOptions options;
+  options.profile = LoadProfile::kSoak;
+  options.mode = DriverMode::kClosedLoop;
+  options.ticks = 6;
+  options.base_requests_per_tick = 20;
+  options.closed_loop_clients = 3;
+  options.jobs = 8;
+  options.epoch_start = kMinutesPerDay;
+  options.predict_fraction = 0.35;
+  options.ll_window_fraction = 0.15;
+  options.batch_fraction = 0.15;
+  options.batch_size = 4;
+  options.subscribe_fraction = 0.20;
+  std::vector<std::string> ids = {"srv-0", "srv-1", "srv-2"};
+
+  LoadgenReport report =
+      RunLoadTest(&engine, options, BuildSchedule(options, ids));
+  EXPECT_EQ(report.requests, 6 * 20 * 3);
+  EXPECT_GT(report.max_in_flight, 0);
+  EXPECT_LE(report.max_in_flight, 3);
+  EXPECT_EQ(report.ok + report.errors, report.requests);
+  EXPECT_GE(report.notifications, 0);
+  // Batch entries count per prediction, so the mixed run answers more
+  // predictions than it issued requests.
+  EXPECT_GT(report.predictions, 0);
+  EXPECT_GT(report.latency["batch_predict"].count, 0);
+  EXPECT_GT(report.latency["subscribe_ll"].count, 0);
+  Json doc = report.ToJson();
+  EXPECT_EQ(doc["notifications"].AsInt(), report.notifications);
+  EXPECT_EQ(doc["predictions"].AsInt(), report.predictions);
 }
 
 TEST(RunLoadTestTest, ReportAccountingAddsUp) {

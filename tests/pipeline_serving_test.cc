@@ -132,11 +132,58 @@ TEST_P(ServingContractTest, NegativeHorizonRejected) {
   EXPECT_FALSE((*response)["ok"].AsBool());
 }
 
+TEST_P(ServingContractTest, EmptyServerIdRejected) {
+  ForecastRequest req;
+  req.server_id = "";
+  req.start = kMinutesPerDay;
+  req.horizon_minutes = 60;
+  req.recent = DayOfLoad();
+  auto response = Json::Parse(Handle(req.ToJson().Dump()));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE((*response)["ok"].AsBool());
+  EXPECT_EQ((*response)["code"].AsString(), "Invalid");
+  EXPECT_EQ((*response)["error"].AsString(), "server id must not be empty");
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, ServingContractTest,
                          ::testing::Values("service", "engine"),
                          [](const auto& info) {
                            return std::string(info.param);
                          });
+
+/// Negative-path parity: the two backends must emit the exact same
+/// {ok,error,code} bytes for malformed traffic, so callers can switch
+/// between them without re-learning error handling. (The PR 6 suite
+/// only checked each backend's shape, not cross-backend equality.)
+TEST(ServingContractParityTest, MalformedRequestsMatchByteForByte) {
+  ForecastService service(MakePrevDayEndpoint());
+  ServingEngine engine(MakePrevDayEndpoint());
+
+  ForecastRequest empty_id;
+  empty_id.server_id = "";
+  empty_id.start = kMinutesPerDay;
+  empty_id.horizon_minutes = 60;
+  empty_id.recent = DayOfLoad();
+
+  const std::string cases[] = {
+      "not json at all",           // bad JSON
+      "{}",                        // missing verb and every field
+      "{\"verb\": \"predict\"}",   // explicit verb, no server id
+      empty_id.ToJson().Dump(),    // empty server id
+  };
+  for (const std::string& request : cases) {
+    const std::string from_service = service.HandleRequest(request);
+    const std::string from_engine = engine.Handle(request);
+    EXPECT_EQ(from_service, from_engine) << request;
+    auto parsed = Json::Parse(from_service);
+    ASSERT_TRUE(parsed.ok()) << request;
+    EXPECT_FALSE((*parsed)["ok"].AsBool()) << request;
+    EXPECT_TRUE((*parsed)["error"].is_string()) << request;
+    EXPECT_TRUE((*parsed)["code"].is_string()) << request;
+  }
+  EXPECT_EQ(service.requests_failed(), engine.requests_failed());
+  EXPECT_EQ(service.requests_served(), engine.requests_served());
+}
 
 TEST(ForecastServiceTest, EndToEndThroughDeployedRegistry) {
   // Deploy through the registry, load the active endpoint, serve.

@@ -44,8 +44,11 @@ struct RunOutcome {
 };
 
 /// One full load-test run at the given concurrency. `fault_rate > 0`
-/// enables the serving.refit fault point for the run's duration.
-RunOutcome RunOnce(DriverMode mode, int jobs, double fault_rate) {
+/// enables the serving.refit fault point for the run's duration;
+/// `mixed_verbs` turns on the PR 8 verbs (batch predict + subscription
+/// churn) so the digest also covers snapshot reads and notifications.
+RunOutcome RunOnce(DriverMode mode, int jobs, double fault_rate,
+                   bool mixed_verbs = false) {
   ScopedFrozenClock frozen;
   std::unique_ptr<ScopedFaultInjection> faults;
   if (fault_rate > 0.0) {
@@ -80,6 +83,13 @@ RunOutcome RunOnce(DriverMode mode, int jobs, double fault_rate) {
   options.closed_loop_clients = 4;
   options.epoch_start = kMinutesPerWeek;
   options.jobs = jobs;
+  if (mixed_verbs) {
+    options.predict_fraction = 0.45;
+    options.ll_window_fraction = 0.15;
+    options.batch_fraction = 0.10;
+    options.batch_size = 6;
+    options.subscribe_fraction = 0.10;
+  }
 
   RunOutcome outcome;
   outcome.report =
@@ -118,6 +128,41 @@ TEST(ServingDeterminismTest, IdenticalUnderFaultInjection) {
   EXPECT_EQ(sequential.report.response_digest,
             parallel.report.response_digest);
   EXPECT_EQ(sequential.snapshot, parallel.snapshot);
+}
+
+TEST(ServingDeterminismTest, MixedVerbsIdenticalAcrossJobs) {
+  // The PR 8 verbs ride the same contract: batch predicts answer from
+  // one published snapshot and subscription records fire on the tick
+  // thread, so the folded notification digest must also match.
+  RunOutcome sequential =
+      RunOnce(DriverMode::kOpenLoop, 1, 0.0, /*mixed_verbs=*/true);
+  RunOutcome parallel =
+      RunOnce(DriverMode::kOpenLoop, 8, 0.0, /*mixed_verbs=*/true);
+  EXPECT_EQ(sequential.report.response_digest,
+            parallel.report.response_digest);
+  EXPECT_EQ(sequential.snapshot, parallel.snapshot);
+  EXPECT_EQ(sequential.report.predictions, parallel.report.predictions);
+  EXPECT_EQ(sequential.report.notifications,
+            parallel.report.notifications);
+  // The mixed schedule actually exercised the new verbs.
+  EXPECT_GT(sequential.report.latency.count("batch_predict"), 0u);
+  EXPECT_GT(sequential.report.latency.count("subscribe_ll"), 0u);
+  EXPECT_GT(sequential.report.predictions, sequential.report.requests);
+}
+
+TEST(ServingDeterminismTest, MixedVerbsIdenticalUnderFaultInjection) {
+  RunOutcome sequential =
+      RunOnce(DriverMode::kOpenLoop, 1, 0.10, /*mixed_verbs=*/true);
+  RunOutcome parallel =
+      RunOnce(DriverMode::kOpenLoop, 8, 0.10, /*mixed_verbs=*/true);
+  EXPECT_GT(sequential.report.refit_failures, 0);
+  EXPECT_EQ(sequential.report.refit_failures,
+            parallel.report.refit_failures);
+  EXPECT_EQ(sequential.report.response_digest,
+            parallel.report.response_digest);
+  EXPECT_EQ(sequential.snapshot, parallel.snapshot);
+  EXPECT_EQ(sequential.report.notifications,
+            parallel.report.notifications);
 }
 
 TEST(ServingDeterminismTest, FaultFreeAndFaultedRunsDiverge) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "serving_test_util.h"
 
 namespace seagull {
@@ -102,10 +104,16 @@ TEST_F(ServingEngineTest, DirtySetTracking) {
   EXPECT_EQ(engine_.pending_ingests(), 0);
 
   // The dirty server re-forecast on this tick; the clean one still
-  // serves the forecast installed by tick 1, byte for byte.
+  // serves the forecast installed by tick 1, byte for byte — only the
+  // response's epoch stamp advances with the snapshot that answered.
   Json refreshed = MustParse(engine_.Handle(PredictRequest("srv-a")));
   EXPECT_EQ(refreshed["tick"].AsInt(), 3);
-  EXPECT_EQ(engine_.Handle(PredictRequest("srv-b")), untouched_before);
+  Json stale_before = MustParse(untouched_before);
+  Json stale_after = MustParse(engine_.Handle(PredictRequest("srv-b")));
+  EXPECT_EQ(stale_after["forecast"].Dump(), stale_before["forecast"].Dump());
+  EXPECT_EQ(stale_after["tick"].AsInt(), stale_before["tick"].AsInt());
+  EXPECT_EQ(stale_before["epoch"].AsInt(), 2);
+  EXPECT_EQ(stale_after["epoch"].AsInt(), 3);
 }
 
 TEST_F(ServingEngineTest, StaleReadsBetweenTicks) {
@@ -223,6 +231,181 @@ TEST_F(ServingEngineTest, PredictSliceAndLLWindow) {
   Json bad = MustParse(engine_.Handle(ll.Dump()));
   EXPECT_FALSE(bad["ok"].AsBool());
   EXPECT_EQ(bad["code"].AsString(), "Invalid");
+}
+
+std::string BatchPredictRequest(const std::vector<std::string>& servers) {
+  Json doc = Json::MakeObject();
+  doc["verb"] = "predict";
+  Json list = Json::MakeArray();
+  for (const auto& id : servers) list.Append(Json(id));
+  doc["servers"] = std::move(list);
+  return doc.Dump();
+}
+
+std::string SubscribeRequest(const std::string& id,
+                             const std::string& server_id) {
+  Json doc = Json::MakeObject();
+  doc["verb"] = "subscribe_ll";
+  doc["id"] = id;
+  doc["server_id"] = server_id;
+  return doc.Dump();
+}
+
+TEST_F(ServingEngineTest, BatchPredictOneSnapshot) {
+  BootstrapThree();
+  engine_.Tick();
+
+  Json response =
+      MustParse(engine_.Handle(BatchPredictRequest({"srv-a", "srv-b"})));
+  ASSERT_TRUE(response["ok"].AsBool());
+  EXPECT_EQ(response["epoch"].AsInt(), 1);
+  EXPECT_EQ(response["served"].AsInt(), 2);
+  EXPECT_EQ(response["failed"].AsInt(), 0);
+  const auto& results = response["results"].AsArray();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0]["server_id"].AsString(), "srv-a");
+  EXPECT_EQ(results[1]["server_id"].AsString(), "srv-b");
+  EXPECT_TRUE(results[0]["ok"].AsBool());
+  // The whole batch is one request for accounting purposes.
+  EXPECT_EQ(engine_.requests_served(), 1);
+}
+
+TEST_F(ServingEngineTest, BatchPredictDuplicateIds) {
+  BootstrapThree();
+  engine_.Tick();
+  // Duplicates are answered independently — and identically, because
+  // both entries read the same snapshot.
+  Json response =
+      MustParse(engine_.Handle(BatchPredictRequest({"srv-a", "srv-a"})));
+  ASSERT_TRUE(response["ok"].AsBool());
+  const auto& results = response["results"].AsArray();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].Dump(), results[1].Dump());
+}
+
+TEST_F(ServingEngineTest, BatchPredictUnknownMixedWithKnown) {
+  BootstrapThree();
+  engine_.Tick();
+  Json response = MustParse(
+      engine_.Handle(BatchPredictRequest({"srv-a", "ghost", "srv-c"})));
+  // Per-server failures do not fail the batch.
+  ASSERT_TRUE(response["ok"].AsBool());
+  EXPECT_EQ(response["served"].AsInt(), 2);
+  EXPECT_EQ(response["failed"].AsInt(), 1);
+  const auto& results = response["results"].AsArray();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0]["ok"].AsBool());
+  EXPECT_FALSE(results[1]["ok"].AsBool());
+  EXPECT_EQ(results[1]["server_id"].AsString(), "ghost");
+  EXPECT_EQ(results[1]["code"].AsString(), "NotFound");
+  EXPECT_TRUE(results[2]["ok"].AsBool());
+  EXPECT_EQ(engine_.requests_failed(), 0);
+}
+
+TEST_F(ServingEngineTest, BatchPredictValidation) {
+  BootstrapThree();
+  engine_.Tick();
+  // An empty batch is a request-level error.
+  Json empty = MustParse(engine_.Handle(BatchPredictRequest({})));
+  EXPECT_FALSE(empty["ok"].AsBool());
+  EXPECT_EQ(empty["code"].AsString(), "Invalid");
+
+  // Oversized batches are rejected whole (engine with a tiny cap).
+  ServingOptions options;
+  options.max_batch_servers = 2;
+  ServingEngine small(MakePrevDayEndpoint(), options);
+  std::vector<ServerTelemetry> fleet;
+  fleet.push_back(MakeTail("srv-a", DayOfLoad()));
+  ASSERT_TRUE(small.Bootstrap(fleet).ok());
+  small.Tick();
+  Json over = MustParse(
+      small.Handle(BatchPredictRequest({"srv-a", "srv-a", "srv-a"})));
+  EXPECT_FALSE(over["ok"].AsBool());
+  EXPECT_EQ(over["code"].AsString(), "Invalid");
+}
+
+TEST_F(ServingEngineTest, SubscriptionFiresOncePerWindowMove) {
+  BootstrapThree();
+  engine_.Tick();
+
+  Json ack = MustParse(engine_.Handle(SubscribeRequest("watch-a", "srv-a")));
+  ASSERT_TRUE(ack["ok"].AsBool());
+  EXPECT_TRUE(ack["armed"].AsBool());  // forecast published → armed at once
+  EXPECT_EQ(engine_.subscription_count(), 1);
+  const int64_t armed_start = ack["window"]["start"].AsInt();
+
+  // A clean tick refits nothing, so the window cannot move.
+  EXPECT_TRUE(engine_.Tick().notifications.empty());
+
+  // An ingest slides the tail (and so the replicated forecast) forward
+  // 5 minutes: the lowest-load window moves, firing exactly one record.
+  engine_.Handle(IngestRequest("srv-a", 0, OneSample(kMinutesPerDay, 40.0)));
+  TickResult moved = engine_.Tick();
+  ASSERT_EQ(moved.notifications.size(), 1u);
+  EXPECT_EQ(moved.notifications[0].subscription_id, "watch-a");
+  EXPECT_EQ(moved.notifications[0].server_id, "srv-a");
+  EXPECT_EQ(moved.notifications[0].previous_start, armed_start);
+  EXPECT_EQ(moved.notifications[0].window.start, armed_start + 5);
+  EXPECT_EQ(moved.notifications[0].tick, 3);
+
+  // No further movement, no further records — even across refits of
+  // other servers.
+  engine_.Handle(IngestRequest("srv-b", 0, OneSample(kMinutesPerDay, 1.0)));
+  EXPECT_TRUE(engine_.Tick().notifications.empty());
+  EXPECT_TRUE(engine_.Tick().notifications.empty());
+}
+
+TEST_F(ServingEngineTest, SubscribeBeforeFirstTickArmsSilently) {
+  BootstrapThree();
+  // No forecast yet: the subscription registers unarmed.
+  Json ack = MustParse(engine_.Handle(SubscribeRequest("early", "srv-a")));
+  ASSERT_TRUE(ack["ok"].AsBool());
+  EXPECT_FALSE(ack["armed"].AsBool());
+
+  // The first window the subscription observes arms it without firing.
+  EXPECT_TRUE(engine_.Tick().notifications.empty());
+
+  // Unknown servers cannot be subscribed to at all.
+  Json ghost = MustParse(engine_.Handle(SubscribeRequest("g", "ghost")));
+  EXPECT_FALSE(ghost["ok"].AsBool());
+  EXPECT_EQ(ghost["code"].AsString(), "NotFound");
+}
+
+TEST_F(ServingEngineTest, UnsubscribeStopsRecordsAndRacesTick) {
+  BootstrapThree();
+  engine_.Tick();
+  engine_.Handle(SubscribeRequest("watch-a", "srv-a"));
+
+  // Removing the subscription before the window moves silences it.
+  Json doc = Json::MakeObject();
+  doc["verb"] = "unsubscribe";
+  doc["id"] = "watch-a";
+  Json ack = MustParse(engine_.Handle(doc.Dump()));
+  ASSERT_TRUE(ack["ok"].AsBool());
+  EXPECT_EQ(engine_.subscription_count(), 0);
+  engine_.Handle(IngestRequest("srv-a", 0, OneSample(kMinutesPerDay, 40.0)));
+  EXPECT_TRUE(engine_.Tick().notifications.empty());
+
+  // Unknown ids are structured NotFound errors.
+  Json missing = MustParse(engine_.Handle(doc.Dump()));
+  EXPECT_FALSE(missing["ok"].AsBool());
+  EXPECT_EQ(missing["code"].AsString(), "NotFound");
+
+  // A tick may run concurrently with (un)subscribes: exercise the race
+  // a few times — the subscription either sees the tick or it doesn't,
+  // but the engine must stay consistent either way.
+  for (int round = 0; round < 8; ++round) {
+    engine_.Handle(SubscribeRequest("racer", "srv-a"));
+    engine_.Handle(IngestRequest("srv-a", round + 1,
+                                 OneSample(kMinutesPerDay + 5 * (round + 1),
+                                           40.0)));
+    std::thread ticker([&] { engine_.Tick(); });
+    Json gone = MustParse(engine_.Handle(
+        std::string("{\"verb\":\"unsubscribe\",\"id\":\"racer\"}")));
+    EXPECT_TRUE(gone["ok"].AsBool());
+    ticker.join();
+    EXPECT_EQ(engine_.subscription_count(), 0);
+  }
 }
 
 TEST_F(ServingEngineTest, SeqOrderControlsMergeNotArrival) {

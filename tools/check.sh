@@ -43,6 +43,17 @@
 #                             # races only show up while all three run
 #                             # concurrently (latency budgets are NOT
 #                             # gated under tsan; only races are)
+#   tools/check.sh serving-soak
+#                             # ~60-second chaos soak under tsan+ubsan:
+#                             # bench/loadgen on the spike profile with
+#                             # 10% serving.refit faults and the full
+#                             # verb mix (single + batch predicts,
+#                             # subscription churn, ingest) — the
+#                             # longest-running race probe of the
+#                             # query/ingest/tick/notify paths. A fast
+#                             # Release slice of the same run ships as
+#                             # the `serving_soak` ctest entry under the
+#                             # `serving` label.
 #
 # Exits non-zero on the first build or test failure.
 set -eu
@@ -125,6 +136,20 @@ case "$MODE" in
       ./bench/loadgen --servers=200 --ticks=6 --base=100 --jobs=4)
     echo "=== [serving] OK ==="
     ;;
+  serving-soak)
+    TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp ${TSAN_OPTIONS:-}"
+    export TSAN_OPTIONS
+    cmake -B "$ROOT/build-sanitize" -S "$ROOT" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
+    cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target loadgen
+    echo "=== [serving-soak] ~60s tsan chaos soak (spike, 10% refit faults) ==="
+    (cd "$ROOT/build-sanitize" &&
+      ./bench/loadgen --servers=400 --ticks=24 --base=200 --jobs=4 \
+        --profile=spike --fault-rate=0.1)
+    echo "=== [serving-soak] OK ==="
+    ;;
 esac
 
 case "$MODE" in
@@ -137,10 +162,10 @@ case "$MODE" in
 esac
 
 case "$MODE" in
-  release|sanitize|chaos|obs|perf|serving|all) ;;
+  release|sanitize|chaos|obs|perf|serving|serving-soak|all) ;;
   *)
     echo "usage: tools/check.sh" \
-         "[release|sanitize|chaos|obs|perf|serving|all]" >&2
+         "[release|sanitize|chaos|obs|perf|serving|serving-soak|all]" >&2
     exit 2
     ;;
 esac

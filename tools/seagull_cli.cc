@@ -32,13 +32,16 @@
 ///   seagull loadtest  (same bootstrap flags as serve)
 ///                     [--profile ramp|spike|soak] [--mode open|closed]
 ///                     [--ticks N] [--base N] [--clients N] [--jobs N]
-///                     [--out FILE]
+///                     [--batch-frac F] [--batch-size N]
+///                     [--subscribe-frac F] [--out FILE]
 ///
 /// `serve` boots the streaming `ServingEngine` (src/serving) over the
 /// region's telemetry tails and active model, then answers JSON-line
-/// requests from stdin (predict / ll_window / ingest); the extra
-/// `{"verb":"tick"}` line advances the simulated 5-minute epoch the way
-/// a production timer would. `loadtest` drives the same engine with the
+/// requests from stdin (predict — single or batched via a `servers`
+/// array — / ll_window / subscribe_ll / unsubscribe / ingest); the
+/// extra `{"verb":"tick"}` line advances the simulated 5-minute epoch
+/// the way a production timer would, printing any subscription
+/// notifications the swap fired. `loadtest` drives the same engine with the
 /// deterministic open/closed-loop generators from bench/loadgen.
 /// `--synthetic` serves a generated fleet with the persistent-prev-day
 /// champion instead of lake + docs state — no prior pipeline run needed.
@@ -744,6 +747,9 @@ int CmdLoadtest(const Args& args) {
   options.closed_loop_clients = static_cast<int>(
       args.GetInt("clients", options.closed_loop_clients));
   options.jobs = static_cast<int>(args.GetInt("jobs", 1));
+  options.batch_fraction = args.GetDouble("batch-frac", 0.0);
+  options.batch_size = args.GetInt("batch-size", options.batch_size);
+  options.subscribe_fraction = args.GetDouble("subscribe-frac", 0.0);
   options.epoch_start = TailsEnd(setup->tails);
 
   std::unique_ptr<ThreadPool> pool;
@@ -770,6 +776,7 @@ int CmdLoadtest(const Args& args) {
       "%s/%s: %lld requests, %lld ok, %lld errors, %.0f rps\n"
       "  predict p50/p95/p99 %.0f/%.0f/%.0f us\n"
       "  ticks %lld, refits %lld (%.3f per query), max in-flight %lld\n"
+      "  notifications %lld (mean lag %.2f ticks)\n"
       "  response digest %016llx\n",
       LoadProfileName(*profile), DriverModeName(*mode),
       static_cast<long long>(report.requests),
@@ -779,6 +786,8 @@ int CmdLoadtest(const Args& args) {
       static_cast<long long>(report.ticks),
       static_cast<long long>(report.refits), report.refit_per_query,
       static_cast<long long>(report.max_in_flight),
+      static_cast<long long>(report.notifications),
+      report.notify_lag_ticks,
       static_cast<unsigned long long>(report.response_digest));
 
   const std::string out = args.Get("out");
@@ -813,7 +822,8 @@ void Usage() {
       "[--threads N]\n"
       "  loadtest  (same bootstrap flags as serve) "
       "[--profile ramp|spike|soak] [--mode open|closed] [--ticks N] "
-      "[--base N] [--clients N] [--jobs N] [--out FILE]\n");
+      "[--base N] [--clients N] [--jobs N] [--batch-frac F] "
+      "[--batch-size N] [--subscribe-frac F] [--out FILE]\n");
 }
 
 }  // namespace
