@@ -6,12 +6,32 @@
 /// Paper shapes: parallel loses slightly at the smallest input and wins
 /// consistently at large inputs; in the all-days mode the speedup is
 /// 3–4.6x across sizes.
+///
+/// With `--servers=N` the binary instead runs the fleet-scale memory
+/// plane deliverable: N servers staged as per-region SeriesBlock blobs,
+/// the full pipeline executed in bounded-RSS shards at jobs=1 and
+/// jobs=`--jobs`, per-region digests compared for byte-determinism, and
+/// (with `--budgets=<path>`) peak RSS + per-server resident cost gated
+/// against the `fleet_scale` section of tests/budgets.json. Writes
+/// BENCH_scale.json. `--shard=K` overrides the resident-region cap
+/// (default 8); `--shard=0` disables retire-as-you-go entirely — the
+/// pre-memory-plane O(fleet) retention, kept as the honest "before"
+/// row for the RSS table.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -163,9 +183,13 @@ void RunFleetComparison() {
   DocStore seq_docs, par_docs;
   FleetRunResult seq, par;
   Json phases = Json::MakeObject();
+  ResetPeakRss();
   phases["sequential"] = MetricsForPhase([&] { seq = run(1, &seq_docs); });
+  const int64_t seq_peak = ReadPeakRssBytes();
+  ResetPeakRss();
   phases["parallel"] =
       MetricsForPhase([&] { par = run(par_jobs, &par_docs); });
+  const int64_t par_peak = ReadPeakRssBytes();
 
   // Determinism gate: the parallel run must reproduce the sequential
   // run's data outputs exactly (tests/fleet_determinism_test.cc covers
@@ -198,6 +222,9 @@ void RunFleetComparison() {
   std::printf("%-28s %10.2fx\n", "speedup", speedup);
   std::printf("%-28s %10s\n", "outputs identical",
               deterministic ? "yes" : "NO (BUG)");
+  std::printf("%-28s %10.1f MB (seq) / %.1f MB (par)\n", "phase peak RSS",
+              static_cast<double>(seq_peak) / 1e6,
+              static_cast<double>(par_peak) / 1e6);
 
   Json out = Json::MakeObject();
   out["benchmark"] = "fleet_parallel";
@@ -209,6 +236,8 @@ void RunFleetComparison() {
   out["parallel_ms"] = par.wall_millis;
   out["speedup"] = speedup;
   out["deterministic"] = deterministic;
+  out["sequential_peak_rss_bytes"] = seq_peak;
+  out["parallel_peak_rss_bytes"] = par_peak;
   if (cores < 4) {
     // On a starved host the "parallel" run only measures dispatch
     // overhead; a sub-1.0x ratio here reads as a perf regression when it
@@ -238,9 +267,261 @@ void RunFleetComparison() {
   }
 }
 
+/// FNV-1a over a string — the scale run's determinism digest primitive.
+uint64_t FoldFnv(uint64_t h, const std::string& text) {
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Digest of one region's gated containers (predictions, accuracy,
+/// model registry) — the same containers the in-bench determinism spot
+/// check dumps, hashed instead of retained so a 100k-server fleet can
+/// be compared across job counts without holding O(fleet) documents.
+/// Incidents and run records are excluded: run records carry wall
+/// clock, and the first-ever run of a region writes a one-time
+/// "deduced schema" incident later runs do not repeat.
+uint64_t DigestRegion(DocStore* docs, const std::string& region) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char* container :
+       {kPredictionsContainer, kAccuracyContainer, kModelRegistryContainer}) {
+    h = FoldFnv(h, container);
+    for (const auto& doc :
+         docs->GetContainer(container)->ReadPartition(region)) {
+      h = FoldFnv(h, doc.id);
+      h = FoldFnv(h, doc.body.Dump());
+    }
+  }
+  return h;
+}
+
+/// One bounded-RSS pass over the scale fleet at a given job count:
+/// regions run in shards of `max_resident`, each region is digested and
+/// dropped at its shard boundary, so peak RSS tracks one shard's
+/// working set. Returns per-region digests in job order.
+struct ScaleRun {
+  std::vector<uint64_t> digests;
+  double wall_millis = 0.0;
+  int64_t peak_rss_bytes = 0;
+  int64_t ingest_resident_bytes = 0;
+  int64_t failures = 0;
+};
+
+ScaleRun RunScalePass(const LakeStore& lake, const std::vector<FleetJob>& jobs,
+                      int n_jobs, int64_t max_resident) {
+  ScaleRun out;
+  DocStore docs;
+  FleetOptions options;
+  options.jobs = n_jobs;
+  options.max_resident_regions = max_resident;
+  out.digests.reserve(jobs.size());
+  options.retire = [&](const FleetJob& job,
+                       const PipelineScheduler::ScheduledRun& run) {
+    (void)run;
+    out.digests.push_back(DigestRegion(&docs, job.region));
+    docs.DropPartition(job.region);
+  };
+  MetricsRegistry::Global().Reset();
+#if defined(__GLIBC__)
+  // Without the trim the second pass starts on the first pass's retained
+  // arena pages: its HWM reset lands on that inflated floor and the
+  // reported peak measures leftover allocator state, not this pass's
+  // working set.
+  malloc_trim(0);
+#endif
+  ResetPeakRss();
+  FleetRunner runner(&lake, &docs, options);
+  PipelineContext config;
+  config.model_name = "persistent_prev_day";
+  FleetRunResult result = runner.Run(jobs, config);
+  out.wall_millis = result.wall_millis;
+  out.failures = result.FailureCount();
+  out.peak_rss_bytes = ReadPeakRssBytes();
+  auto& reg = MetricsRegistry::Global();
+  out.ingest_resident_bytes =
+      reg.GetCounter("seagull.pipeline.ingest_resident_bytes",
+                     {{"format", "binary"}})
+          ->Value();
+  return out;
+}
+
+/// The bounded-RSS fleet-scale run (the tentpole deliverable): stages a
+/// `--servers` fleet as per-region SeriesBlock blobs (regions generated
+/// one at a time so staging itself is memory-bounded), then runs the
+/// full pipeline over every region at jobs=1 and jobs=N in retire-as-
+/// you-go shards, comparing per-region digests for byte-determinism and
+/// gating peak RSS against the budgets file's `fleet_scale` section.
+/// `shard` is the max resident regions per pass; 0 disables sharding
+/// (every region's working set is retained until the end — the
+/// pre-memory-plane behavior, kept as the honest "before" row).
+int RunScaleFleet(int64_t servers, int par_jobs, int64_t shard,
+                  const std::string& budgets_path) {
+  constexpr int64_t kWeek = 3;
+  constexpr int64_t kRegionServers = 1000;
+  const int64_t regions =
+      (servers + kRegionServers - 1) / kRegionServers;
+  PrintHeader("Fleet scale",
+              "bounded-RSS pipeline run, jobs=1 vs jobs=N, digest compare");
+  if (shard > 0) {
+    std::printf("%-28s %10lld servers in %lld regions (shard %lld)\n",
+                "fleet", static_cast<long long>(servers),
+                static_cast<long long>(regions),
+                static_cast<long long>(shard));
+  } else {
+    std::printf("%-28s %10lld servers in %lld regions (unsharded)\n",
+                "fleet", static_cast<long long>(servers),
+                static_cast<long long>(regions));
+  }
+
+  auto lake = LakeStore::OpenTemporary("fig12b_scale");
+  lake.status().Abort();
+  std::vector<FleetJob> jobs;
+  jobs.reserve(static_cast<size_t>(regions));
+  int64_t staged_bytes = 0;
+  int64_t remaining = servers;
+  for (int64_t r = 0; r < regions; ++r) {
+    std::string region = "scale-" + std::to_string(r);
+    const int64_t n = std::min<int64_t>(kRegionServers, remaining);
+    remaining -= n;
+    // Generate -> encode -> free, one region at a time: staging a
+    // 100k-server fleet must not itself hold O(fleet) load series.
+    Fleet fleet = ProductionFleet(region, static_cast<int>(n),
+                                  3000 + static_cast<uint64_t>(r), 4);
+    std::string block = ExtractWeekBlock(fleet, kWeek);
+    staged_bytes += static_cast<int64_t>(block.size());
+    lake->Put(LakeStore::TelemetryKey(region, kWeek), std::move(block))
+        .Abort();
+    jobs.push_back({region, kWeek});
+  }
+  std::printf("%-28s %10.1f MB staged (%lld blobs)\n", "lake",
+              static_cast<double>(staged_bytes) / 1e6,
+              static_cast<long long>(regions));
+
+  ScaleRun seq = RunScalePass(*lake, jobs, 1, shard);
+  ScaleRun par = RunScalePass(*lake, jobs, par_jobs, shard);
+
+  const bool deterministic =
+      seq.failures == 0 && par.failures == 0 && seq.digests == par.digests;
+  const double per_server_bytes =
+      static_cast<double>(seq.ingest_resident_bytes) /
+      static_cast<double>(servers);
+  auto row = [](const char* name, const ScaleRun& r, int jobs_used) {
+    std::printf("%-28s %10.1f s   peak RSS %8.1f MB  (jobs=%d)\n", name,
+                r.wall_millis / 1e3,
+                static_cast<double>(r.peak_rss_bytes) / 1e6, jobs_used);
+  };
+  row("sequential", seq, 1);
+  row("parallel", par, par_jobs);
+  std::printf("%-28s %10.0f bytes/server (amortized ingest)\n",
+              "resident cost", per_server_bytes);
+  std::printf("%-28s %10s\n", "digests identical",
+              deterministic ? "yes" : "NO (BUG)");
+
+  Json out = Json::MakeObject();
+  out["benchmark"] = "fleet_scale";
+  out["servers"] = servers;
+  out["regions"] = regions;
+  out["region_servers"] = kRegionServers;
+  out["max_resident_regions"] = shard;
+  out["staged_bytes"] = staged_bytes;
+  out["jobs_parallel"] = par_jobs;
+  out["sequential_s"] = seq.wall_millis / 1e3;
+  out["parallel_s"] = par.wall_millis / 1e3;
+  out["sequential_peak_rss_bytes"] = seq.peak_rss_bytes;
+  out["parallel_peak_rss_bytes"] = par.peak_rss_bytes;
+  out["ingest_resident_bytes"] = seq.ingest_resident_bytes;
+  out["per_server_resident_bytes"] = per_server_bytes;
+  out["deterministic"] = deterministic;
+  std::FILE* f = std::fopen("BENCH_scale.json", "w");
+  if (f != nullptr) {
+    std::string text = out.DumpPretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_scale.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_scale.json\n");
+  }
+
+  int violations = 0;
+  if (!deterministic) {
+    std::fprintf(stderr, "scale run diverged across job counts\n");
+    ++violations;
+  }
+  if (!budgets_path.empty()) {
+    std::ifstream in(budgets_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = Json::Parse(buffer.str());
+    if (!in.good() && buffer.str().empty()) {
+      std::fprintf(stderr, "cannot open budgets file: %s\n",
+                   budgets_path.c_str());
+      return 1;
+    }
+    if (!parsed.ok() || !parsed->Contains("fleet_scale")) {
+      std::fprintf(stderr, "budgets file has no fleet_scale section\n");
+      return 1;
+    }
+    const Json& scale = (*parsed)["fleet_scale"];
+    const double rss_ceiling = scale["max_peak_rss_bytes"].AsDouble();
+    const int64_t peak = std::max(seq.peak_rss_bytes, par.peak_rss_bytes);
+    // The ceiling is calibrated at the full 100k-server fleet; smaller
+    // smokes must fit under it a fortiori.
+    if (static_cast<double>(peak) > rss_ceiling) {
+      std::fprintf(stderr,
+                   "fleet_scale budget exceeded: peak RSS %lld > ceiling "
+                   "%.0f bytes (if intentional, re-baseline "
+                   "tests/budgets.json)\n",
+                   static_cast<long long>(peak), rss_ceiling);
+      ++violations;
+    }
+    const double per_server_ceiling =
+        scale["max_per_server_resident_bytes"].AsDouble();
+    if (per_server_bytes > per_server_ceiling) {
+      std::fprintf(stderr,
+                   "fleet_scale budget exceeded: %.0f resident "
+                   "bytes/server > ceiling %.0f (if intentional, "
+                   "re-baseline tests/budgets.json)\n",
+                   per_server_bytes, per_server_ceiling);
+      ++violations;
+    }
+    if (violations == 0) {
+      std::printf("fleet_scale budgets OK (%s)\n", budgets_path.c_str());
+    }
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  int64_t scale_servers = 0;
+  int scale_jobs = 8;
+  int64_t scale_shard = 8;
+  std::string budgets_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--servers=", 10) == 0) {
+      scale_servers = std::atoll(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      scale_jobs = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--shard=", 8) == 0) {
+      scale_shard = std::atoll(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--budgets=", 10) == 0) {
+      budgets_path = argv[i] + 10;
+    } else {
+      argv[out_argc++] = argv[i];  // leave the rest for the benchmark lib
+    }
+  }
+  argc = out_argc;
+
+  if (scale_servers > 0) {
+    return RunScaleFleet(scale_servers, scale_jobs < 1 ? 1 : scale_jobs,
+                         scale_shard, budgets_path);
+  }
+
   unsigned cores = std::thread::hardware_concurrency();
   std::printf(
       "Figure 12(b): accuracy evaluation, sequential vs partitioned per "

@@ -8,14 +8,27 @@
 /// Not a paper figure — a regression guard for the paths every
 /// experiment runs through thousands of times. Also emits
 /// BENCH_ingest.json: the data-plane trajectory (rows/sec and bytes/sec
-/// per format at the 1200-server region, plus the lake-cache hit rate
-/// of a repeated fleet run) for future PRs to regress against.
+/// per format at the 1200-server region — materializing and streaming
+/// SeriesBlock decode both — plus the decode peak-RSS footprint of each
+/// path and the lake-cache hit rate of a repeated fleet run) for future
+/// PRs to regress against. With `--budgets=<path>` the streaming
+/// decode's footprint reduction is gated against the `ingest_memory`
+/// section of tests/budgets.json.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/random.h"
@@ -111,6 +124,31 @@ void BM_IngestBinary(benchmark::State& state) {
                           static_cast<int64_t>(block.size()));
 }
 
+/// Streaming binary ingestion: the `SeriesBlockCursor` path the
+/// pipeline runs — per-server column views into the blob, one grouped
+/// server materialized at a time, no whole-block column scratch.
+void BM_IngestStreaming(benchmark::State& state) {
+  RegionConfig config;
+  config.name = "micro";
+  config.num_servers = static_cast<int>(state.range(0));
+  config.weeks = 4;
+  Fleet fleet = Fleet::Generate(config);
+  std::string block = ExtractWeekBlock(fleet, 3);
+  for (auto _ : state) {
+    auto cursor = SeriesBlockCursor::Open(std::string_view(block));
+    cursor.status().Abort();
+    std::vector<ServerTelemetry> servers;
+    servers.reserve(static_cast<size_t>(cursor->size()));
+    StreamSeriesBlockServers(*cursor, [&](ServerTelemetry&& st) {
+      servers.push_back(std::move(st));
+      return Status::OK();
+    }).Abort();
+    benchmark::DoNotOptimize(servers.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+}
+
 /// The lake-cache hit path: stat + shard lookup + shared_ptr copy.
 void BM_LakeCacheHit(benchmark::State& state) {
   static auto* lake = [] {
@@ -157,7 +195,7 @@ void BM_GenerateLoadWeek(benchmark::State& state) {
 /// the paper-scale 1200-server region (min-of-3 wall times), plus the
 /// cache-hit rate of a second identical fleet run over a cache-enabled
 /// lake with a per-phase metrics snapshot embedded.
-void RunIngestTrajectory() {
+int RunIngestTrajectory(const std::string& budgets_path) {
   using Clock = std::chrono::steady_clock;
   seagull::bench::PrintHeader("Data plane",
                               "CSV vs SeriesBlock ingestion, lake cache");
@@ -195,6 +233,18 @@ void RunIngestTrajectory() {
     auto servers = DecodeSeriesBlockToServers(block);
     benchmark::DoNotOptimize(servers->size());
   });
+  auto stream_decode = [&] {
+    auto cursor = SeriesBlockCursor::Open(std::string_view(block));
+    cursor.status().Abort();
+    std::vector<ServerTelemetry> servers;
+    servers.reserve(static_cast<size_t>(cursor->size()));
+    StreamSeriesBlockServers(*cursor, [&](ServerTelemetry&& st) {
+      servers.push_back(std::move(st));
+      return Status::OK();
+    }).Abort();
+    benchmark::DoNotOptimize(servers.size());
+  };
+  const double stream_ms = min_millis_of_3(stream_decode);
   const double speedup = bin_ms > 0.0 ? csv_ms / bin_ms : 0.0;
 
   auto per_sec = [](double count, double ms) {
@@ -207,7 +257,60 @@ void RunIngestTrajectory() {
               "ingest (binary)", bin_ms,
               per_sec(static_cast<double>(rows), bin_ms),
               per_sec(static_cast<double>(block.size()), bin_ms) / 1e6);
+  std::printf("%-28s %10.1f ms  %12.0f rows/s  %8.1f MB/s\n",
+              "ingest (streaming)", stream_ms,
+              per_sec(static_cast<double>(rows), stream_ms),
+              per_sec(static_cast<double>(block.size()), stream_ms) / 1e6);
   std::printf("%-28s %10.2fx   (target >= 4x)\n", "binary speedup", speedup);
+
+  // Decode memory footprint, measured as the kernel's RSS high-water
+  // delta around each decode (VmHWM reset via /proc/self/clear_refs).
+  // Streaming runs first, on a cold allocator, so its measured peak is
+  // an upper bound while the materializing pass benefits from warmed
+  // pages — the ratio below is conservative. Both paths retain the
+  // grouped output (what the ingest module does); the difference is
+  // the materializing path's whole-block column scratch.
+  const bool rss_supported = ResetPeakRss() && ReadPeakRssBytes() >= 0;
+  int64_t stream_peak = -1, mat_peak = -1;
+  double footprint_ratio = 0.0;
+  if (rss_supported) {
+    auto peak_delta = [](auto&& body) {
+#if defined(__GLIBC__)
+      // The timing reps above warmed the allocator: glibc's dynamic
+      // mmap threshold ramped past the column-scratch size, so freed
+      // pages stay resident in the arena and a decode that reuses them
+      // never raises RSS. Hand free chunks back to the kernel first so
+      // the body faults its working set in again.
+      malloc_trim(0);
+#endif
+      ResetPeakRss();
+      const int64_t before = ReadPeakRssBytes();
+      body();
+      return ReadPeakRssBytes() - before;
+    };
+    stream_peak = peak_delta(stream_decode);
+    mat_peak = peak_delta([&] {
+      auto servers = DecodeSeriesBlockToServers(block);
+      benchmark::DoNotOptimize(servers->size());
+    });
+    footprint_ratio = stream_peak > 0
+                          ? static_cast<double>(mat_peak) /
+                                static_cast<double>(stream_peak)
+                          : 0.0;
+    std::printf("%-28s %10.1f MB peak (%6.0f bytes/server)\n",
+                "decode footprint (stream)",
+                static_cast<double>(stream_peak) / 1e6,
+                static_cast<double>(stream_peak) / 1200.0);
+    std::printf("%-28s %10.1f MB peak (%6.0f bytes/server)\n",
+                "decode footprint (mater.)",
+                static_cast<double>(mat_peak) / 1e6,
+                static_cast<double>(mat_peak) / 1200.0);
+    std::printf("%-28s %10.2fx   (target >= 2x)\n", "footprint reduction",
+                footprint_ratio);
+  } else {
+    std::printf("%-28s %10s\n", "decode footprint",
+                "n/a (no VmHWM reset on this kernel)");
+  }
 
   // Cache trajectory: two identical fleet runs against one cache-enabled
   // lake; run two's telemetry reads should all hit.
@@ -262,6 +365,21 @@ void RunIngestTrajectory() {
   bin_j["rows_per_sec"] = per_sec(static_cast<double>(rows), bin_ms);
   bin_j["bytes_per_sec"] = per_sec(static_cast<double>(block.size()), bin_ms);
   out["binary"] = std::move(bin_j);
+  Json stream_j = Json::MakeObject();
+  stream_j["bytes"] = static_cast<int64_t>(block.size());
+  stream_j["millis"] = stream_ms;
+  stream_j["rows_per_sec"] = per_sec(static_cast<double>(rows), stream_ms);
+  stream_j["bytes_per_sec"] =
+      per_sec(static_cast<double>(block.size()), stream_ms);
+  out["streaming"] = std::move(stream_j);
+  Json foot_j = Json::MakeObject();
+  foot_j["supported"] = rss_supported;
+  foot_j["streaming_peak_bytes"] = stream_peak;
+  foot_j["materializing_peak_bytes"] = mat_peak;
+  foot_j["reduction_ratio"] = footprint_ratio;
+  foot_j["streaming_bytes_per_server"] =
+      static_cast<double>(stream_peak) / 1200.0;
+  out["decode_footprint"] = std::move(foot_j);
   out["speedup"] = speedup;
   Json cache_j = Json::MakeObject();
   cache_j["warm_hits"] = hits;
@@ -279,6 +397,36 @@ void RunIngestTrajectory() {
   } else {
     std::fprintf(stderr, "could not write BENCH_ingest.json\n");
   }
+
+  // `--budgets`: gate the streaming decode's memory win against the
+  // `ingest_memory` section (tools/check.sh perf/scale wire this up).
+  int violations = 0;
+  if (!budgets_path.empty()) {
+    std::ifstream in(budgets_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = Json::Parse(buffer.str());
+    if (!parsed.ok() || !parsed->Contains("ingest_memory")) {
+      std::fprintf(stderr, "budgets file has no ingest_memory section\n");
+      return 1;
+    }
+    const double min_ratio =
+        (*parsed)["ingest_memory"]["min_footprint_ratio"].AsDouble();
+    if (!rss_supported) {
+      std::printf("ingest_memory budget skipped: kernel cannot reset "
+                  "VmHWM\n");
+    } else if (footprint_ratio < min_ratio) {
+      std::fprintf(stderr,
+                   "ingest_memory budget missed: footprint reduction "
+                   "%.2fx < %.2fx floor (if intentional, re-baseline "
+                   "tests/budgets.json)\n",
+                   footprint_ratio, min_ratio);
+      ++violations;
+    } else {
+      std::printf("ingest_memory budgets OK (%s)\n", budgets_path.c_str());
+    }
+  }
+  return violations;
 }
 
 }  // namespace
@@ -289,14 +437,26 @@ BENCHMARK(BM_TelemetryCsvParse)->Arg(10)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IngestCsv)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IngestBinary)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestStreaming)->Arg(10)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LakeCacheHit);
 BENCHMARK(BM_SsaFit)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenerateLoadWeek)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
-  RunIngestTrajectory();
+  std::string budgets_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--budgets=", 10) == 0) {
+      budgets_path = argv[i] + 10;
+    } else {
+      argv[out_argc++] = argv[i];  // leave the rest for the benchmark lib
+    }
+  }
+  argc = out_argc;
+  const int violations = RunIngestTrajectory(budgets_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return violations == 0 ? 0 : 1;
 }

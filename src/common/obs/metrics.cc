@@ -1,6 +1,9 @@
 #include "common/obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 
 #include "common/strings.h"
@@ -355,6 +358,64 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
               return a.labels < b.labels;
             });
   return snapshot;
+}
+
+namespace {
+
+/// Reads one "<field>: <n> kB" line of /proc/self/status; -1 if absent.
+int64_t ReadProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 ||
+        line[field_len] != ':') {
+      continue;
+    }
+    kb = std::strtoll(line + field_len + 1, nullptr, 10);
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+int64_t ReadPeakRssBytes() {
+  const int64_t kb = ReadProcStatusKb("VmHWM");
+  return kb < 0 ? -1 : kb * 1024;
+}
+
+int64_t ReadCurrentRssBytes() {
+  const int64_t kb = ReadProcStatusKb("VmRSS");
+  return kb < 0 ? -1 : kb * 1024;
+}
+
+bool ResetPeakRss() {
+  // Writing "5" asks Linux to reset VmHWM (and peak VM size) to the
+  // current values; see proc(5). After this, ReadPeakRssBytes() reports
+  // the high-water mark since the reset.
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+int64_t SampleProcessRss() {
+  const int64_t peak = ReadPeakRssBytes();
+  const int64_t current = ReadCurrentRssBytes();
+  auto& registry = MetricsRegistry::Global();
+  if (peak >= 0) {
+    registry.GetGauge("seagull.process.peak_rss_bytes")
+        ->Max(static_cast<double>(peak));
+  }
+  if (current >= 0) {
+    registry.GetGauge("seagull.process.rss_bytes")
+        ->Set(static_cast<double>(current));
+  }
+  return peak;
 }
 
 }  // namespace seagull

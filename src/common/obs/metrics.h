@@ -215,4 +215,36 @@ class MetricsRegistry {
   std::atomic<int64_t> overflow_{0};
 };
 
+/// \name Process memory plane.
+///
+/// The fleet-scale memory contract ("a 100k-server run completes with
+/// bounded peak RSS") is gated on the kernel's own accounting, not on
+/// allocator introspection: `VmHWM`/`VmRSS` from /proc/self/status.
+/// Values are bytes; -1 means the platform does not expose them (the
+/// gauges are then simply not written, never written as garbage).
+/// @{
+
+/// Peak resident set size of this process (`VmHWM`), in bytes.
+int64_t ReadPeakRssBytes();
+
+/// Current resident set size of this process (`VmRSS`), in bytes.
+int64_t ReadCurrentRssBytes();
+
+/// Resets the kernel's peak-RSS watermark (`/proc/self/clear_refs`),
+/// so a bench phase can measure its own high-water mark instead of
+/// inheriting setup allocations. Returns false where unsupported; the
+/// watermark then stays cumulative, which only ever over-reports.
+bool ResetPeakRss();
+
+/// Samples both values into the global registry:
+/// `seagull.process.peak_rss_bytes` (high-water: `Gauge::Max`) and
+/// `seagull.process.rss_bytes` (last sample). Call at phase boundaries
+/// — shard retirement in the fleet runner, module completion in
+/// ingestion, bench phase edges — so snapshots carry the memory
+/// trajectory without a sampler thread (which would break the
+/// determinism contract). Returns the sampled peak, -1 if unavailable.
+int64_t SampleProcessRss();
+
+/// @}
+
 }  // namespace seagull

@@ -17,6 +17,13 @@
 /// reductions happen sequentially after each loop, and (c) model fitting
 /// seeds its RNGs from configuration, never from global state. The
 /// contract is enforced by tests/fleet_determinism_test.cc.
+///
+/// Memory plane: `FleetOptions::max_resident_regions` executes the job
+/// list in fixed shards (same boundaries at every job count) with a
+/// barrier between shards, and `FleetOptions::retire` runs sequentially
+/// in job order at each shard edge so a driver can digest + drop a
+/// region's partitions before the next shard materializes — peak RSS is
+/// then bounded by one shard's working set instead of the whole fleet's.
 
 #pragma once
 
@@ -45,6 +52,21 @@ struct FleetOptions {
   /// Transient-failure policy for every region's modules and
   /// record-keeping (see `PipelineScheduler`).
   RetryPolicy retry;
+  /// Memory-plane shard width: with a value > 0 the job list is
+  /// executed in consecutive shards of at most this many regions, with
+  /// a barrier between shards, so at most one shard's working set is
+  /// ever resident. <= 0 (the default) runs the whole fleet as one
+  /// shard. Shard boundaries fall at the same job indices regardless
+  /// of `jobs`, so sharding never perturbs the determinism contract.
+  int64_t max_resident_regions = 0;
+  /// Retire hook, called once per completed region run — sequentially,
+  /// in job order, at that region's shard boundary (after the shard's
+  /// barrier). This is where a bounded-RSS driver digests a region's
+  /// results and calls `DocStore::DropPartition` to release them
+  /// before the next shard materializes. Runs on the calling thread;
+  /// sequential job order makes anything it folds deterministic.
+  std::function<void(const FleetJob&, const PipelineScheduler::ScheduledRun&)>
+      retire;
 };
 
 /// \brief One region removed from the healthy fleet this run: its

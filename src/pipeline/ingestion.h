@@ -9,7 +9,17 @@
 
 namespace seagull {
 
-/// \brief Reads `telemetry/<region>/week-XXXX.csv` and parses it.
+/// \brief Reads the region-week extraction and parses it.
+///
+/// Two wire formats share the module. CSV is parsed to flat records
+/// (validation groups them). A binary `SeriesBlock` goes through the
+/// streaming `SeriesBlockCursor`: the envelope is validated once, then
+/// servers are decoded one at a time from column views aliasing the
+/// cached blob — peak transient memory is O(largest single server)
+/// on top of the blob and the grouped output, instead of the old
+/// O(total_samples) column scratch. The module samples the process-RSS
+/// gauges at its phase boundary and reports per-server amortized cost
+/// (`ingestion.resident_bytes` / `ingestion.servers`).
 class DataIngestionModule final : public PipelineModule {
  public:
   std::string name() const override { return "ingestion"; }

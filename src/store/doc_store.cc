@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/fault.h"
@@ -77,6 +78,18 @@ std::vector<Document> Container::ReadPartition(
   return out;
 }
 
+int64_t Container::DropPartition(const std::string& partition_key) {
+  ObsOp op("seagull.doc", "drop_partition");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto begin = docs_.lower_bound({partition_key, ""});
+  auto end = begin;
+  while (end != docs_.end() && end->first.first == partition_key) ++end;
+  int64_t dropped = static_cast<int64_t>(std::distance(begin, end));
+  docs_.erase(begin, end);
+  op.Done(Status::OK());
+  return dropped;
+}
+
 std::vector<Document> Container::Query(
     const std::function<bool(const Document&)>& pred) const {
   ObsOp op("seagull.doc", "query");
@@ -107,6 +120,18 @@ Container* DocStore::GetContainer(const std::string& name) {
     it = containers_.emplace(name, std::make_unique<Container>(name)).first;
   }
   return it->second.get();
+}
+
+int64_t DocStore::DropPartition(const std::string& partition_key) {
+  std::vector<Container*> containers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    containers.reserve(containers_.size());
+    for (const auto& [name, c] : containers_) containers.push_back(c.get());
+  }
+  int64_t dropped = 0;
+  for (Container* c : containers) dropped += c->DropPartition(partition_key);
+  return dropped;
 }
 
 std::vector<std::string> DocStore::ContainerNames() const {

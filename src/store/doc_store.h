@@ -57,6 +57,13 @@ class Container {
   /// All documents of one partition, ordered by id.
   std::vector<Document> ReadPartition(const std::string& partition_key) const;
 
+  /// Erases every document of one partition, returning how many were
+  /// dropped. This is the memory-plane release primitive: retiring a
+  /// region after its shard completes frees its documents before the
+  /// next shard materializes (std::map nodes are freed per-erase, so
+  /// the working set shrinks immediately, not at container teardown).
+  int64_t DropPartition(const std::string& partition_key);
+
   /// Full scan with a predicate over the JSON body.
   std::vector<Document> Query(
       const std::function<bool(const Document&)>& pred) const;
@@ -88,6 +95,10 @@ class DocStore {
 
   /// Names of existing containers, sorted.
   std::vector<std::string> ContainerNames() const;
+
+  /// Drops the partition from every container (see
+  /// `Container::DropPartition`), returning the total count erased.
+  int64_t DropPartition(const std::string& partition_key);
 
   /// Serializes every container to one JSON document.
   Json Snapshot() const;

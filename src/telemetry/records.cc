@@ -74,15 +74,15 @@ std::string RecordsToCsvText(const std::vector<TelemetryRecord>& records) {
 }
 
 Result<std::vector<TelemetryRecord>> ParseTelemetryCsv(
-    const std::string& text) {
+    std::string_view text) {
   std::vector<TelemetryRecord> out;
   size_t pos = 0;
   const size_t size = text.size();
   auto next_line = [&](std::string_view* line) {
     if (pos >= size) return false;
     size_t end = text.find('\n', pos);
-    if (end == std::string::npos) end = size;
-    *line = std::string_view(text).substr(pos, end - pos);
+    if (end == std::string_view::npos) end = size;
+    *line = text.substr(pos, end - pos);
     pos = end + 1;
     if (!line->empty() && line->back() == '\r') {
       line->remove_suffix(1);
@@ -135,6 +135,12 @@ Result<std::vector<TelemetryRecord>> ParseTelemetryCsv(
     out.push_back(std::move(r));
   }
   return out;
+}
+
+int64_t ApproxTelemetryBytes(const ServerTelemetry& server) {
+  return static_cast<int64_t>(sizeof(ServerTelemetry)) +
+         static_cast<int64_t>(server.server_id.size()) +
+         server.load.size() * static_cast<int64_t>(sizeof(double));
 }
 
 Result<std::vector<ServerTelemetry>> GroupByServer(

@@ -53,9 +53,14 @@ Result<std::vector<TelemetryRecord>> CsvToRecords(const CsvTable& table);
 std::string RecordsToCsvText(const std::vector<TelemetryRecord>& records);
 
 /// Streaming parser: the inverse of `RecordsToCsvText`. Validates the
-/// header and field count per line.
+/// header and field count per line. Takes a view so blob-cache readers
+/// parse in place instead of copying the extraction first.
 Result<std::vector<TelemetryRecord>> ParseTelemetryCsv(
-    const std::string& text);
+    std::string_view text);
+
+/// Resident footprint of one grouped server (id + samples), the unit
+/// the fleet memory plane budgets ingest by.
+int64_t ApproxTelemetryBytes(const ServerTelemetry& server);
 
 /// Groups rows by server into aligned load series. Rows may arrive in any
 /// order; duplicate (server, timestamp) rows keep the last value.

@@ -384,9 +384,157 @@ Result<std::vector<ServerTelemetry>> DecodeSeriesBlockToServers(
   return out;
 }
 
+Result<SeriesBlockCursor> SeriesBlockCursor::OpenImpl(
+    std::string_view blob, std::shared_ptr<const std::string> pin) {
+  BlockReader reader(blob);
+  std::vector<DirectoryEntry> directory;
+  SeriesBlockCursor cursor;
+  SEAGULL_ASSIGN_OR_RETURN(cursor.info_,
+                           ReadEnvelope(blob, &reader, &directory));
+  cursor.entries_.reserve(directory.size());
+  int64_t prefix = 0;
+  for (const auto& entry : directory) {
+    EntryMeta meta;
+    meta.id = entry.id;
+    meta.backup_start = entry.backup_start;
+    meta.backup_end = entry.backup_end;
+    meta.sample_begin = prefix;
+    meta.sample_count = entry.sample_count;
+    prefix += entry.sample_count;
+    cursor.entries_.push_back(meta);
+  }
+  // ReadEnvelope leaves the reader at the first timestamp word and has
+  // verified the column section is exactly 16 * total_samples bytes.
+  cursor.timestamps_base_ = blob.data() + reader.offset();
+  cursor.values_base_ =
+      cursor.timestamps_base_ + cursor.info_.total_samples * 8;
+  cursor.pin_ = std::move(pin);
+  return cursor;
+}
+
+Result<SeriesBlockCursor> SeriesBlockCursor::Open(std::string_view blob) {
+  return OpenImpl(blob, nullptr);
+}
+
+Result<SeriesBlockCursor> SeriesBlockCursor::Open(
+    std::shared_ptr<const std::string> blob) {
+  if (blob == nullptr) {
+    return Status::Invalid("SeriesBlockCursor: null blob");
+  }
+  std::string_view view = *blob;
+  return OpenImpl(view, std::move(blob));
+}
+
+SeriesBlockServerView SeriesBlockCursor::Entry(int64_t i) const {
+  const EntryMeta& meta = entries_[static_cast<size_t>(i)];
+  SeriesBlockServerView view;
+  view.server_id = meta.id;
+  view.default_backup_start = meta.backup_start;
+  view.default_backup_end = meta.backup_end;
+  view.timestamps = SeriesBlockColumn<int64_t>(
+      timestamps_base_ + meta.sample_begin * 8, meta.sample_count);
+  view.values = SeriesBlockColumn<double>(
+      values_base_ + meta.sample_begin * 8, meta.sample_count);
+  return view;
+}
+
+bool SeriesBlockCursor::Next(SeriesBlockServerView* out) {
+  if (next_ >= size()) return false;
+  *out = Entry(next_++);
+  return true;
+}
+
+Status StreamSeriesBlockServers(
+    const SeriesBlockCursor& cursor,
+    const std::function<Status(ServerTelemetry&&)>& fn) {
+  // Pass 1, directory order: grid validation and per-id extent/window
+  // accumulation — the same walk DecodeSeriesBlockToServers does over
+  // its scratch vectors, so malformed blobs fail with the identical
+  // status on the identical entry. Only O(directory) state is kept.
+  struct Acc {
+    std::string_view id;
+    std::vector<int64_t> entries;  ///< directory indices, in order
+    int64_t backup_start = 0;
+    int64_t backup_end = 0;
+    MinuteStamp min_t = 0;
+    MinuteStamp max_t = 0;
+    bool any = false;
+  };
+  const int64_t interval = cursor.info().interval_minutes;
+  std::unordered_map<std::string_view, size_t> index;
+  std::vector<Acc> accs;
+  accs.reserve(static_cast<size_t>(cursor.size()));
+  for (int64_t e = 0; e < cursor.size(); ++e) {
+    const SeriesBlockServerView view = cursor.Entry(e);
+    if (view.sample_count() == 0) continue;  // no rows -> server absent
+    auto [it, inserted] = index.try_emplace(view.server_id, accs.size());
+    if (inserted) accs.emplace_back();
+    Acc& acc = accs[it->second];
+    acc.id = view.server_id;
+    acc.entries.push_back(e);
+    acc.backup_start = view.default_backup_start;
+    acc.backup_end = view.default_backup_end;
+    for (int64_t i = 0; i < view.sample_count(); ++i) {
+      const MinuteStamp t = view.timestamps[i];
+      if (t % interval != 0) {
+        return Status::Invalid(StringPrintf(
+            "timestamp %lld of server %s is off the %lld-minute grid",
+            static_cast<long long>(t),
+            std::string(view.server_id).c_str(),
+            static_cast<long long>(interval)));
+      }
+      if (!acc.any) {
+        acc.min_t = acc.max_t = t;
+        acc.any = true;
+      } else {
+        acc.min_t = std::min(acc.min_t, t);
+        acc.max_t = std::max(acc.max_t, t);
+      }
+    }
+  }
+  std::sort(accs.begin(), accs.end(),
+            [](const Acc& a, const Acc& b) { return a.id < b.id; });
+
+  // Pass 2, sorted order: build one server at a time straight from the
+  // column views and hand it off before touching the next.
+  for (const auto& acc : accs) {
+    const int64_t len = (acc.max_t - acc.min_t) / interval + 1;
+    SEAGULL_ASSIGN_OR_RETURN(
+        LoadSeries series, LoadSeries::MakeEmpty(acc.min_t, interval, len));
+    for (const int64_t e : acc.entries) {
+      const SeriesBlockServerView view = cursor.Entry(e);
+      for (int64_t i = 0; i < view.sample_count(); ++i) {
+        // Duplicate timestamps keep the last value, as in GroupByServer.
+        series.SetValue((view.timestamps[i] - acc.min_t) / interval,
+                        view.values[i]);
+      }
+    }
+    ServerTelemetry st;
+    st.server_id.assign(acc.id);
+    st.load = std::move(series);
+    st.default_backup_start = acc.backup_start;
+    st.default_backup_end = acc.backup_end;
+    SEAGULL_RETURN_NOT_OK(fn(std::move(st)));
+  }
+  return Status::OK();
+}
+
 Result<std::vector<ServerTelemetry>> DecodeTelemetryBlob(
-    const std::string& blob) {
-  if (IsSeriesBlock(blob)) return DecodeSeriesBlockToServers(blob);
+    std::string_view blob) {
+  if (IsSeriesBlock(blob)) {
+    // Borrowing cursor: `blob` outlives this call, and every view is
+    // consumed before returning.
+    SEAGULL_ASSIGN_OR_RETURN(SeriesBlockCursor cursor,
+                             SeriesBlockCursor::Open(blob));
+    std::vector<ServerTelemetry> out;
+    out.reserve(static_cast<size_t>(cursor.size()));
+    SEAGULL_RETURN_NOT_OK(
+        StreamSeriesBlockServers(cursor, [&](ServerTelemetry&& st) {
+          out.push_back(std::move(st));
+          return Status::OK();
+        }));
+    return out;
+  }
   SEAGULL_ASSIGN_OR_RETURN(auto records, ParseTelemetryCsv(blob));
   return GroupByServer(records);
 }

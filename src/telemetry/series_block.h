@@ -38,6 +38,10 @@
 
 #pragma once
 
+#include <bit>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -73,19 +77,154 @@ Result<SeriesBlockInfo> PeekSeriesBlock(std::string_view blob);
 /// Full inverse of `EncodeSeriesBlock`: back to flat rows, server-major.
 Result<std::vector<TelemetryRecord>> DecodeSeriesBlock(std::string_view blob);
 
-/// Fast path for ingestion: decodes straight into grouped per-server
-/// series, skipping the flat-records intermediate. Matches
+/// Reference path: decodes into grouped per-server series by first
+/// materializing both columns into scratch vectors (O(total_samples)
+/// transient memory), skipping the flat-records intermediate. Matches
 /// `GroupByServer(DecodeSeriesBlock(blob))` exactly: same grid
 /// validation, same duplicate-timestamp last-write-wins, same output
-/// order (sorted by server id).
+/// order (sorted by server id). Ingestion uses the streaming cursor
+/// below instead; this stays as the equivalence oracle and the
+/// before/after baseline for the decode-footprint bench rows.
 Result<std::vector<ServerTelemetry>> DecodeSeriesBlockToServers(
     std::string_view blob);
 
+/// \name Streaming, zero-copy decode.
+///
+/// The materializing decoders above copy every column word into scratch
+/// vectors before grouping — at fleet scale that transient is the
+/// dominant ingest allocation (16 bytes x total_samples on top of the
+/// blob and the grouped output). The cursor instead validates the
+/// envelope once and then yields per-server column *views* straight
+/// into the blob bytes; the only per-server allocation left is the
+/// output `LoadSeries` itself.
+///
+/// Lifetime contract: views alias the blob. A cursor opened on a
+/// `shared_ptr` blob (the `LakeStore::GetShared` / blob-cache form)
+/// pins the buffer for the cursor's lifetime, so cache eviction or
+/// writer invalidation after `Open` cannot dangle the views — eviction
+/// drops the cache's reference, not the buffer. A cursor opened on a
+/// raw `string_view` borrows: the caller must keep the bytes alive for
+/// as long as any view is read.
+/// @{
+
+/// Little-endian 64-bit column over unaligned blob bytes. Elements are
+/// loaded with `memcpy` (one mov on x86) because the column section
+/// starts after a variable-length directory and has no alignment
+/// guarantee — `reinterpret_cast` would be UB the sanitizer gate
+/// rightly rejects.
+template <typename T>
+class SeriesBlockColumn {
+  static_assert(sizeof(T) == 8, "columns store 64-bit words");
+
+ public:
+  SeriesBlockColumn() = default;
+  SeriesBlockColumn(const char* bytes, int64_t size)
+      : bytes_(bytes), size_(size) {}
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// The aliased bytes (tests assert views point into the blob).
+  const char* bytes() const { return bytes_; }
+
+  T operator[](int64_t i) const {
+    uint64_t word;
+    std::memcpy(&word, bytes_ + i * 8, 8);
+    if constexpr (std::endian::native != std::endian::little) {
+      word = ((word & 0x00000000000000ffull) << 56) |
+             ((word & 0x000000000000ff00ull) << 40) |
+             ((word & 0x0000000000ff0000ull) << 24) |
+             ((word & 0x00000000ff000000ull) << 8) |
+             ((word & 0x000000ff00000000ull) >> 8) |
+             ((word & 0x0000ff0000000000ull) >> 24) |
+             ((word & 0x00ff000000000000ull) >> 40) |
+             ((word & 0xff00000000000000ull) >> 56);
+    }
+    return std::bit_cast<T>(word);
+  }
+
+ private:
+  const char* bytes_ = nullptr;
+  int64_t size_ = 0;
+};
+
+/// One directory entry's telemetry, viewed in place (directory order;
+/// a malformed-but-checksummed blob may repeat a server id, exactly as
+/// interleaved CSV rows may).
+struct SeriesBlockServerView {
+  std::string_view server_id;
+  int64_t default_backup_start = 0;
+  int64_t default_backup_end = 0;
+  SeriesBlockColumn<int64_t> timestamps;
+  SeriesBlockColumn<double> values;
+
+  int64_t sample_count() const { return timestamps.size(); }
+};
+
+/// \brief Validates the SGB1 envelope (magic, version, checksum,
+/// directory arithmetic, column bounds) once, then serves per-server
+/// column views with no further copying or validation cost.
+class SeriesBlockCursor {
+ public:
+  /// Borrowing open: `blob` must outlive every view read.
+  static Result<SeriesBlockCursor> Open(std::string_view blob);
+
+  /// Pinning open: keeps a reference to the shared buffer (the form
+  /// `LakeStore::GetShared` returns) so views stay valid independent of
+  /// blob-cache eviction.
+  static Result<SeriesBlockCursor> Open(
+      std::shared_ptr<const std::string> blob);
+
+  const SeriesBlockInfo& info() const { return info_; }
+  /// Directory entries (== info().server_count).
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  /// Random access, directory order.
+  SeriesBlockServerView Entry(int64_t i) const;
+
+  /// Iteration, directory order: fills `out` and advances; false at end.
+  bool Next(SeriesBlockServerView* out);
+  void Rewind() { next_ = 0; }
+
+ private:
+  SeriesBlockCursor() = default;
+
+  struct EntryMeta {
+    std::string_view id;
+    int64_t backup_start = 0;
+    int64_t backup_end = 0;
+    int64_t sample_begin = 0;  ///< prefix sum of earlier sample counts
+    int64_t sample_count = 0;
+  };
+
+  static Result<SeriesBlockCursor> OpenImpl(
+      std::string_view blob, std::shared_ptr<const std::string> pin);
+
+  SeriesBlockInfo info_;
+  std::vector<EntryMeta> entries_;
+  const char* timestamps_base_ = nullptr;
+  const char* values_base_ = nullptr;
+  int64_t next_ = 0;
+  std::shared_ptr<const std::string> pin_;  ///< null when borrowing
+};
+
+/// Streams the cursor's telemetry grouped per server — byte-identical
+/// to `DecodeSeriesBlockToServers` (same grid validation in directory
+/// order, same duplicate-entry merge, same last-write-wins, servers
+/// yielded sorted by id) but with peak transient memory O(largest
+/// single server), not O(total_samples): each `ServerTelemetry` is
+/// built from column views and handed to `fn` before the next one is
+/// touched. A non-OK status from `fn` stops the stream and is returned.
+Status StreamSeriesBlockServers(
+    const SeriesBlockCursor& cursor,
+    const std::function<Status(ServerTelemetry&&)>& fn);
+
+/// @}
+
 /// Format-sniffing reader for "recent load" consumers (CLI schedule /
 /// advise): decodes either a `SeriesBlock` or a telemetry CSV into the
-/// grouped per-server form.
+/// grouped per-server form. Takes a view so `GetShared`/cache callers
+/// hand over borrowed bytes instead of forcing a blob copy.
 Result<std::vector<ServerTelemetry>> DecodeTelemetryBlob(
-    const std::string& blob);
+    std::string_view blob);
 
 /// The CSV-equivalent value of one CPU sample: what `avg_cpu` becomes
 /// after being written with `"%.4f"` and parsed back. Encoding applies

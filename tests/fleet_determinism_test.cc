@@ -164,9 +164,14 @@ std::string CanonicalSnapshot(const DocStore& docs,
       Json& body = doc["body"];
       body["total_millis"] = 0.0;
       body["timings"] = Json::MakeObject();
-      if (canonical_bytes && body.Contains("stats") &&
-          body["stats"].Contains("ingestion.bytes")) {
-        body["stats"]["ingestion.bytes"] = 0.0;
+      if (canonical_bytes && body.Contains("stats")) {
+        // Both report sizes of the stored/decoded representation, which
+        // legitimately differs between CSV and SeriesBlock forms of the
+        // same telemetry (flat records vs grouped series).
+        for (const char* stat : {"ingestion.bytes",
+                                 "ingestion.resident_bytes"}) {
+          if (body["stats"].Contains(stat)) body["stats"][stat] = 0.0;
+        }
       }
     }
   }
@@ -280,23 +285,89 @@ TEST_P(FleetDeterminismTest, MetricsSnapshotsMatchAcrossJobs) {
   // jobs=1 and jobs=8: with the clock frozen every duration is zero, so
   // even histogram bucket contents are comparable byte for byte. Only
   // `seagull.pool.*` (steal counts, queue peaks) is schedule-dependent
-  // by design and excluded. Deeper coverage lives in
-  // obs_determinism_test.cc; this keeps the metrics diff inside the
-  // fleet contract's own suite.
+  // by design and excluded, as is `seagull.process.*` (kernel RSS
+  // accounting — physical-memory telemetry, like wall clock). Deeper
+  // coverage lives in obs_determinism_test.cc; this keeps the metrics
+  // diff inside the fleet contract's own suite.
   const std::string model = GetParam();
   ScopedFrozenClock frozen;
   MetricsRegistry::Global().Reset();
   RunFleet(1, model);
-  MetricsSnapshot sequential =
-      MetricsRegistry::Global().Snapshot().Without({"seagull.pool."});
+  MetricsSnapshot sequential = MetricsRegistry::Global().Snapshot().Without(
+      {"seagull.pool.", "seagull.process."});
   MetricsRegistry::Global().Reset();
   RunFleet(8, model);
-  MetricsSnapshot parallel =
-      MetricsRegistry::Global().Snapshot().Without({"seagull.pool."});
+  MetricsSnapshot parallel = MetricsRegistry::Global().Snapshot().Without(
+      {"seagull.pool.", "seagull.process."});
   EXPECT_EQ(sequential.ToJson().Dump(), parallel.ToJson().Dump());
   EXPECT_GT(sequential.CounterValues()
                 .at("seagull.pipeline.module_runs{module=ingestion}"),
             0);
+}
+
+FleetOutcome RunFleetSharded(int jobs, int64_t max_resident,
+                             const std::string& model,
+                             FleetOptions extra = {}) {
+  RegisterQuickFamilies();
+  FleetOutcome out;
+  out.docs = std::make_unique<DocStore>();
+  FleetOptions options = std::move(extra);
+  options.jobs = jobs;
+  options.max_resident_regions = max_resident;
+  FleetRunner runner(&SharedLake(), out.docs.get(), options);
+  std::vector<FleetJob> fleet_jobs;
+  for (const char* region : kRegions) fleet_jobs.push_back({region, kWeek});
+  PipelineContext config;
+  config.model_name = model;
+  out.result = runner.Run(fleet_jobs, config);
+  return out;
+}
+
+TEST(FleetRunnerTest, ShardedRunMatchesUnshardedByteForByte) {
+  // The memory plane must be invisible in the results: running the
+  // fleet one region at a time (shard barriers between every region),
+  // sequentially or with per-server fan-out, lands on the same bytes
+  // as the unsharded run.
+  FleetOutcome unsharded = RunFleet(1, "persistent_prev_day");
+  FleetOutcome sharded_seq = RunFleetSharded(1, 1, "persistent_prev_day");
+  FleetOutcome sharded_par = RunFleetSharded(8, 2, "persistent_prev_day");
+  EXPECT_EQ(CanonicalSnapshot(*unsharded.docs),
+            CanonicalSnapshot(*sharded_seq.docs));
+  EXPECT_EQ(CanonicalSnapshot(*unsharded.docs),
+            CanonicalSnapshot(*sharded_par.docs));
+}
+
+TEST(FleetRunnerTest, RetireRunsInJobOrderAndCanDropPartitions) {
+  // The retire hook fires once per region, in job order even when the
+  // shard executed its regions concurrently, and dropping the retired
+  // region's partitions releases its documents before the run ends.
+  std::vector<std::string> retired;
+  FleetOptions extra;
+  FleetOutcome out;
+  out.docs = std::make_unique<DocStore>();
+  extra.jobs = 8;
+  extra.max_resident_regions = 2;
+  DocStore* docs = out.docs.get();
+  extra.retire = [&retired, docs](
+                     const FleetJob& job,
+                     const PipelineScheduler::ScheduledRun& run) {
+    EXPECT_TRUE(run.report.success) << run.report.failure;
+    retired.push_back(job.region);
+    EXPECT_GT(docs->DropPartition(job.region), 0);
+  };
+  FleetRunner runner(&SharedLake(), docs, extra);
+  std::vector<FleetJob> fleet_jobs;
+  for (const char* region : kRegions) fleet_jobs.push_back({region, kWeek});
+  PipelineContext config;
+  config.model_name = "persistent_prev_day";
+  out.result = runner.Run(fleet_jobs, config);
+  ASSERT_EQ(retired.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(retired[i], kRegions[i]);
+  // Every region was dropped at its shard boundary, so the store holds
+  // no predictions at the end.
+  EXPECT_EQ(out.docs->GetContainer(kPredictionsContainer)->Count(), 0);
+  // A second drop of an already-released partition is a harmless no-op.
+  EXPECT_EQ(out.docs->DropPartition(kRegions[0]), 0);
 }
 
 TEST(FleetRunnerTest, AggregatesReportsInJobOrder) {

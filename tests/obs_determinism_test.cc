@@ -3,7 +3,9 @@
 /// with the clock frozen (durations collapse to zero) and a fixed fault
 /// seed, a jobs=1 and a jobs=8 fleet run produce byte-identical metrics
 /// snapshots (modulo `seagull.pool.*`, which counts schedule-dependent
-/// steals/queue depths by design) and identical span-tree digests.
+/// steals/queue depths by design, and `seagull.process.*`, which reads
+/// kernel RSS accounting — physical-memory telemetry, like wall clock)
+/// and identical span-tree digests.
 ///
 /// This is the observability extension of the fleet determinism
 /// contract: timing is observational-only, so freezing it cannot change
@@ -91,8 +93,8 @@ ObservedRun RunObserved(int jobs, double fault_rate) {
 
   ObservedRun out;
   out.result = runner.Run(fleet_jobs, config);
-  MetricsSnapshot snapshot =
-      MetricsRegistry::Global().Snapshot().Without({"seagull.pool."});
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot().Without(
+      {"seagull.pool.", "seagull.process."});
   out.metrics_json = snapshot.ToJson().Dump();
   out.counters = snapshot.CounterValues();
   out.span_digest = tracing.sink().TreeDigest();

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "common/random.h"
 #include "common/strings.h"
 #include "telemetry/emitter.h"
@@ -228,6 +233,190 @@ TEST(SeriesBlockTest, QuantizerIsIdempotent) {
     EXPECT_EQ(q, QuantizeCpuForStorage(q));
     EXPECT_NEAR(q, v, 5e-5);
   }
+}
+
+/// Streams a blob through the cursor into the same grouped form the
+/// materializing decoder returns — the equivalence oracle's subject.
+Result<std::vector<ServerTelemetry>> StreamAll(const std::string& blob) {
+  SEAGULL_ASSIGN_OR_RETURN(SeriesBlockCursor cursor,
+                           SeriesBlockCursor::Open(std::string_view(blob)));
+  std::vector<ServerTelemetry> out;
+  SEAGULL_RETURN_NOT_OK(
+      StreamSeriesBlockServers(cursor, [&](ServerTelemetry&& st) {
+        out.push_back(std::move(st));
+        return Status::OK();
+      }));
+  return out;
+}
+
+/// Bit-exact comparison of two grouped decodes (NaN missing slots
+/// compare via MissingAt, present values via exact equality).
+void ExpectSameServers(const std::vector<ServerTelemetry>& a,
+                       const std::vector<ServerTelemetry>& b,
+                       uint64_t seed) {
+  ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].server_id, b[i].server_id) << "seed " << seed;
+    EXPECT_EQ(a[i].default_backup_start, b[i].default_backup_start);
+    EXPECT_EQ(a[i].default_backup_end, b[i].default_backup_end);
+    EXPECT_EQ(a[i].load.start(), b[i].load.start());
+    ASSERT_EQ(a[i].load.size(), b[i].load.size()) << "seed " << seed;
+    for (int64_t j = 0; j < a[i].load.size(); ++j) {
+      if (a[i].load.MissingAt(j)) {
+        EXPECT_TRUE(b[i].load.MissingAt(j)) << "seed " << seed;
+      } else {
+        EXPECT_EQ(a[i].load.ValueAt(j), b[i].load.ValueAt(j))
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SeriesBlockCursorTest, PropertyStreamMatchesMaterializingDecode) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    auto records = RandomRecords(seed);
+    if (records.empty()) continue;
+    const std::string blob = EncodeSeriesBlock(records);
+    auto reference = DecodeSeriesBlockToServers(blob);
+    ASSERT_TRUE(reference.ok()) << "seed " << seed;
+    auto streamed = StreamAll(blob);
+    ASSERT_TRUE(streamed.ok()) << "seed " << seed;
+    ExpectSameServers(*reference, *streamed, seed);
+  }
+}
+
+TEST(SeriesBlockCursorTest, TruncatedAndCorruptBlobsMatchReferenceStatus) {
+  // On every mutilated input the cursor path must fail exactly when the
+  // materializing decoder fails, with the same status text — error
+  // parity is part of the equivalence contract.
+  const std::string blob = EncodeSeriesBlock(SampleRecords());
+  auto status_of = [](const Result<std::vector<ServerTelemetry>>& r) {
+    return r.ok() ? std::string("ok") : r.status().ToString();
+  };
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{10}, size_t{35},
+                     blob.size() / 2, blob.size() - 1}) {
+    const std::string bad = blob.substr(0, cut);
+    EXPECT_EQ(status_of(DecodeSeriesBlockToServers(bad)),
+              status_of(StreamAll(bad)))
+        << "cut " << cut;
+    EXPECT_FALSE(StreamAll(bad).ok()) << "cut " << cut;
+  }
+  for (size_t at = 0; at < blob.size(); at += 7) {
+    std::string bad = blob;
+    bad[at] = static_cast<char>(bad[at] ^ 0x5a);
+    EXPECT_EQ(status_of(DecodeSeriesBlockToServers(bad)),
+              status_of(StreamAll(bad)))
+        << "flip " << at;
+  }
+}
+
+TEST(SeriesBlockCursorTest, OffGridTimestampFailsLikeReference) {
+  TelemetryRecord r;
+  r.server_id = "s";
+  r.timestamp = 7;
+  r.avg_cpu = 1.0;
+  const std::string blob = EncodeSeriesBlock({r});
+  auto reference = DecodeSeriesBlockToServers(blob);
+  auto streamed = StreamAll(blob);
+  ASSERT_FALSE(reference.ok());
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(reference.status().ToString(), streamed.status().ToString());
+}
+
+TEST(SeriesBlockCursorTest, DuplicateTimestampsKeepLastValueWhenStreamed) {
+  std::vector<TelemetryRecord> records = SampleRecords();
+  TelemetryRecord dup = records[1];  // srv-a, t=5
+  dup.avg_cpu = 99.0;
+  records.push_back(dup);
+  // Interleave a second server between the duplicates so the directory
+  // carries srv-a out of contiguous row order.
+  auto streamed = StreamAll(EncodeSeriesBlock(records));
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_DOUBLE_EQ((*streamed)[0].load.ValueAtTime(5), 99.0);
+  auto reference = DecodeSeriesBlockToServers(EncodeSeriesBlock(records));
+  ASSERT_TRUE(reference.ok());
+  ExpectSameServers(*reference, *streamed, 0);
+}
+
+TEST(SeriesBlockCursorTest, ColumnsAliasTheBlobBytes) {
+  // Zero-copy means the views point INTO the blob: every column's
+  // backing bytes must lie inside [data, data+size) of the very string
+  // the cursor was opened on.
+  auto records = SampleRecords();
+  const std::string blob = EncodeSeriesBlock(records);
+  auto cursor = SeriesBlockCursor::Open(std::string_view(blob));
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_GT(cursor->size(), 0);
+  for (int64_t i = 0; i < cursor->size(); ++i) {
+    SeriesBlockServerView view = cursor->Entry(i);
+    const char* begin = blob.data();
+    const char* end = blob.data() + blob.size();
+    EXPECT_GE(view.timestamps.bytes(), begin);
+    EXPECT_LE(view.timestamps.bytes() + view.timestamps.size() * 8, end);
+    EXPECT_GE(view.values.bytes(), begin);
+    EXPECT_LE(view.values.bytes() + view.values.size() * 8, end);
+    EXPECT_GE(view.server_id.data(), begin);
+    EXPECT_LE(view.server_id.data() + view.server_id.size(), end);
+  }
+}
+
+TEST(SeriesBlockCursorTest, SharedOpenPinsTheBlobPastCallerRelease) {
+  // The blob-cache contract: a cursor opened on the cache's shared_ptr
+  // keeps the bytes alive even after the cache (and every other owner)
+  // drops its reference — eviction mid-decode must be harmless.
+  auto records = SampleRecords();
+  auto blob = std::make_shared<const std::string>(
+      EncodeSeriesBlock(records));
+  auto cursor = SeriesBlockCursor::Open(blob);
+  ASSERT_TRUE(cursor.ok());
+  std::weak_ptr<const std::string> watch = blob;
+  blob.reset();  // simulate cache eviction: cursor is now sole owner
+  EXPECT_FALSE(watch.expired());
+  std::vector<ServerTelemetry> out;
+  ASSERT_TRUE(StreamSeriesBlockServers(*cursor, [&](ServerTelemetry&& st) {
+                out.push_back(std::move(st));
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].server_id, "srv-a");
+}
+
+TEST(SeriesBlockCursorTest, OpenRejectsNullSharedBlob) {
+  std::shared_ptr<const std::string> null_blob;
+  EXPECT_FALSE(SeriesBlockCursor::Open(null_blob).ok());
+}
+
+TEST(SeriesBlockCursorTest, NextWalksDirectoryOrderAndRewinds) {
+  auto records = SampleRecords();
+  const std::string blob = EncodeSeriesBlock(records);
+  auto cursor = SeriesBlockCursor::Open(std::string_view(blob));
+  ASSERT_TRUE(cursor.ok());
+  std::vector<std::string> first_pass, second_pass;
+  SeriesBlockServerView view;
+  while (cursor->Next(&view)) {
+    first_pass.emplace_back(view.server_id);
+  }
+  EXPECT_EQ(first_pass.size(), static_cast<size_t>(cursor->size()));
+  cursor->Rewind();
+  while (cursor->Next(&view)) {
+    second_pass.emplace_back(view.server_id);
+  }
+  EXPECT_EQ(first_pass, second_pass);
+}
+
+TEST(SeriesBlockCursorTest, CallbackErrorStopsTheStream) {
+  auto records = SampleRecords();  // two servers
+  const std::string blob = EncodeSeriesBlock(records);
+  auto cursor = SeriesBlockCursor::Open(std::string_view(blob));
+  ASSERT_TRUE(cursor.ok());
+  int delivered = 0;
+  Status st = StreamSeriesBlockServers(*cursor, [&](ServerTelemetry&&) {
+    ++delivered;
+    return Status::Invalid("stop here");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("stop here"), std::string::npos);
+  EXPECT_EQ(delivered, 1);
 }
 
 TEST(SeriesBlockTest, DecodeTelemetryBlobSniffsBothFormats) {

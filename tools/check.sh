@@ -43,6 +43,17 @@
 #                             # races only show up while all three run
 #                             # concurrently (latency budgets are NOT
 #                             # gated under tsan; only races are)
+#   tools/check.sh scale      # fleet-scale memory plane: Release build,
+#                             # then bench/fig12b_parallel --servers=100000
+#                             # (bounded-RSS sharded run at jobs=1 vs
+#                             # jobs=8, digest-compared, gated on the
+#                             # fleet_scale peak-RSS / per-server budgets
+#                             # in tests/budgets.json, writes
+#                             # BENCH_scale.json), then micro_substrate
+#                             # with the ingest_memory footprint gate,
+#                             # then the streaming-decode suites under
+#                             # asan+ubsan (a separate build dir — asan
+#                             # and tsan cannot compose)
 #   tools/check.sh serving-soak
 #                             # ~60-second chaos soak under tsan+ubsan:
 #                             # bench/loadgen on the spike profile with
@@ -136,6 +147,32 @@ case "$MODE" in
       ./bench/loadgen --servers=200 --ticks=6 --base=100 --jobs=4)
     echo "=== [serving] OK ==="
     ;;
+  scale)
+    run_config release "$ROOT/build-release" 'unit' \
+      -DCMAKE_BUILD_TYPE=Release
+    echo "=== [scale] bench/fig12b_parallel --servers=100000 (writes" \
+         "BENCH_scale.json, gates on tests/budgets.json fleet_scale) ==="
+    (cd "$ROOT/build-release" &&
+      ./bench/fig12b_parallel --servers=100000 --jobs=8 \
+        --budgets="$ROOT/tests/budgets.json")
+    echo "=== [scale] bench/micro_substrate (ingest_memory footprint gate) ==="
+    (cd "$ROOT/build-release" &&
+      ./bench/micro_substrate --benchmark_filter='IngestStreaming' \
+        --budgets="$ROOT/tests/budgets.json")
+    echo "=== [scale] streaming-decode suites under asan+ubsan ==="
+    # A dedicated build dir: asan is incompatible with the tsan config
+    # that build-sanitize holds.
+    cmake -B "$ROOT/build-asan" -S "$ROOT" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    cmake --build "$ROOT/build-asan" -j "$JOBS" \
+      --target telemetry_series_block_test telemetry_records_test \
+      store_doc_test pipeline_modules_test
+    (cd "$ROOT/build-asan" && ctest --output-on-failure -R \
+      'telemetry_series_block_test|telemetry_records_test|store_doc_test|pipeline_modules_test')
+    echo "=== [scale] OK ==="
+    ;;
   serving-soak)
     TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp ${TSAN_OPTIONS:-}"
     export TSAN_OPTIONS
@@ -162,10 +199,10 @@ case "$MODE" in
 esac
 
 case "$MODE" in
-  release|sanitize|chaos|obs|perf|serving|serving-soak|all) ;;
+  release|sanitize|chaos|obs|perf|serving|serving-soak|scale|all) ;;
   *)
     echo "usage: tools/check.sh" \
-         "[release|sanitize|chaos|obs|perf|serving|serving-soak|all]" >&2
+         "[release|sanitize|chaos|obs|perf|serving|serving-soak|scale|all]" >&2
     exit 2
     ;;
 esac
