@@ -10,10 +10,11 @@
 /// BENCH_ingest.json: the data-plane trajectory (rows/sec and bytes/sec
 /// per format at the 1200-server region — materializing and streaming
 /// SeriesBlock decode both — plus the decode peak-RSS footprint of each
-/// path and the lake-cache hit rate of a repeated fleet run) for future
-/// PRs to regress against. With `--budgets=<path>` the streaming
-/// decode's footprint reduction is gated against the `ingest_memory`
-/// section of tests/budgets.json.
+/// path, the encode plane's streaming-writer vs materializing-encoder
+/// wall time and resident cost, and the lake-cache hit rate of a
+/// repeated fleet run) for future PRs to regress against. With
+/// `--budgets=<path>` the streaming decode's footprint reduction is
+/// gated against the `ingest_memory` section of tests/budgets.json.
 
 #include <benchmark/benchmark.h>
 
@@ -167,6 +168,25 @@ void BM_LakeCacheHit(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * (1 << 20));
 }
 
+/// The mmap read hit path: stat + shard lookup + BlobRef copy — the
+/// ref aliases the cached page-cache mapping, no heap buffer at all.
+void BM_LakeMmapHit(benchmark::State& state) {
+  static auto* lake = [] {
+    auto opened = LakeStore::OpenTemporary("micro_mmap");
+    opened.status().Abort();
+    auto* owned = new LakeStore(std::move(opened).ValueUnsafe());
+    owned->ConfigureCache(16 << 20);
+    owned->Put("bench/blob", std::string(1 << 20, 'x')).Abort();
+    owned->GetBlob("bench/blob").status().Abort();  // warm: mapped entry
+    return owned;
+  }();
+  for (auto _ : state) {
+    auto blob = lake->GetBlob("bench/blob");
+    benchmark::DoNotOptimize(blob->data());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+
 void BM_SsaFit(benchmark::State& state) {
   LoadSeries week = RandomDay(4, 7);
   for (auto _ : state) {
@@ -312,6 +332,59 @@ int RunIngestTrajectory(const std::string& budgets_path) {
                 "n/a (no VmHWM reset on this kernel)");
   }
 
+  // Encode plane: the streaming SGB1 writer (`ExtractWeekBlockTo` — two
+  // deterministic generation passes, timestamps streamed in chunks,
+  // values buffered) against the materializing path (`ExtractWeekBlock`
+  // — every TelemetryRecord plus the whole output string in memory).
+  // The writer's resident cost is its own high-water accounting, exact
+  // and allocator-independent; the materializing cost is the RSS delta.
+  int64_t writer_peak = 0;
+  const double stream_encode_ms = min_millis_of_3([&] {
+    int64_t bytes = 0;
+    ExtractWeekBlockTo(fleet, 3,
+                       [&](std::string_view b) {
+                         bytes += static_cast<int64_t>(b.size());
+                         return Status::OK();
+                       },
+                       {}, &writer_peak)
+        .Abort();
+    benchmark::DoNotOptimize(bytes);
+  });
+  const double mat_encode_ms = min_millis_of_3([&] {
+    std::string blob = ExtractWeekBlock(fleet, 3);
+    benchmark::DoNotOptimize(blob.size());
+  });
+  int64_t mat_encode_peak = -1;
+  double encode_ratio = 0.0;
+  if (rss_supported) {
+#if defined(__GLIBC__)
+    malloc_trim(0);
+#endif
+    ResetPeakRss();
+    const int64_t before = ReadPeakRssBytes();
+    {
+      std::string blob = ExtractWeekBlock(fleet, 3);
+      benchmark::DoNotOptimize(blob.size());
+    }
+    mat_encode_peak = ReadPeakRssBytes() - before;
+    encode_ratio = writer_peak > 0 ? static_cast<double>(mat_encode_peak) /
+                                         static_cast<double>(writer_peak)
+                                   : 0.0;
+  }
+  std::printf("%-28s %10.1f ms  %10.1f MB resident (writer accounting)\n",
+              "encode (streaming)", stream_encode_ms,
+              static_cast<double>(writer_peak) / 1e6);
+  if (mat_encode_peak >= 0) {
+    std::printf("%-28s %10.1f ms  %10.1f MB resident (RSS delta)\n",
+                "encode (materializing)", mat_encode_ms,
+                static_cast<double>(mat_encode_peak) / 1e6);
+    std::printf("%-28s %10.2fx\n", "encode residency reduction",
+                encode_ratio);
+  } else {
+    std::printf("%-28s %10.1f ms\n", "encode (materializing)",
+                mat_encode_ms);
+  }
+
   // Cache trajectory: two identical fleet runs against one cache-enabled
   // lake; run two's telemetry reads should all hit.
   auto opened = LakeStore::OpenTemporary("ingest_cache");
@@ -380,6 +453,13 @@ int RunIngestTrajectory(const std::string& budgets_path) {
   foot_j["streaming_bytes_per_server"] =
       static_cast<double>(stream_peak) / 1200.0;
   out["decode_footprint"] = std::move(foot_j);
+  Json enc_j = Json::MakeObject();
+  enc_j["streaming_millis"] = stream_encode_ms;
+  enc_j["materializing_millis"] = mat_encode_ms;
+  enc_j["streaming_resident_bytes"] = writer_peak;
+  enc_j["materializing_peak_bytes"] = mat_encode_peak;
+  enc_j["reduction_ratio"] = encode_ratio;
+  out["encode"] = std::move(enc_j);
   out["speedup"] = speedup;
   Json cache_j = Json::MakeObject();
   cache_j["warm_hits"] = hits;
@@ -440,6 +520,7 @@ BENCHMARK(BM_IngestBinary)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IngestStreaming)->Arg(10)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LakeCacheHit);
+BENCHMARK(BM_LakeMmapHit);
 BENCHMARK(BM_SsaFit)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenerateLoadWeek)->Unit(benchmark::kMillisecond);
 

@@ -6,6 +6,10 @@
 #include <cstring>
 #include <functional>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "common/strings.h"
 
 namespace seagull {
@@ -401,6 +405,14 @@ bool ResetPeakRss() {
   if (f == nullptr) return false;
   const bool ok = std::fputs("5", f) >= 0;
   return (std::fclose(f) == 0) && ok;
+}
+
+bool TrimMallocArenas() {
+#if defined(__GLIBC__)
+  return malloc_trim(0) != 0;
+#else
+  return false;
+#endif
 }
 
 int64_t SampleProcessRss() {

@@ -245,6 +245,13 @@ bool ResetPeakRss();
 /// determinism contract). Returns the sampled peak, -1 if unavailable.
 int64_t SampleProcessRss();
 
+/// Returns freed heap pages to the kernel (`malloc_trim(0)` on glibc;
+/// a no-op elsewhere, returning false). Call before an RSS sample
+/// whose job is to observe *live* memory: without the trim, pages the
+/// allocator retains for reuse after a retire/drop keep the sample at
+/// its historical high even though nothing references them.
+bool TrimMallocArenas();
+
 /// @}
 
 }  // namespace seagull

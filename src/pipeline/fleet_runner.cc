@@ -117,6 +117,9 @@ FleetRunResult FleetRunner::Run(const std::vector<FleetJob>& jobs,
     }
     // Shard edges are the fleet's phase boundaries: the peak-RSS gauge
     // sampled here shows whether retirement actually bounded the run.
+    // The optional trim first returns the retired shard's freed pages
+    // so the current-RSS reading reflects live memory, not arena reuse.
+    if (options_.trim_at_shard_edges) TrimMallocArenas();
     SampleProcessRss();
   }
   const auto end = std::chrono::steady_clock::now();

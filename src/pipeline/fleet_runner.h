@@ -67,6 +67,14 @@ struct FleetOptions {
   /// sequential job order makes anything it folds deterministic.
   std::function<void(const FleetJob&, const PipelineScheduler::ScheduledRun&)>
       retire;
+  /// Return freed heap pages to the kernel (`TrimMallocArenas`) at each
+  /// shard edge, after the retire hooks and before the RSS sample. At
+  /// fleet scale the allocator otherwise retains a retired shard's
+  /// pages for reuse, so the mid-run `process.rss_bytes` trajectory
+  /// would show the historical high instead of live memory — and a
+  /// per-shard RSS gate could miss (or misattribute) a mid-shard
+  /// spike. Off by default: trimming costs a syscall sweep per shard.
+  bool trim_at_shard_edges = false;
 };
 
 /// \brief One region removed from the healthy fleet this run: its

@@ -17,19 +17,19 @@ Status DataIngestionModule::Run(PipelineContext* ctx) {
                      "missing input blob: " + key);
     return Status::NotFound("missing input blob: " + key);
   }
-  SEAGULL_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> blob,
-                           ctx->lake->GetShared(key));
+  SEAGULL_ASSIGN_OR_RETURN(BlobRef blob, ctx->lake->GetBlob(key));
 
   int64_t rows = 0;
   int64_t resident_bytes = 0;
   const char* format = "csv";
-  if (IsSeriesBlock(*blob)) {
+  if (IsSeriesBlock(blob.view())) {
     // Binary fast path: stream the cursor server-by-server straight
     // into grouped per-server form — no flat-records intermediate, no
-    // column scratch copies. The cursor pins the shared blob, so the
-    // views stay valid even if the blob cache evicts the entry while
-    // this module runs. Validation detects the pre-grouped input via
-    // ctx->servers.
+    // column scratch copies, and with mmap enabled no heap copy of the
+    // blob either: the views alias the page-cache-backed mapping. The
+    // cursor pins the blob's owner, so the views stay valid even if
+    // the blob cache evicts the entry while this module runs.
+    // Validation detects the pre-grouped input via ctx->servers.
     format = "binary";
     auto cursor = SeriesBlockCursor::Open(blob);
     if (!cursor.ok()) {
@@ -52,7 +52,7 @@ Status DataIngestionModule::Run(PipelineContext* ctx) {
     }
     rows = cursor->info().total_samples;
   } else {
-    auto records = ParseTelemetryCsv(*blob);
+    auto records = ParseTelemetryCsv(blob.view());
     if (!records.ok()) {
       ctx->AddIncident(IncidentSeverity::kError, name(),
                        records.status().ToString());
@@ -65,7 +65,7 @@ Status DataIngestionModule::Run(PipelineContext* ctx) {
   }
 
   ctx->stats["ingestion.rows"] = static_cast<double>(rows);
-  ctx->stats["ingestion.bytes"] = static_cast<double>(blob->size());
+  ctx->stats["ingestion.bytes"] = static_cast<double>(blob.size());
   // Format-dependent by design (flat records vs grouped series), so the
   // cross-format determinism suite canonicalizes it like ingestion.bytes.
   ctx->stats["ingestion.resident_bytes"] = static_cast<double>(resident_bytes);
@@ -73,7 +73,7 @@ Status DataIngestionModule::Run(PipelineContext* ctx) {
   reg.GetCounter("seagull.pipeline.ingest_rows", {{"format", format}})
       ->Increment(rows);
   reg.GetCounter("seagull.pipeline.ingest_bytes", {{"format", format}})
-      ->Increment(static_cast<int64_t>(blob->size()));
+      ->Increment(static_cast<int64_t>(blob.size()));
   reg.GetCounter("seagull.pipeline.ingest_resident_bytes",
                  {{"format", format}})
       ->Increment(resident_bytes);

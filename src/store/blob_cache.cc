@@ -1,8 +1,10 @@
 #include "store/blob_cache.h"
 
 #include <functional>
+#include <utility>
 
 #include "common/obs/metrics.h"
+#include "store/mmap_blob.h"
 
 namespace seagull {
 
@@ -19,29 +21,41 @@ BlobCache::BlobCache(int64_t capacity_bytes)
   bytes_gauge_ = reg.GetGauge("seagull.lake.cache_bytes");
 }
 
+int64_t BlobCache::ChargeOf(const BlobRef& blob) {
+  const int64_t size = static_cast<int64_t>(blob.size());
+  return blob.mapped() ? MmapBlob::ResidentEstimate(size) : size;
+}
+
 BlobCache::Shard& BlobCache::ShardOf(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % kShards];
 }
 
-std::shared_ptr<const std::string> BlobCache::Lookup(const std::string& key,
-                                                     const Fingerprint& fp) {
+void BlobCache::DropLocked(
+    Shard& shard,
+    std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it) {
+  const int64_t charge = ChargeOf(it->second->blob);
+  shard.bytes -= charge;
+  bytes_gauge_->Add(-static_cast<double>(charge));
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+BlobRef BlobCache::Lookup(const std::string& key, const Fingerprint& fp) {
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_->Increment();
-    return nullptr;
+    return BlobRef();
   }
   if (!(it->second->fp == fp)) {
-    // The file changed behind our back; the entry caches a dead snapshot.
-    const int64_t stale_bytes = static_cast<int64_t>(it->second->blob->size());
-    shard.bytes -= stale_bytes;
-    bytes_gauge_->Add(-static_cast<double>(stale_bytes));
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
+    // The file changed behind our back; the entry caches a dead
+    // snapshot. Holders of refs handed out earlier keep the old buffer
+    // (or mapping) alive — dropping here only drops the cache's pin.
+    DropLocked(shard, it);
     invalidations_->Increment();
     misses_->Increment();
-    return nullptr;
+    return BlobRef();
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_->Increment();
@@ -49,30 +63,27 @@ std::shared_ptr<const std::string> BlobCache::Lookup(const std::string& key,
 }
 
 void BlobCache::Insert(const std::string& key, const Fingerprint& fp,
-                       std::shared_ptr<const std::string> blob) {
-  const int64_t blob_bytes = static_cast<int64_t>(blob->size());
-  if (blob_bytes > shard_capacity_) return;  // would evict a whole shard
+                       BlobRef blob) {
+  if (!blob) return;
+  const int64_t charge = ChargeOf(blob);
+  if (charge > shard_capacity_) return;  // would evict a whole shard
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    shard.bytes -= static_cast<int64_t>(it->second->blob->size());
-    bytes_gauge_->Add(-static_cast<double>(it->second->blob->size()));
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-  }
-  while (shard.bytes + blob_bytes > shard_capacity_ && !shard.lru.empty()) {
+  if (it != shard.index.end()) DropLocked(shard, it);
+  while (shard.bytes + charge > shard_capacity_ && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
-    shard.bytes -= static_cast<int64_t>(victim.blob->size());
-    bytes_gauge_->Add(-static_cast<double>(victim.blob->size()));
+    const int64_t victim_charge = ChargeOf(victim.blob);
+    shard.bytes -= victim_charge;
+    bytes_gauge_->Add(-static_cast<double>(victim_charge));
     shard.index.erase(victim.key);
     shard.lru.pop_back();
     evictions_->Increment();
   }
   shard.lru.push_front(Entry{key, fp, std::move(blob)});
   shard.index[key] = shard.lru.begin();
-  shard.bytes += blob_bytes;
-  bytes_gauge_->Add(static_cast<double>(blob_bytes));
+  shard.bytes += charge;
+  bytes_gauge_->Add(static_cast<double>(charge));
 }
 
 void BlobCache::Invalidate(const std::string& key) {
@@ -80,10 +91,7 @@ void BlobCache::Invalidate(const std::string& key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return;
-  shard.bytes -= static_cast<int64_t>(it->second->blob->size());
-  bytes_gauge_->Add(-static_cast<double>(it->second->blob->size()));
-  shard.lru.erase(it->second);
-  shard.index.erase(it);
+  DropLocked(shard, it);
   invalidations_->Increment();
 }
 

@@ -1,21 +1,30 @@
 #include "store/lake_store.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <ostream>
 
 #include "common/fault.h"
 #include "common/obs/op.h"
 #include "common/strings.h"
 #include "store/blob_cache.h"
+#include "store/mmap_blob.h"
 
 namespace fs = std::filesystem;
 
 namespace seagull {
 
 namespace {
+
+/// Staging files for atomic writes live next to their target under this
+/// name prefix; `List` skips them so a concurrent writer never leaks a
+/// half-written key into a listing.
+constexpr char kTmpPrefix[] = ".seagull-tmp.";
 
 /// Single sized read of a whole file: one allocation, one `read()`,
 /// instead of the streambuf-chunked `ostringstream << rdbuf()` copy.
@@ -34,19 +43,25 @@ Result<std::string> ReadWholeFile(const std::string& path,
   return content;
 }
 
-/// The (size, mtime) identity the cache keys entries on.
+/// The (size, mtime, inode, ctime) identity the cache keys entries on —
+/// one `stat(2)` instead of the two `std::filesystem` calls it
+/// replaces. Inode catches rename-replacement, ctime catches in-place
+/// same-size rewrites with a restored mtime (ctime is kernel-controlled
+/// and can't be forged from userspace), both of which must never let a
+/// cached mapping serve stale pages.
 Result<BlobCache::Fingerprint> StatFingerprint(const std::string& path,
                                                const std::string& key) {
-  std::error_code ec;
-  const auto size = fs::file_size(path, ec);
-  if (ec) return Status::NotFound("no such blob: " + key);
-  const auto mtime = fs::last_write_time(path, ec);
-  if (ec) return Status::NotFound("no such blob: " + key);
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("no such blob: " + key);
+  }
   BlobCache::Fingerprint fp;
-  fp.size = static_cast<int64_t>(size);
-  fp.mtime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    mtime.time_since_epoch())
-                    .count();
+  fp.size = static_cast<int64_t>(st.st_size);
+  fp.mtime_ns =
+      static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 + st.st_mtim.tv_nsec;
+  fp.inode = static_cast<int64_t>(st.st_ino);
+  fp.ctime_ns =
+      static_cast<int64_t>(st.st_ctim.tv_sec) * 1000000000 + st.st_ctim.tv_nsec;
   return fp;
 }
 
@@ -78,24 +93,73 @@ Result<std::string> LakeStore::ResolvePath(const std::string& key) const {
   return (fs::path(root_) / key).string();
 }
 
+Status LakeStore::WriteAtomic(
+    const std::string& key,
+    const std::function<Status(std::ostream&)>& writer) const {
+  SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+  fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) return Status::IOError("mkdir failed: " + ec.message());
+  }
+  // Stage in the target's directory so the final rename never crosses a
+  // filesystem boundary. Replacing via rename (not in-place truncate)
+  // keeps the old inode alive under any live mmap of the previous blob.
+  static std::atomic<uint64_t> tmp_counter{0};
+  fs::path tmp =
+      target.parent_path() /
+      StringPrintf("%s%s.%lld.%llu", kTmpPrefix,
+                   target.filename().string().c_str(),
+                   static_cast<long long>(::getpid()),
+                   static_cast<unsigned long long>(tmp_counter.fetch_add(1)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write blob: " + key);
+    Status st = writer(out);
+    if (!st.ok()) {
+      out.close();
+      fs::remove(tmp, ec);
+      return st;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return Status::IOError("short write: " + key);
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    return Status::IOError("rename failed for blob '" + key +
+                           "': " + ec.message());
+  }
+  if (cache_) cache_->Invalidate(key);
+  return Status::OK();
+}
+
 Status LakeStore::Put(const std::string& key,
                       const std::string& content) const {
   ObsOp op("seagull.lake", "put");
   return op.Done([&]() -> Status {
     SEAGULL_FAULT_POINT("lake.put", key);
-    SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
-    fs::path p(path);
-    std::error_code ec;
-    if (p.has_parent_path()) {
-      fs::create_directories(p.parent_path(), ec);
-      if (ec) return Status::IOError("mkdir failed: " + ec.message());
-    }
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot write blob: " + key);
-    out << content;
-    if (!out) return Status::IOError("short write: " + key);
-    if (cache_) cache_->Invalidate(key);
-    return Status::OK();
+    return WriteAtomic(key, [&](std::ostream& out) -> Status {
+      out.write(content.data(),
+                static_cast<std::streamsize>(content.size()));
+      return Status::OK();
+    });
+  }());
+}
+
+Status LakeStore::PutStreamed(
+    const std::string& key,
+    const std::function<Status(std::ostream&)>& writer) const {
+  ObsOp op("seagull.lake", "put");
+  return op.Done([&]() -> Status {
+    SEAGULL_FAULT_POINT("lake.put", key);
+    return WriteAtomic(key, writer);
   }());
 }
 
@@ -108,6 +172,29 @@ Result<std::string> LakeStore::Get(const std::string& key) const {
   }());
 }
 
+Result<BlobRef> LakeStore::GetBlob(const std::string& key) const {
+  ObsOp op("seagull.lake", "get_blob");
+  return op.Done([&]() -> Result<BlobRef> {
+    SEAGULL_ASSIGN_OR_RETURN(std::string path, ResolvePath(key));
+    BlobCache::Fingerprint fp;
+    if (cache_) {
+      SEAGULL_ASSIGN_OR_RETURN(fp, StatFingerprint(path, key));
+      if (BlobRef cached = cache_->Lookup(key, fp)) return cached;
+    }
+    // Miss path: the real read, where transient blob faults live.
+    SEAGULL_FAULT_POINT("lake.get", key);
+    BlobRef blob;
+    if (*mmap_enabled_) {
+      SEAGULL_ASSIGN_OR_RETURN(blob, MmapBlob::Map(path, key));
+    } else {
+      SEAGULL_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path, key));
+      blob = BlobRef(std::make_shared<const std::string>(std::move(content)));
+    }
+    if (cache_) cache_->Insert(key, fp, blob);
+    return blob;
+  }());
+}
+
 Result<std::shared_ptr<const std::string>> LakeStore::GetShared(
     const std::string& key) const {
   ObsOp op("seagull.lake", "get_shared");
@@ -116,9 +203,15 @@ Result<std::shared_ptr<const std::string>> LakeStore::GetShared(
     BlobCache::Fingerprint fp;
     if (cache_) {
       SEAGULL_ASSIGN_OR_RETURN(fp, StatFingerprint(path, key));
-      if (auto cached = cache_->Lookup(key, fp)) return cached;
+      if (BlobRef cached = cache_->Lookup(key, fp)) {
+        if (cached.heap()) return cached.heap();
+        // The cache holds a mapping; this legacy caller wants a string.
+        return std::make_shared<const std::string>(cached.view());
+      }
     }
-    // Miss path: the real read, where transient blob faults live.
+    // Miss path: the real read, where transient blob faults live. Reads
+    // into a heap buffer regardless of the mmap setting so the returned
+    // string (and the cached entry) are what the caller asked for.
     SEAGULL_FAULT_POINT("lake.get", key);
     SEAGULL_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path, key));
     auto blob = std::make_shared<const std::string>(std::move(content));
@@ -131,6 +224,8 @@ void LakeStore::ConfigureCache(int64_t capacity_bytes) {
   cache_ = capacity_bytes > 0 ? std::make_shared<BlobCache>(capacity_bytes)
                               : nullptr;
 }
+
+void LakeStore::ConfigureMmap(bool enabled) { *mmap_enabled_ = enabled; }
 
 bool LakeStore::Exists(const std::string& key) const {
   auto path = ResolvePath(key);
@@ -176,6 +271,7 @@ Result<std::vector<std::string>> LakeStore::List(
          it != fs::recursive_directory_iterator(); it.increment(ec)) {
       if (ec) return Status::IOError("listing failed: " + ec.message());
       if (!it->is_regular_file()) continue;
+      if (StartsWith(it->path().filename().string(), kTmpPrefix)) continue;
       std::string rel = fs::relative(it->path(), root).generic_string();
       if (StartsWith(rel, prefix)) keys.push_back(rel);
     }

@@ -9,10 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/blob_ref.h"
 #include "common/csv.h"
 #include "common/result.h"
 
@@ -26,6 +29,11 @@ class BlobCache;
 /// points (`lake.put`, `lake.get`, `lake.list` — see common/fault.h)
 /// so chaos tests and the CLI's `--fault-rate` can exercise transient
 /// blob failures deterministically.
+///
+/// Writes are atomic: `Put`/`PutStreamed` stage into a hidden tmp file
+/// next to the target and `rename(2)` over it, so readers — including
+/// live `mmap` mappings handed out by `GetBlob` — always see either the
+/// old complete blob or the new one, never a torn or truncated file.
 class LakeStore {
  public:
   /// Creates (if needed) and opens a store rooted at `root_dir`.
@@ -36,26 +44,56 @@ class LakeStore {
 
   const std::string& root() const { return root_; }
 
-  /// Writes a blob, creating intermediate directories.
+  /// Writes a blob atomically (tmp + rename), creating intermediate
+  /// directories.
   Status Put(const std::string& key, const std::string& content) const;
+
+  /// Writes a blob atomically by streaming through `writer`, which
+  /// appends the content to the provided stream. The blob becomes
+  /// visible (and replaces any previous one) only after `writer`
+  /// returns OK and the stream flushed cleanly; on any failure the tmp
+  /// file is discarded and the previous blob is untouched. This is the
+  /// sink for `SeriesBlockWriter`-style incremental encoders: a
+  /// region's blob is produced without ever holding it in memory.
+  Status PutStreamed(const std::string& key,
+                     const std::function<Status(std::ostream&)>& writer) const;
 
   /// Reads a whole blob.
   Result<std::string> Get(const std::string& key) const;
 
-  /// Reads a whole blob as a shared immutable buffer. With the cache
+  /// Reads a blob as a shared immutable `BlobRef` — the primary read
+  /// path. With mmap enabled (the default) the ref aliases a read-only
+  /// page-cache-backed mapping: zero heap copies, bytes faulted on
+  /// first touch, reclaimable by the kernel. With mmap disabled
+  /// (`ConfigureMmap(false)`) it owns a heap buffer. With the cache
   /// enabled (`ConfigureCache`), repeat reads of an unchanged file
-  /// return the same buffer without touching the filesystem beyond a
-  /// `stat`; parallel readers share one copy. Fault injection fires on
-  /// the miss (real read) path only — a cache hit never re-reads.
+  /// return the same ref without touching the filesystem beyond a
+  /// `stat`; parallel readers share one buffer/mapping. Fault injection
+  /// fires on the miss (real read) path only — a cache hit never
+  /// re-reads.
+  Result<BlobRef> GetBlob(const std::string& key) const;
+
+  /// Legacy whole-blob heap read: like `GetBlob` but always returns a
+  /// heap string (copying out of a cached mapping if that is what the
+  /// cache holds; reading into a fresh heap buffer on a miss). Prefer
+  /// `GetBlob` on hot paths.
   Result<std::shared_ptr<const std::string>> GetShared(
       const std::string& key) const;
 
-  /// Enables an LRU blob cache of `capacity_bytes` serving `GetShared`
-  /// (0 disables, the default). Copies of this store made after the
-  /// call share the cache. Entries are keyed on key + file size/mtime,
-  /// so external writes are detected; writes through this store
-  /// invalidate eagerly.
+  /// Enables an LRU blob cache of `capacity_bytes` serving
+  /// `GetBlob`/`GetShared` (0 disables, the default). Copies of this
+  /// store made after the call share the cache. Entries are keyed on
+  /// key + file (size, mtime, inode, ctime), so external writes —
+  /// including rename-replaces and same-size in-place rewrites — are
+  /// detected; writes through this store invalidate eagerly.
   void ConfigureCache(int64_t capacity_bytes);
+
+  /// Chooses the miss-path read strategy for `GetBlob`: mmap (true,
+  /// the default — the `--lake-mmap` CLI flag) or heap buffers.
+  /// Copies of this store share the setting if made after the call.
+  void ConfigureMmap(bool enabled);
+
+  bool mmap_enabled() const { return *mmap_enabled_; }
 
   /// The cache, if one is configured (test/bench introspection).
   const std::shared_ptr<BlobCache>& cache() const { return cache_; }
@@ -64,7 +102,8 @@ class LakeStore {
 
   Status Delete(const std::string& key) const;
 
-  /// Lists keys under a prefix (recursive), sorted.
+  /// Lists keys under a prefix (recursive), sorted. In-flight atomic
+  /// write staging files are never listed.
   Result<std::vector<std::string>> List(const std::string& prefix) const;
 
   /// Size of a blob in bytes.
@@ -81,12 +120,16 @@ class LakeStore {
                                   int64_t week_index);
 
  private:
-  explicit LakeStore(std::string root) : root_(std::move(root)) {}
+  explicit LakeStore(std::string root)
+      : root_(std::move(root)), mmap_enabled_(std::make_shared<bool>(true)) {}
 
   Result<std::string> ResolvePath(const std::string& key) const;
+  Status WriteAtomic(const std::string& key,
+                     const std::function<Status(std::ostream&)>& writer) const;
 
   std::string root_;
   std::shared_ptr<BlobCache> cache_;  ///< null = caching disabled
+  std::shared_ptr<bool> mmap_enabled_;  ///< shared across store copies
 };
 
 }  // namespace seagull

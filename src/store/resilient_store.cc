@@ -48,6 +48,19 @@ Result<std::shared_ptr<const std::string>> ResilientStore::LakeGetShared(
   return value;
 }
 
+Result<BlobRef> ResilientStore::LakeGetBlob(const std::string& key) const {
+  if (lake_ == nullptr) {
+    return Status::FailedPrecondition("no lake store configured");
+  }
+  BlobRef value;
+  Status st = Retry("lake.get/" + key, [&] {
+    SEAGULL_ASSIGN_OR_RETURN(value, lake_->GetBlob(key));
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return value;
+}
+
 Status ResilientStore::LakePut(const std::string& key,
                                const std::string& content) const {
   if (lake_ == nullptr) {

@@ -41,6 +41,10 @@ class ResilientStore {
   /// (see `LakeStore::GetShared`); faults retry like `LakeGet`.
   Result<std::shared_ptr<const std::string>> LakeGetShared(
       const std::string& key) const;
+  /// `BlobRef` read — the primary path: zero-copy mmap-backed bytes
+  /// when the lake has mmap enabled (see `LakeStore::GetBlob`); faults
+  /// retry like `LakeGet`.
+  Result<BlobRef> LakeGetBlob(const std::string& key) const;
   Status LakePut(const std::string& key, const std::string& content) const;
   Result<std::vector<std::string>> LakeList(const std::string& prefix) const;
   /// @}

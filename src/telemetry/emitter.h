@@ -10,6 +10,7 @@
 
 #include "telemetry/fleet.h"
 #include "telemetry/records.h"
+#include "telemetry/series_block_writer.h"
 
 namespace seagull {
 
@@ -40,6 +41,21 @@ std::string ExtractWeekCsvText(const Fleet& fleet, int64_t week_index,
 /// columnar format ingestion decodes without the records intermediate).
 std::string ExtractWeekBlock(const Fleet& fleet, int64_t week_index,
                              const ExtractionOptions& options = {});
+
+/// Streaming extraction straight into `sink` as SGB1 bytes —
+/// byte-identical to `ExtractWeekBlock` but never materializing the
+/// records vector or the blob: the fleet is walked twice (a sizing pass
+/// counting each server's present samples, then an append pass
+/// regenerating and emitting them), so the resident cost is one
+/// server's `LoadSeries` plus the writer's value-column buffer instead
+/// of a whole region-week of rows. Pair with `LakeStore::PutStreamed`
+/// to stage a region without ever holding its blob. If
+/// `peak_resident_bytes` is non-null it receives the writer's
+/// high-water mark.
+Status ExtractWeekBlockTo(const Fleet& fleet, int64_t week_index,
+                          const SeriesBlockWriter::Sink& sink,
+                          const ExtractionOptions& options = {},
+                          int64_t* peak_resident_bytes = nullptr);
 
 /// The default backup window of a server in a given week, as stamps.
 /// (The legacy workflow schedules the weekly full backup on the server's

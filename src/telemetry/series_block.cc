@@ -385,7 +385,7 @@ Result<std::vector<ServerTelemetry>> DecodeSeriesBlockToServers(
 }
 
 Result<SeriesBlockCursor> SeriesBlockCursor::OpenImpl(
-    std::string_view blob, std::shared_ptr<const std::string> pin) {
+    std::string_view blob, std::shared_ptr<const void> pin) {
   BlockReader reader(blob);
   std::vector<DirectoryEntry> directory;
   SeriesBlockCursor cursor;
@@ -423,6 +423,15 @@ Result<SeriesBlockCursor> SeriesBlockCursor::Open(
   }
   std::string_view view = *blob;
   return OpenImpl(view, std::move(blob));
+}
+
+Result<SeriesBlockCursor> SeriesBlockCursor::Open(BlobRef blob) {
+  if (!blob) {
+    return Status::Invalid("SeriesBlockCursor: empty blob ref");
+  }
+  std::string_view view = blob.view();
+  std::shared_ptr<const void> pin = blob.owner();
+  return OpenImpl(view, std::move(pin));
 }
 
 SeriesBlockServerView SeriesBlockCursor::Entry(int64_t i) const {

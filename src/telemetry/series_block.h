@@ -46,6 +46,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/blob_ref.h"
 #include "common/result.h"
 #include "telemetry/records.h"
 
@@ -99,12 +100,13 @@ Result<std::vector<ServerTelemetry>> DecodeSeriesBlockToServers(
 /// output `LoadSeries` itself.
 ///
 /// Lifetime contract: views alias the blob. A cursor opened on a
-/// `shared_ptr` blob (the `LakeStore::GetShared` / blob-cache form)
-/// pins the buffer for the cursor's lifetime, so cache eviction or
-/// writer invalidation after `Open` cannot dangle the views — eviction
-/// drops the cache's reference, not the buffer. A cursor opened on a
-/// raw `string_view` borrows: the caller must keep the bytes alive for
-/// as long as any view is read.
+/// `BlobRef` (the `LakeStore::GetBlob` / blob-cache form — a heap
+/// buffer or an mmap'd file, the cursor doesn't care) or a `shared_ptr`
+/// string pins the backing storage for the cursor's lifetime, so cache
+/// eviction or writer invalidation after `Open` cannot dangle the
+/// views — eviction drops the cache's reference, not the buffer or the
+/// mapping. A cursor opened on a raw `string_view` borrows: the caller
+/// must keep the bytes alive for as long as any view is read.
 /// @{
 
 /// Little-endian 64-bit column over unaligned blob bytes. Elements are
@@ -174,6 +176,12 @@ class SeriesBlockCursor {
   static Result<SeriesBlockCursor> Open(
       std::shared_ptr<const std::string> blob);
 
+  /// Pinning open over a `BlobRef` (the form `LakeStore::GetBlob`
+  /// returns): decode aliases the ref's bytes directly — for a mapped
+  /// ref that is zero heap copies end to end — and the ref's owner
+  /// (heap buffer or mmap) stays alive for the cursor's lifetime.
+  static Result<SeriesBlockCursor> Open(BlobRef blob);
+
   const SeriesBlockInfo& info() const { return info_; }
   /// Directory entries (== info().server_count).
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
@@ -195,15 +203,15 @@ class SeriesBlockCursor {
     int64_t sample_count = 0;
   };
 
-  static Result<SeriesBlockCursor> OpenImpl(
-      std::string_view blob, std::shared_ptr<const std::string> pin);
+  static Result<SeriesBlockCursor> OpenImpl(std::string_view blob,
+                                            std::shared_ptr<const void> pin);
 
   SeriesBlockInfo info_;
   std::vector<EntryMeta> entries_;
   const char* timestamps_base_ = nullptr;
   const char* values_base_ = nullptr;
   int64_t next_ = 0;
-  std::shared_ptr<const std::string> pin_;  ///< null when borrowing
+  std::shared_ptr<const void> pin_;  ///< type-erased owner; null = borrow
 };
 
 /// Streams the cursor's telemetry grouped per server — byte-identical

@@ -1,0 +1,293 @@
+#include "telemetry/series_block_writer.h"
+
+#include <bit>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "telemetry/series_block.h"
+
+namespace seagull {
+
+namespace {
+
+// Mirrors the constants and byte production of series_block.cc's
+// encoder exactly; the property suite pins the two byte-identical.
+constexpr char kMagic[4] = {'S', 'G', 'B', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+constexpr size_t kHeaderBytes = 36;
+constexpr size_t kTimestampChunkBytes = 256 * 1024;
+
+uint64_t Fnv1aFold(uint64_t h, const char* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void AppendLE(std::string* out, uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU32(std::string* out, uint32_t v) { AppendLE(out, v, 4); }
+void AppendI64(std::string* out, int64_t v) {
+  AppendLE(out, static_cast<uint64_t>(v), 8);
+}
+
+/// One 64-bit little-endian column word — the append-pass hot path, so
+/// a single memcpy on little-endian hosts instead of eight pushes.
+void AppendWord(std::string* out, uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out->append(buf, 8);
+  } else {
+    AppendLE(out, v, 8);
+  }
+}
+
+}  // namespace
+
+SeriesBlockWriter::SeriesBlockWriter(Sink sink, int64_t interval_minutes)
+    : sink_(std::move(sink)),
+      interval_minutes_(interval_minutes),
+      checksum_(kFnvOffset) {}
+
+Status SeriesBlockWriter::Fail(Status st) {
+  state_ = State::kFailed;
+  return st;
+}
+
+Status SeriesBlockWriter::Emit(std::string_view bytes) {
+  checksum_ = Fnv1aFold(checksum_, bytes.data(), bytes.size());
+  bytes_written_ += static_cast<int64_t>(bytes.size());
+  Status st = sink_(bytes);
+  if (!st.ok()) return Fail(std::move(st));
+  return Status::OK();
+}
+
+void SeriesBlockWriter::NoteResident() {
+  const int64_t resident = directory_bytes_ +
+                           static_cast<int64_t>(ts_chunk_.size()) +
+                           static_cast<int64_t>(value_words_.size());
+  if (resident > peak_resident_bytes_) peak_resident_bytes_ = resident;
+}
+
+Status SeriesBlockWriter::Declare(std::string_view server_id,
+                                  int64_t sample_count,
+                                  int64_t default_backup_start,
+                                  int64_t default_backup_end) {
+  switch (state_) {
+    case State::kDeclaring:
+      break;
+    case State::kFailed:
+      return Status::Invalid("SeriesBlockWriter: writer already failed");
+    default:
+      return Fail(Status::Invalid(
+          "SeriesBlockWriter: Declare after StartAppend"));
+  }
+  if (sample_count < 0) {
+    return Fail(Status::Invalid(
+        "SeriesBlockWriter: negative sample count for server '" +
+        std::string(server_id) + "'"));
+  }
+  // A server with no rows produces no directory entry — exactly what
+  // the record encoder does, since it derives the directory from rows.
+  if (sample_count == 0) return Status::OK();
+  for (const Declared& d : directory_) {
+    if (d.id == server_id) {
+      return Fail(Status::Invalid(
+          "SeriesBlockWriter: duplicate declaration for server '" +
+          std::string(server_id) +
+          "' (merge duplicates before streaming, e.g. via "
+          "WriteSeriesBlockFromRecords)"));
+    }
+  }
+  Declared d;
+  d.id.assign(server_id);
+  d.backup_start = default_backup_start;
+  d.backup_end = default_backup_end;
+  d.sample_count = sample_count;
+  directory_bytes_ += static_cast<int64_t>(sizeof(Declared) + d.id.size());
+  directory_.push_back(std::move(d));
+  declared_samples_ += sample_count;
+  NoteResident();
+  return Status::OK();
+}
+
+Status SeriesBlockWriter::StartAppend() {
+  switch (state_) {
+    case State::kDeclaring:
+      break;
+    case State::kFailed:
+      return Status::Invalid("SeriesBlockWriter: writer already failed");
+    default:
+      return Fail(Status::Invalid("SeriesBlockWriter: StartAppend twice"));
+  }
+  std::string head;
+  head.reserve(kHeaderBytes + directory_.size() * 28);
+  head.append(kMagic, 4);
+  AppendU32(&head, kVersion);
+  AppendU32(&head, 0);  // reserved
+  AppendI64(&head, interval_minutes_);
+  AppendI64(&head, static_cast<int64_t>(directory_.size()));
+  AppendI64(&head, declared_samples_);
+  for (const Declared& d : directory_) {
+    AppendU32(&head, static_cast<uint32_t>(d.id.size()));
+    head.append(d.id);
+    AppendI64(&head, d.backup_start);
+    AppendI64(&head, d.backup_end);
+    AppendI64(&head, d.sample_count);
+  }
+  state_ = State::kAppending;
+  SEAGULL_RETURN_NOT_OK(Emit(head));
+  // The value column's final size is known exactly; reserving up front
+  // keeps the high-water mark at 8 * total_samples instead of letting
+  // geometric growth overshoot by up to 2x mid-append.
+  value_words_.reserve(static_cast<size_t>(declared_samples_) * 8);
+  ts_chunk_.reserve(kTimestampChunkBytes + 8);
+  append_slot_ = 0;
+  slot_remaining_ = directory_.empty() ? 0 : directory_.front().sample_count;
+  return Status::OK();
+}
+
+Status SeriesBlockWriter::FlushTimestamps() {
+  if (ts_chunk_.empty()) return Status::OK();
+  SEAGULL_RETURN_NOT_OK(Emit(ts_chunk_));
+  ts_chunk_.clear();
+  return Status::OK();
+}
+
+Status SeriesBlockWriter::Append(std::string_view server_id, int64_t timestamp,
+                                 double avg_cpu) {
+  switch (state_) {
+    case State::kAppending:
+      break;
+    case State::kFailed:
+      return Status::Invalid("SeriesBlockWriter: writer already failed");
+    case State::kDeclaring:
+      return Fail(Status::Invalid(
+          "SeriesBlockWriter: Append before StartAppend"));
+    default:
+      return Fail(Status::Invalid("SeriesBlockWriter: Append after Finish"));
+  }
+  if (slot_remaining_ == 0) {
+    ++append_slot_;
+    if (append_slot_ >= directory_.size()) {
+      return Fail(Status::Invalid(
+          "SeriesBlockWriter: append past the declared sample total"));
+    }
+    slot_remaining_ = directory_[append_slot_].sample_count;
+  }
+  const Declared& current = directory_[append_slot_];
+  if (server_id != current.id) {
+    return Fail(Status::Invalid(
+        "SeriesBlockWriter: appends must follow declaration order with "
+        "each server contiguous (got '" +
+        std::string(server_id) + "', expected '" + current.id + "')"));
+  }
+  AppendWord(&ts_chunk_, static_cast<uint64_t>(timestamp));
+  AppendWord(&value_words_,
+             std::bit_cast<uint64_t>(QuantizeCpuForStorage(avg_cpu)));
+  --slot_remaining_;
+  NoteResident();
+  if (ts_chunk_.size() >= kTimestampChunkBytes) {
+    SEAGULL_RETURN_NOT_OK(FlushTimestamps());
+  }
+  return Status::OK();
+}
+
+Status SeriesBlockWriter::Finish() {
+  switch (state_) {
+    case State::kDeclaring:
+      // An all-zero (or empty) declaration set never enters the append
+      // pass explicitly; emit the header for it now.
+      SEAGULL_RETURN_NOT_OK(StartAppend());
+      break;
+    case State::kAppending:
+      break;
+    case State::kFailed:
+      return Status::Invalid("SeriesBlockWriter: writer already failed");
+    default:
+      return Fail(Status::Invalid("SeriesBlockWriter: Finish twice"));
+  }
+  const bool undelivered =
+      !directory_.empty() &&
+      (append_slot_ + 1 < directory_.size() || slot_remaining_ > 0);
+  if (undelivered) {
+    return Fail(Status::Invalid(
+        "SeriesBlockWriter: Finish with undelivered declared samples"));
+  }
+  SEAGULL_RETURN_NOT_OK(FlushTimestamps());
+  SEAGULL_RETURN_NOT_OK(Emit(value_words_));
+  value_words_.clear();
+  value_words_.shrink_to_fit();
+  const uint64_t sum = checksum_;  // trailer is not folded into itself
+  std::string trailer;
+  AppendLE(&trailer, sum, 8);
+  SEAGULL_RETURN_NOT_OK(Emit(trailer));
+  state_ = State::kFinished;
+  return Status::OK();
+}
+
+Status WriteSeriesBlockFromRecords(const std::vector<TelemetryRecord>& records,
+                                   int64_t interval_minutes,
+                                   const SeriesBlockWriter::Sink& sink,
+                                   int64_t* peak_resident_bytes) {
+  // Group rows per server in first-appearance order with the
+  // last-server fast path — the same walk (and therefore the same
+  // directory order and last-row backup window) as EncodeSeriesBlock.
+  struct Group {
+    const TelemetryRecord* last = nullptr;
+    std::vector<const TelemetryRecord*> rows;
+  };
+  std::unordered_map<std::string_view, size_t> index;
+  std::vector<Group> groups;
+  {
+    std::string_view last_id;
+    size_t last_slot = 0;
+    bool have_last = false;
+    for (const auto& r : records) {
+      size_t slot;
+      if (have_last && last_id == r.server_id) {
+        slot = last_slot;
+      } else {
+        auto [it, inserted] = index.try_emplace(r.server_id, groups.size());
+        if (inserted) groups.emplace_back();
+        slot = it->second;
+        last_id = it->first;
+        last_slot = slot;
+        have_last = true;
+      }
+      Group& g = groups[slot];
+      g.rows.push_back(&r);
+      g.last = &r;
+    }
+  }
+
+  SeriesBlockWriter writer(sink, interval_minutes);
+  for (const Group& g : groups) {
+    SEAGULL_RETURN_NOT_OK(writer.Declare(
+        g.rows.front()->server_id, static_cast<int64_t>(g.rows.size()),
+        g.last->default_backup_start, g.last->default_backup_end));
+  }
+  SEAGULL_RETURN_NOT_OK(writer.StartAppend());
+  for (const Group& g : groups) {
+    for (const TelemetryRecord* r : g.rows) {
+      SEAGULL_RETURN_NOT_OK(
+          writer.Append(r->server_id, r->timestamp, r->avg_cpu));
+    }
+  }
+  SEAGULL_RETURN_NOT_OK(writer.Finish());
+  if (peak_resident_bytes != nullptr) {
+    *peak_resident_bytes = writer.peak_resident_bytes();
+  }
+  return Status::OK();
+}
+
+}  // namespace seagull

@@ -42,7 +42,7 @@ const char* const kRegions[] = {"bud-a", "bud-b"};
 /// persistent_prev_day (no training fan-out noise), jobs=1. Everything
 /// is fixed-seed so the counter values are exact, not statistical. The
 /// lake runs with its blob cache on and one region staged per telemetry
-/// format, so the data-plane counters (cache hits, get_shared ops, and
+/// format, so the data-plane counters (cache hits, get_blob ops, and
 /// both ingest_rows formats) are part of the budgeted surface.
 std::map<std::string, int64_t> MeasuredCounters() {
   static const std::map<std::string, int64_t>* counters = [] {

@@ -1,18 +1,25 @@
 /// \file store_lake_cache_test.cc
 /// \brief The shared-buffer lake cache: hit/miss/eviction accounting,
-/// writer- and fingerprint-driven invalidation, and the fleet-level
-/// contract that a second identical run is served from memory.
+/// writer- and fingerprint-driven invalidation, the mmap read path
+/// (mapping lifetime past eviction, staleness detection by inode and
+/// ctime), and the fleet-level contract that a second identical run is
+/// served from memory.
 
 #include "store/blob_cache.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
+#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/obs/metrics.h"
 #include "pipeline/fleet_runner.h"
 #include "store/lake_store.h"
+#include "store/mmap_blob.h"
 #include "telemetry/emitter.h"
 #include "telemetry/fleet.h"
 
@@ -154,6 +161,173 @@ TEST(LakeCacheTest, StoreCopiesShareTheCache) {
   ASSERT_TRUE(blob.ok());
   EXPECT_EQ(d.hits(), 1);
   EXPECT_EQ(d.misses(), 0);
+}
+
+TEST(LakeCacheTest, GetBlobMapsByDefaultAndHeapWhenDisabled) {
+  auto lake = LakeStore::OpenTemporary("mmap_default");
+  ASSERT_TRUE(lake.ok());
+  ASSERT_TRUE(lake->Put("k", "mapped payload").ok());
+  ASSERT_TRUE(lake->mmap_enabled());
+  auto mapped = lake->GetBlob("k");
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_EQ(mapped->heap(), nullptr);
+  EXPECT_EQ(mapped->view(), "mapped payload");
+
+  lake->ConfigureMmap(false);
+  auto heap = lake->GetBlob("k");
+  ASSERT_TRUE(heap.ok());
+  EXPECT_FALSE(heap->mapped());
+  ASSERT_NE(heap->heap(), nullptr);
+  EXPECT_EQ(*heap->heap(), "mapped payload");
+  EXPECT_TRUE(lake->GetBlob("missing").status().IsNotFound());
+}
+
+TEST(LakeCacheTest, MappedCacheEntryChargesResidentEstimate) {
+  auto lake = LakeStore::OpenTemporary("mmap_charge");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", std::string(10, 'p')).ok());
+  EventDeltas d;
+  auto first = lake->GetBlob("k");
+  ASSERT_TRUE(first.ok());
+  auto second = lake->GetBlob("k");
+  ASSERT_TRUE(second.ok());
+  // Same mapping served twice, charged at page granularity: a mapped
+  // page is resident memory whether 10 bytes or 4096 are used.
+  EXPECT_EQ(first->data(), second->data());
+  EXPECT_EQ(d.hits(), 1);
+  EXPECT_EQ(d.misses(), 1);
+  EXPECT_EQ(lake->cache()->entry_count(), 1);
+  EXPECT_EQ(lake->cache()->size_bytes(), MmapBlob::ResidentEstimate(10));
+}
+
+TEST(LakeCacheTest, MappedPinOutlivesEvictionAndInvalidation) {
+  auto lake = LakeStore::OpenTemporary("mmap_pin");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", "generation one").ok());
+  auto pinned = lake->GetBlob("k");
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(pinned->mapped());
+  std::string_view view = pinned->view();
+
+  // Overwrite (tmp + rename: the mapped inode stays alive), then
+  // delete. Both invalidate the cache entry; neither may disturb the
+  // outstanding mapping — this is the pin contract SeriesBlockCursor
+  // relies on when decoding straight out of the lake.
+  ASSERT_TRUE(lake->Put("k", "generation two").ok());
+  auto fresh = lake->GetBlob("k");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->view(), "generation two");
+  ASSERT_TRUE(lake->Delete("k").ok());
+  EXPECT_EQ(view, "generation one");  // old pages still readable
+  EXPECT_EQ(pinned->view(), "generation one");
+}
+
+TEST(LakeCacheTest, RenameReplaceSameSizeCaughtByInode) {
+  auto cached = LakeStore::OpenTemporary("mmap_inode");
+  ASSERT_TRUE(cached.ok());
+  cached->ConfigureCache(16 << 20);
+  ASSERT_TRUE(cached->Put("k", "AAAA").ok());
+  ASSERT_TRUE(cached->GetBlob("k").ok());  // warm
+
+  // Same-size replacement through a second handle: every store write is
+  // tmp + rename, so the file keeps its size but changes inode. On
+  // filesystems with coarse timestamps size+mtime alone could collide;
+  // the inode field cannot.
+  auto writer = LakeStore::Open(cached->root());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Put("k", "BBBB").ok());
+
+  EventDeltas d;
+  auto blob = cached->GetBlob("k");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->view(), "BBBB");
+  EXPECT_EQ(d.invalidations(), 1);
+}
+
+TEST(LakeCacheTest, InPlaceSameSizeRewriteCaughtByCtime) {
+  auto lake = LakeStore::OpenTemporary("mmap_ctime");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", "AAAA").ok());
+  ASSERT_TRUE(lake->GetBlob("k").ok());  // warm
+
+  // Adversarial external writer: rewrite the file in place (same
+  // inode, same size) and restore the original mtime. Only st_ctime —
+  // which no userspace call can set — still witnesses the change.
+  const std::string path = lake->root() + "/k";
+  struct stat before {};
+  ASSERT_EQ(::stat(path.c_str(), &before), 0);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "BBBB";
+    ASSERT_TRUE(out.good());
+  }
+  const struct timespec times[2] = {before.st_atim, before.st_mtim};
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+
+  EventDeltas d;
+  auto blob = lake->GetBlob("k");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->view(), "BBBB");
+  EXPECT_EQ(d.invalidations(), 1);
+}
+
+TEST(LakeCacheTest, GetSharedCopiesOutOfMappedCacheEntry) {
+  auto lake = LakeStore::OpenTemporary("mmap_compat");
+  ASSERT_TRUE(lake.ok());
+  lake->ConfigureCache(16 << 20);
+  ASSERT_TRUE(lake->Put("k", "compat bytes").ok());
+  auto mapped = lake->GetBlob("k");
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(mapped->mapped());
+  // The legacy heap API stays heap: a caller holding the returned
+  // string must not be handed a disguised mapping.
+  auto shared = lake->GetShared("k");
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(**shared, "compat bytes");
+}
+
+TEST(LakeCacheTest, EmptyBlobMapsToEmptyView) {
+  auto lake = LakeStore::OpenTemporary("mmap_empty");
+  ASSERT_TRUE(lake.ok());
+  ASSERT_TRUE(lake->Put("empty", "").ok());
+  auto blob = lake->GetBlob("empty");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->size(), 0);
+  EXPECT_TRUE(blob->view().empty());
+}
+
+TEST(LakeCacheTest, PutStreamedWritesAtomicallyAndHidesTmpFiles) {
+  auto lake = LakeStore::OpenTemporary("streamed");
+  ASSERT_TRUE(lake.ok());
+  ASSERT_TRUE(lake
+                  ->PutStreamed("dir/streamed.bin",
+                                [](std::ostream& out) {
+                                  out << "part one,";
+                                  out << "part two";
+                                  return Status::OK();
+                                })
+                  .ok());
+  auto blob = lake->GetBlob("dir/streamed.bin");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->view(), "part one,part two");
+
+  // A failing writer must leave no blob and no staging debris behind.
+  EXPECT_FALSE(lake
+                   ->PutStreamed("dir/failed.bin",
+                                 [](std::ostream& out) {
+                                   out << "half-written";
+                                   return Status::IOError("writer gave up");
+                                 })
+                   .ok());
+  EXPECT_FALSE(lake->Exists("dir/failed.bin"));
+  auto keys = lake->List("");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0], "dir/streamed.bin");
 }
 
 TEST(LakeCacheTest, SecondIdenticalFleetRunIsServedFromCache) {

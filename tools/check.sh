@@ -45,15 +45,22 @@
 #                             # gated under tsan; only races are)
 #   tools/check.sh scale      # fleet-scale memory plane: Release build,
 #                             # then bench/fig12b_parallel --servers=100000
-#                             # (bounded-RSS sharded run at jobs=1 vs
-#                             # jobs=8, digest-compared, gated on the
-#                             # fleet_scale peak-RSS / per-server budgets
+#                             # (shard-by-shard streaming-writer staging,
+#                             # the {jobs=1, jobs=8} x {mmap, heap} pass
+#                             # grid digest-compared for byte-identity,
+#                             # gated on the fleet_scale peak-RSS /
+#                             # per-server / encoder-residency budgets
 #                             # in tests/budgets.json, writes
-#                             # BENCH_scale.json), then micro_substrate
-#                             # with the ingest_memory footprint gate,
-#                             # then the streaming-decode suites under
-#                             # asan+ubsan (a separate build dir — asan
-#                             # and tsan cannot compose)
+#                             # BENCH_scale.json; set SEAGULL_SCALE_1M=1
+#                             # to also run the --servers=1000000 row —
+#                             # ~95 GB of telemetry staged and retired
+#                             # shard-wise, allow a couple of hours),
+#                             # then micro_substrate with the
+#                             # ingest_memory footprint gate, then the
+#                             # streaming decode/encode + mmap-cache
+#                             # suites under asan+ubsan (a separate
+#                             # build dir — asan and tsan cannot
+#                             # compose)
 #   tools/check.sh serving-soak
 #                             # ~60-second chaos soak under tsan+ubsan:
 #                             # bench/loadgen on the spike profile with
@@ -151,15 +158,23 @@ case "$MODE" in
     run_config release "$ROOT/build-release" 'unit' \
       -DCMAKE_BUILD_TYPE=Release
     echo "=== [scale] bench/fig12b_parallel --servers=100000 (writes" \
-         "BENCH_scale.json, gates on tests/budgets.json fleet_scale) ==="
+         "BENCH_scale.json, gates on tests/budgets.json fleet_scale," \
+         "checks jobs and mmap-on/off digest byte-identity) ==="
     (cd "$ROOT/build-release" &&
       ./bench/fig12b_parallel --servers=100000 --jobs=8 \
         --budgets="$ROOT/tests/budgets.json")
+    if [ "${SEAGULL_SCALE_1M:-0}" = "1" ]; then
+      echo "=== [scale] opt-in 1M-server row (SEAGULL_SCALE_1M=1):" \
+           "~95 GB staged and retired shard-wise, budget-gated ==="
+      (cd "$ROOT/build-release" &&
+        ./bench/fig12b_parallel --servers=1000000 --jobs=8 \
+          --budgets="$ROOT/tests/budgets.json")
+    fi
     echo "=== [scale] bench/micro_substrate (ingest_memory footprint gate) ==="
     (cd "$ROOT/build-release" &&
       ./bench/micro_substrate --benchmark_filter='IngestStreaming' \
         --budgets="$ROOT/tests/budgets.json")
-    echo "=== [scale] streaming-decode suites under asan+ubsan ==="
+    echo "=== [scale] streaming decode/encode + mmap suites under asan+ubsan ==="
     # A dedicated build dir: asan is incompatible with the tsan config
     # that build-sanitize holds.
     cmake -B "$ROOT/build-asan" -S "$ROOT" \
@@ -167,10 +182,11 @@ case "$MODE" in
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
     cmake --build "$ROOT/build-asan" -j "$JOBS" \
-      --target telemetry_series_block_test telemetry_records_test \
+      --target telemetry_series_block_test series_block_writer_test \
+      store_lake_cache_test telemetry_records_test \
       store_doc_test pipeline_modules_test
     (cd "$ROOT/build-asan" && ctest --output-on-failure -R \
-      'telemetry_series_block_test|telemetry_records_test|store_doc_test|pipeline_modules_test')
+      'telemetry_series_block_test|series_block_writer_test|store_lake_cache_test|telemetry_records_test|store_doc_test|pipeline_modules_test')
     echo "=== [scale] OK ==="
     ;;
   serving-soak)

@@ -50,8 +50,9 @@
 /// (`--format binary` writes columnar SeriesBlock blobs instead of CSV);
 /// `transcode` converts a stored telemetry blob between the two formats
 /// in place (or to `--out`). `--lake-cache-mb` on pipeline/schedule
-/// enables the shared-buffer lake blob cache. Everything else is the
-/// production path.
+/// enables the shared-buffer lake blob cache; `--lake-mmap` (default
+/// on) serves blob reads as page-cache-backed mappings instead of heap
+/// copies. Everything else is the production path.
 
 #include <algorithm>
 #include <cstdio>
@@ -60,6 +61,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <utility>
 
@@ -78,6 +80,7 @@
 #include "store/resilient_store.h"
 #include "telemetry/emitter.h"
 #include "telemetry/series_block.h"
+#include "telemetry/series_block_writer.h"
 
 using namespace seagull;
 
@@ -155,12 +158,13 @@ Result<std::vector<ServerTelemetry>> LoadTelemetry(const ResilientStore& store,
                                                    int64_t up_to_week) {
   for (int64_t w = up_to_week; w >= 0; --w) {
     std::string key = LakeStore::TelemetryKey(region, w);
-    auto blob = store.LakeGetShared(key);
+    auto blob = store.LakeGetBlob(key);
     if (blob.status().IsNotFound()) continue;
     if (!blob.ok()) return blob.status();
     // Telemetry may be stored as CSV or as a binary SeriesBlock;
-    // DecodeTelemetryBlob sniffs the magic and dispatches.
-    return DecodeTelemetryBlob(**blob);
+    // DecodeTelemetryBlob sniffs the magic and dispatches. The decode
+    // consumes the view before the ref (and any mapping) is released.
+    return DecodeTelemetryBlob(blob->view());
   }
   return Status::NotFound("no telemetry for region " + region);
 }
@@ -225,9 +229,23 @@ int CmdGenerate(const Args& args) {
   Fleet fleet = Fleet::Generate(config);
   for (int64_t w = 0; w < config.weeks; ++w) {
     std::string key = LakeStore::TelemetryKey(config.name, w);
-    Status st = lake->Put(key, format == "binary"
-                                   ? ExtractWeekBlock(fleet, w)
-                                   : ExtractWeekCsvText(fleet, w));
+    Status st;
+    if (format == "binary") {
+      // Streaming extraction: SGB1 bytes go from the writer straight
+      // into the atomic put, so even a huge region never materializes
+      // its rows or its blob (byte-identical to ExtractWeekBlock).
+      st = lake->PutStreamed(key, [&](std::ostream& out) {
+        return ExtractWeekBlockTo(
+            fleet, w, [&](std::string_view bytes) -> Status {
+              out.write(bytes.data(),
+                        static_cast<std::streamsize>(bytes.size()));
+              if (!out) return Status::IOError("short write: " + key);
+              return Status::OK();
+            });
+      });
+    } else {
+      st = lake->Put(key, ExtractWeekCsvText(fleet, w));
+    }
     if (!st.ok()) return Fail(st);
     auto size = lake->SizeOf(key);
     std::printf("wrote %s (%.1f MB)\n", key.c_str(),
@@ -252,6 +270,7 @@ int CmdPipeline(const Args& args) {
   if (!lake.ok()) return Fail(lake.status());
   const int64_t cache_mb = args.GetInt("lake-cache-mb", 0);
   if (cache_mb > 0) lake->ConfigureCache(cache_mb << 20);
+  lake->ConfigureMmap(args.GetInt("lake-mmap", 1) != 0);
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
   // After the snapshot load: the rehearsal faults the pipeline's store
@@ -367,6 +386,7 @@ int CmdSchedule(const Args& args) {
   if (!lake.ok()) return Fail(lake.status());
   const int64_t cache_mb = args.GetInt("lake-cache-mb", 0);
   if (cache_mb > 0) lake->ConfigureCache(cache_mb << 20);
+  lake->ConfigureMmap(args.GetInt("lake-mmap", 1) != 0);
   auto docs = OpenDocs(*docs_path);
   if (!docs.ok()) return Fail(docs.status());
   ResilientStore store(&*lake, *docs, ConfigureResilience(args));
@@ -569,6 +589,7 @@ int CmdTranscode(const Args& args) {
   // pre-quantized to the CSV's %.4f in either format).
   std::string converted;
   int64_t rows = 0;
+  int64_t streamed_bytes = -1;  // >= 0 once the streamed path has written
   if (to == "binary") {
     if (is_block) {
       converted = *blob;  // already binary; re-put verbatim
@@ -579,7 +600,23 @@ int CmdTranscode(const Args& args) {
       auto records = ParseTelemetryCsv(*blob);
       if (!records.ok()) return Fail(records.status());
       rows = static_cast<int64_t>(records->size());
-      converted = EncodeSeriesBlock(*records);
+      // Stream the encode straight into the atomic put: the SGB1 bytes
+      // go incrementally from the writer to the staged file, never
+      // materializing the blob string.
+      int64_t written = 0;
+      Status put = lake->PutStreamed(out_key, [&](std::ostream& out) {
+        return WriteSeriesBlockFromRecords(
+            *records, kServerIntervalMinutes,
+            [&](std::string_view bytes) -> Status {
+              out.write(bytes.data(),
+                        static_cast<std::streamsize>(bytes.size()));
+              if (!out) return Status::IOError("short write: " + out_key);
+              written += static_cast<int64_t>(bytes.size());
+              return Status::OK();
+            });
+      });
+      if (!put.ok()) return Fail(put);
+      streamed_bytes = written;
     }
   } else {
     if (!is_block) {
@@ -594,12 +631,16 @@ int CmdTranscode(const Args& args) {
       converted = RecordsToCsvText(*records);
     }
   }
-  Status st = lake->Put(out_key, converted);
-  if (!st.ok()) return Fail(st);
-  std::printf("transcoded %s (%s, %zu bytes) -> %s (%s, %zu bytes), "
+  if (streamed_bytes < 0) {
+    Status st = lake->Put(out_key, converted);
+    if (!st.ok()) return Fail(st);
+    streamed_bytes = static_cast<int64_t>(converted.size());
+  }
+  std::printf("transcoded %s (%s, %zu bytes) -> %s (%s, %lld bytes), "
               "%lld rows\n",
               key->c_str(), is_block ? "binary" : "csv", blob->size(),
-              out_key.c_str(), to.c_str(), converted.size(),
+              out_key.c_str(), to.c_str(),
+              static_cast<long long>(streamed_bytes),
               static_cast<long long>(rows));
   return 0;
 }
@@ -808,10 +849,11 @@ void Usage() {
       "[--seed S] [--format csv|binary]\n"
       "  pipeline  --lake DIR --docs FILE --region NAME[,NAME...] "
       "--week K [--model FAMILY] [--threads N] [--jobs N] [--retries N] "
-      "[--lake-cache-mb MB] [--fault-rate P --fault-seed S] "
+      "[--lake-cache-mb MB] [--lake-mmap 0|1] "
+      "[--fault-rate P --fault-seed S] "
       "[--trace-out FILE] [--metrics-out FILE]\n"
       "  schedule  --lake DIR --docs FILE --region NAME[,NAME...] "
-      "--day D [--jobs N] [--lake-cache-mb MB]\n"
+      "--day D [--jobs N] [--lake-cache-mb MB] [--lake-mmap 0|1]\n"
       "  transcode --lake DIR --key KEY [--to csv|binary] [--out KEY]\n"
       "  dashboard --docs FILE\n"
       "  incidents --docs FILE --region NAME\n"
